@@ -1,0 +1,107 @@
+// Command kunafa profiles programs on the simulated cluster the way the
+// paper's PMU-based profiler does on hardware — one clean exclusive run
+// per scale factor for timing, plus an instrumented run that rotates the
+// job's LLC allocation through {2, 4, 8, 20} ways in five-second episodes
+// — and writes the resulting profile database as JSON.
+//
+// Usage:
+//
+//	kunafa -out profiles.json                    # all 12 programs, 16 procs
+//	kunafa -programs MG,CG -procs 16,28 -out db.json
+//	kunafa -programs MG -show                    # print curves to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+func main() {
+	programs := flag.String("programs", strings.Join(app.ProgramNames, ","), "programs to profile")
+	procsFlag := flag.String("procs", "16", "comma-separated process counts")
+	out := flag.String("out", "", "output JSON path (empty: don't save)")
+	show := flag.Bool("show", false, "print profiled curves")
+	nodes := flag.Int("nodes", 8, "cluster size for profiling runs")
+	flag.Parse()
+
+	spec := hw.DefaultClusterSpec()
+	spec.Nodes = *nodes
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		fatal(err)
+	}
+	k := profiler.New(spec)
+	db := profiler.NewDB()
+
+	names := splitList(*programs)
+	var procsList []int
+	for _, p := range splitList(*procsFlag) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			fatal(fmt.Errorf("bad proc count %q: %v", p, err))
+		}
+		procsList = append(procsList, n)
+	}
+
+	for _, procs := range procsList {
+		for _, name := range names {
+			prog, err := cat.Lookup(name)
+			if err != nil {
+				fatal(err)
+			}
+			p, err := k.ProfileProgram(prog, procs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kunafa: skipping %s/%d: %v\n", name, procs, err)
+				continue
+			}
+			db.Put(p)
+			fmt.Printf("%s/%d: class=%s constraint=%s ideal-k=%d scales=%d\n",
+				name, procs, p.Class, orDash(p.ConstrainedBy), p.IdealK(), len(p.Scales))
+			if *show {
+				for _, sp := range p.Scales {
+					fmt.Printf("  k=%d nodes=%d cores/node=%d time=%.1fs\n",
+						sp.K, sp.Nodes, sp.CoresPerNode, sp.TimeSec)
+					fmt.Printf("    IPC-LLC:  w2=%.3f w4=%.3f w8=%.3f w20=%.3f\n",
+						sp.IPCAt(2), sp.IPCAt(4), sp.IPCAt(8), sp.IPCAt(20))
+					fmt.Printf("    BW-LLC:   w2=%.1f w4=%.1f w8=%.1f w20=%.1f GB/s per node\n",
+						sp.BWAt(2), sp.BWAt(4), sp.BWAt(8), sp.BWAt(20))
+				}
+			}
+		}
+	}
+	if *out != "" {
+		if err := db.Save(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d profiles to %s\n", len(db.Profiles), *out)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kunafa:", err)
+	os.Exit(1)
+}

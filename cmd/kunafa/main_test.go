@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" MG, CG ,,EP ")
+	want := []string{"MG", "CG", "EP"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitList = %v, want %v", got, want)
+		}
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+}
+
+func TestOrDash(t *testing.T) {
+	if orDash("") != "-" || orDash("llc") != "llc" {
+		t.Error("orDash wrong")
+	}
+}

@@ -1,0 +1,112 @@
+// Command tracegen synthesizes Trinity-like job traces (Section 6.4) and
+// writes them as CSV, optionally replaying them through the large-cluster
+// simulator.
+//
+// Usage:
+//
+//	tracegen -jobs 7044 -span 1900 -out trace.csv
+//	tracegen -jobs 2000 -ratio 0.9 -replay 4096 -policy SNS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/trace"
+)
+
+var (
+	scalingGroup = []string{"MG", "CG", "LU", "TS", "BW"}
+	otherGroup   = []string{"EP", "WC", "NW", "HC", "BFS"}
+)
+
+func main() {
+	jobs := flag.Int("jobs", 7044, "number of parallel jobs")
+	span := flag.Float64("span", 1900, "trace span in hours")
+	maxNodes := flag.Int("max-nodes", 4096, "largest job size in nodes")
+	seed := flag.Int64("seed", 42, "generator seed")
+	ratio := flag.Float64("ratio", 0.9, "scaling-program sampling bias")
+	out := flag.String("out", "", "write trace CSV here")
+	replay := flag.Int("replay", 0, "replay on a cluster of this many nodes")
+	policyFlag := flag.String("policy", "SNS", "replay policy: CE or SNS")
+	stats := flag.Bool("stats", false, "print trace shape statistics")
+	swf := flag.String("swf", "", "import a Standard Workload Format trace instead of synthesizing")
+	swfProcs := flag.Int("swf-procs-per-node", 16, "processors per node for SWF conversion")
+	flag.Parse()
+
+	var jj []trace.Job
+	if *swf != "" {
+		f, err := os.Open(*swf)
+		if err != nil {
+			fatal(err)
+		}
+		jj, err = trace.ParseSWF(f, *swfProcs)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("imported %d jobs from %s\n", len(jj), *swf)
+	} else {
+		jj = trace.Synthesize(*seed, trace.GenConfig{
+			Jobs: *jobs, SpanHours: *span, MaxNodes: *maxNodes,
+		})
+	}
+	trace.MapPrograms(*seed, jj, scalingGroup, otherGroup, *ratio)
+	fmt.Printf("trace ready: %d jobs (ratio %.2f)\n", len(jj), *ratio)
+	if *stats {
+		fmt.Print(trace.Summarize(jj))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, jj); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *replay > 0 {
+		var policy trace.Policy
+		switch strings.ToUpper(*policyFlag) {
+		case "CE":
+			policy = trace.CE
+		case "SNS":
+			policy = trace.SNS
+		default:
+			fatal(fmt.Errorf("unknown policy %q", *policyFlag))
+		}
+		spec := hw.DefaultClusterSpec()
+		cat, err := app.NewCatalog(spec.Node)
+		if err != nil {
+			fatal(err)
+		}
+		db := profiler.NewDB()
+		k := profiler.New(spec)
+		all := append(append([]string(nil), scalingGroup...), otherGroup...)
+		if err := k.ProfileAll(cat, all, 16, db); err != nil {
+			fatal(err)
+		}
+		res, err := trace.Simulate(jj, db, spec.Node, trace.DefaultSimConfig(*replay, policy))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %d nodes: avg wait %.0f s, avg run %.0f s, avg turnaround %.0f s, makespan %.1f h\n",
+			policy, *replay, res.AvgWait, res.AvgRun, res.AvgTurn, res.Makespan/3600)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

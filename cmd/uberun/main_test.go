@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"spreadnshare/internal/exec"
+)
+
+func TestMaxFinish(t *testing.T) {
+	jobs := []*exec.Job{{Finish: 10}, {Finish: 30}, {Finish: 20}}
+	if got := maxFinish(jobs); got != 30 {
+		t.Errorf("maxFinish = %g, want 30", got)
+	}
+	if got := maxFinish(nil); got != 0 {
+		t.Errorf("maxFinish(nil) = %g, want 0", got)
+	}
+}

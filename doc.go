@@ -1,0 +1,10 @@
+// Package spreadnshare reproduces "Spread-n-Share: Improving Application
+// Performance and Cluster Throughput with Resource-aware Job Placement"
+// (Tang et al., SC '19) as a self-contained Go library.
+//
+// The public surface lives under internal/ packages wired together by the
+// binaries in cmd/ and the runnable programs in examples/. The benchmark
+// harness in bench_test.go regenerates every figure of the paper's
+// evaluation; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-versus-measured results.
+package spreadnshare

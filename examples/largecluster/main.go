@@ -1,0 +1,54 @@
+// Large-cluster trace replay (Section 6.4): synthesize a Trinity-like
+// trace, map its jobs onto the profiled test programs with a 0.9 scaling
+// bias, and replay it on a 4,096-node cluster under CE and SNS.
+//
+// Run with: go run ./examples/largecluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/trace"
+)
+
+func main() {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile the multi-node programs once; trace jobs reuse these
+	// profiles, exactly as the paper re-sizes Trinity jobs to match
+	// its testbed configuration.
+	db := profiler.NewDB()
+	kunafa := profiler.New(spec)
+	scaling := []string{"MG", "CG", "LU", "TS", "BW"}
+	other := []string{"EP", "WC", "NW", "HC", "BFS"}
+	if err := kunafa.ProfileAll(cat, append(append([]string{}, scaling...), other...), 16, db); err != nil {
+		log.Fatal(err)
+	}
+
+	jobs := trace.Synthesize(42, trace.GenConfig{Jobs: 2000, SpanHours: 500, MaxNodes: 2048})
+	trace.MapPrograms(42, jobs, scaling, other, 0.9)
+	fmt.Printf("replaying %d jobs on 4,096 nodes...\n\n", len(jobs))
+
+	for _, policy := range []trace.Policy{trace.CE, trace.SNS} {
+		res, err := trace.Simulate(jobs, db, spec.Node, trace.DefaultSimConfig(4096, policy))
+		if err != nil {
+			log.Fatal(err)
+		}
+		spread := 0
+		for _, j := range res.Jobs {
+			if j.Scale > 1 {
+				spread++
+			}
+		}
+		fmt.Printf("%-3s  avg wait %8.0f s   avg run %8.0f s   avg turnaround %8.0f s   spread jobs %d\n",
+			policy, res.AvgWait, res.AvgRun, res.AvgTurn, spread)
+	}
+}

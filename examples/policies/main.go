@@ -1,0 +1,133 @@
+// Policy comparison: the same random 20-job workload scheduled under all
+// four strategies — CE (today's schedulers), CS (naive sharing), the
+// related-work two-slot co-scheduler, and SNS — reporting throughput and
+// job-protection metrics side by side, plus the Figure 8-style footprint
+// of each policy's first placements.
+//
+// Run with: go run ./examples/policies [seed]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/stats"
+	"spreadnshare/internal/workload"
+)
+
+func main() {
+	seed := int64(7)
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseInt(os.Args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", os.Args[1], err)
+		}
+		seed = v
+	}
+
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := profiler.NewDB()
+	kunafa := profiler.New(spec)
+	if err := kunafa.ProfileAll(cat, app.ProgramNames, 16, db); err != nil {
+		log.Fatal(err)
+	}
+	var flexible []string
+	for _, name := range app.ProgramNames {
+		m, _ := cat.Lookup(name)
+		if !m.PowerOf2 {
+			flexible = append(flexible, name)
+		}
+	}
+	if err := kunafa.ProfileAll(cat, flexible, 28, db); err != nil {
+		log.Fatal(err)
+	}
+
+	seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), cat, 20)
+	fmt.Printf("workload (seed %d):", seed)
+	for _, js := range seq {
+		fmt.Printf(" %s/%d", js.Program, js.Procs)
+	}
+	fmt.Println()
+
+	// CE baselines for normalization.
+	ce := workload.NewCERunTimes(spec, cat)
+
+	fmt.Printf("\n%-8s %12s %12s %14s %12s\n",
+		"policy", "makespan(s)", "mean turn(s)", "geo norm run", "worst slowdn")
+	for _, p := range []sched.Policy{sched.CE, sched.CS, sched.TwoSlot, sched.SNS} {
+		s, err := sched.New(spec, cat, db, sched.DefaultConfig(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, js := range seq {
+			if err := s.Submit(js); err != nil {
+				log.Fatal(err)
+			}
+		}
+		jobs, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var turns, norms []float64
+		makespan := 0.0
+		for _, j := range jobs {
+			turns = append(turns, j.Turnaround())
+			base, err := ce.Of(j.Prog.Name, j.Procs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norms = append(norms, j.RunTime()/base)
+			if j.Finish > makespan {
+				makespan = j.Finish
+			}
+		}
+		_, worst := stats.MinMax(norms)
+		fmt.Printf("%-8s %12.1f %12.1f %14.3f %11.2fx\n",
+			p, makespan, stats.Mean(turns), stats.GeoMean(norms), worst)
+	}
+
+	// Figure 8-style footprint of one scaling job under each policy.
+	fmt.Println("\nplacement of a 16-process MG job on the idle cluster:")
+	for _, p := range []sched.Policy{sched.CE, sched.CS, sched.TwoSlot, sched.SNS} {
+		s, err := sched.New(spec, cat, db, sched.DefaultConfig(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Submit(sched.JobSpec{Program: "MG", Procs: 16}); err != nil {
+			log.Fatal(err)
+		}
+		jobs, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		j := jobs[0]
+		mode := "S"
+		if j.Exclusive {
+			mode = "E"
+		}
+		fmt.Printf("  %-8s %d node(s) x %2d cores, mode %s, %2d LLC ways, run %.1f s\n",
+			p, j.SpanNodes(), maxCores(j), mode, j.Ways, j.RunTime())
+	}
+}
+
+func maxCores(j *exec.Job) int {
+	m := 0
+	for _, c := range j.CoresByNode {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+// Profiling walk-through: run Kunafa on one program, print its measured
+// cache-sensitivity curves, and replay the paper's Figure 10 demand
+// estimation — from slowdown threshold alpha to the (cores, ways,
+// bandwidth) triple the scheduler reserves per node.
+//
+// Run with: go run ./examples/profiling [program]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+func main() {
+	name := "CG"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := cat.Lookup(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kunafa := profiler.New(spec)
+	p, err := kunafa.ProfileProgram(prog, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s, %s): class=%s, constraint=%s\n\n",
+		p.Program, prog.Suite, prog.Framework, p.Class, p.ConstrainedBy)
+
+	for _, sp := range p.Scales {
+		fmt.Printf("scale %dx: %d node(s) x %d cores, exclusive run %.1f s\n",
+			sp.K, sp.Nodes, sp.CoresPerNode, sp.TimeSec)
+	}
+
+	base, _ := p.AtK(1)
+	fmt.Println("\nIPC-LLC and BW-LLC curves at scale 1 (interpolated from episodes):")
+	fmt.Println("ways   IPC    BW(GB/s per node)")
+	for _, w := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
+		fmt.Printf("%4d  %5.3f  %8.1f\n", w, base.IPCAt(w), base.BWAt(w))
+	}
+
+	fmt.Println("\nFigure 10 demand estimation:")
+	for _, alpha := range []float64{0.95, 0.9, 0.8, 0.7} {
+		d := core.EstimateDemand(base, alpha, spec.Node)
+		fmt.Printf("alpha=%.2f -> c=%d cores, w=%d ways, b=%.1f GB/s per node\n",
+			alpha, d.Cores, d.Ways, d.BW)
+	}
+}

@@ -1,0 +1,83 @@
+// Re-profiling walk-through (the paper's Section 5.2 road map): profiles
+// age as programs are modified between submissions, so an SNS-enabled
+// production scheduler keeps watching IPC, bandwidth, and miss-rate
+// readings from exclusive runs and re-profiles when their distribution
+// drifts.
+//
+// This example profiles CG, simulates a code change that halves its IPC
+// and doubles its memory traffic, observes a few "production" runs of the
+// changed binary, and shows the drift monitor flagging the stale profile —
+// then re-profiles and verifies the monitor goes quiet.
+//
+// Run with: go run ./examples/reprofiling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+func main() {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kunafa := profiler.New(spec)
+	db := profiler.NewDB()
+
+	// Day 0: profile the production binary.
+	cg, _ := cat.Lookup("CG")
+	prof, err := kunafa.ProfileProgram(cg, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.Put(prof)
+	fmt.Printf("profiled %s: class=%s, ideal scale %dx\n", prof.Program, prof.Class, prof.IdealK())
+
+	// Day N: the application team ships a rewrite. Same program name,
+	// different performance character.
+	changed := *cg
+	changed.IPCMax *= 0.55
+	changed.BWPerCoreRef *= 2
+	if err := changed.Calibrate(spec.Node); err != nil {
+		log.Fatal(err)
+	}
+
+	monitor := profiler.NewDriftMonitor(0.2)
+	fmt.Println("\nobserving exclusive production runs of the updated binary:")
+	for run := 1; run <= 6; run++ {
+		_, _, m, err := exec.RunSoloStats(spec, &changed, 16, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		monitor.Observe("CG", 16, profiler.Reading{
+			IPC: m.IPC, BWPerNode: m.BWPerNode, MissPct: m.MissPct,
+		})
+		fmt.Printf("  run %d: IPC %.3f, bandwidth %.1f GB/s, miss %.1f%%  -> reprofile? %v\n",
+			run, m.IPC, m.BWPerNode, m.MissPct, monitor.NeedsReprofile(prof))
+	}
+
+	stale := monitor.Drifted(db)
+	fmt.Printf("\ndrifted profiles: %d", len(stale))
+	for _, p := range stale {
+		fmt.Printf(" (%s/%d)", p.Program, p.Procs)
+	}
+	fmt.Println()
+
+	// Re-profile the changed binary and reset the monitor.
+	fresh, err := kunafa.ProfileProgram(&changed, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh.Program = "CG" // same user-visible name
+	db.Put(fresh)
+	monitor.Reset("CG", 16)
+	fmt.Printf("re-profiled: class=%s, ideal scale %dx, drifted now: %d\n",
+		fresh.Class, fresh.IdealK(), len(monitor.Drifted(db)))
+}

@@ -1,0 +1,3 @@
+module spreadnshare
+
+go 1.22

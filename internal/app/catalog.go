@@ -1,0 +1,196 @@
+package app
+
+import (
+	"fmt"
+	"sort"
+
+	"spreadnshare/internal/hw"
+)
+
+// Catalog holds the calibrated models of every known program.
+type Catalog struct {
+	spec   hw.NodeSpec
+	models map[string]*Model
+}
+
+// Names of the paper's 12 test programs.
+var ProgramNames = []string{
+	"WC", "TS", "NW", "GAN", "RNN", "MG", "CG", "EP", "LU", "BFS", "HC", "BW",
+}
+
+// rawModels returns the uncalibrated parameter set for the 12 programs.
+//
+// Calibration anchors, all from the paper:
+//   - Figure 4: 1-node 16-core bandwidth consumption — MG 112.0, CG 42.9,
+//     EP 0.09, BFS 0.12 GB/s.
+//   - Figures 6/12: least LLC ways for 90% performance — MG 3, CG 10,
+//     EP and HC happy with 2, NW/BFS near-full cache.
+//   - Figure 13: scaling classes — MG/CG/LU/TS/BW scaling (CG peaking at
+//     2x, the others improving to 8x by >30%), BFS compact, EP/WC/NW/HC
+//     neutral.
+//   - Figure 7: NPB communication under 10% of run time.
+//   - Section 6.1: run times sized between 50 s and 1200 s.
+func rawModels() []*Model {
+	return []*Model{
+		{
+			Name: "WC", Suite: "HiBench", Framework: Spark,
+			MultiNode: true,
+			IPCMax:    1.2, FloorFrac: 0.70, LeastWays90: 4, LatSens: 0.05,
+			BWPerCoreRef: 0.8, MissPctRef: 12, MissFloorFrac: 0.5, WHalf: 6,
+			IOBWPerCore: 0.08,
+			CommFrac:    0.04, CommGrowth: 0.5,
+			TargetSoloSec: 210, MemGBPerProc: 2,
+		},
+		{
+			Name: "TS", Suite: "HiBench", Framework: Spark,
+			MultiNode: true,
+			IPCMax:    0.9, FloorFrac: 0.0, LeastWays90: 14, LatSens: 0.12,
+			BWPerCoreRef: 1.6, MissPctRef: 20, MissFloorFrac: 0.4, WHalf: 8,
+			IOBWPerCore: 0.10,
+			PhaseAmp:    0.30, PhasePeriodSec: 40,
+			CommFrac: 0.03, CommGrowth: 0.8,
+			TargetSoloSec: 377, MemGBPerProc: 4,
+		},
+		{
+			Name: "NW", Suite: "HiBench", Framework: Spark,
+			MultiNode: true,
+			IPCMax:    0.8, FloorFrac: 0.15, LeastWays90: 17, EffWaysCap: 20,
+			LatSens:      0.20,
+			BWPerCoreRef: 1.0, MissPctRef: 30, MissFloorFrac: 0.3, WHalf: 10,
+			CommFrac: 0.05, CommGrowth: 1.0,
+			TargetSoloSec: 650, MemGBPerProc: 4,
+		},
+		{
+			Name: "GAN", Suite: "TF-Examples", Framework: TensorFlow,
+			MultiNode: false,
+			IPCMax:    1.1, FloorFrac: 0.50, LeastWays90: 6, LatSens: 0.08,
+			BWPerCoreRef: 0.7, MissPctRef: 10, MissFloorFrac: 0.5, WHalf: 6,
+			TargetSoloSec: 900, MemGBPerProc: 3,
+		},
+		{
+			Name: "RNN", Suite: "TF-Examples", Framework: TensorFlow,
+			MultiNode: false,
+			IPCMax:    1.2, FloorFrac: 0.55, LeastWays90: 6, LatSens: 0.08,
+			BWPerCoreRef: 0.6, MissPctRef: 9, MissFloorFrac: 0.5, WHalf: 6,
+			TargetSoloSec: 800, MemGBPerProc: 3,
+		},
+		{
+			Name: "MG", Suite: "NPB", Framework: MPI,
+			MultiNode: true, PowerOf2: true,
+			IPCMax: 0.7, FloorFrac: 0.50, LeastWays90: 3, LatSens: 0.05,
+			BWPerCoreRef: 9.5, MissPctRef: 45, MissFloorFrac: 0.88, WHalf: 12,
+			PhaseAmp: 0.25, PhasePeriodSec: 20,
+			CommFrac: 0.015, CommGrowth: 0.3,
+			TargetSoloSec: 97.5, MemGBPerProc: 4,
+		},
+		{
+			Name: "CG", Suite: "NPB", Framework: MPI,
+			MultiNode: true, PowerOf2: true,
+			IPCMax: 0.65, FloorFrac: 0.35, LeastWays90: 10, LatSens: 0.35,
+			BWPerCoreRef: 2.7, MissPctRef: 35, MissFloorFrac: 0.4, WHalf: 8,
+			PhaseAmp: 0.20, PhasePeriodSec: 25,
+			CommFrac: 0.02, CommGrowth: 5.2,
+			TargetSoloSec: 120, MemGBPerProc: 3,
+		},
+		{
+			Name: "EP", Suite: "NPB", Framework: MPI,
+			MultiNode: true, PowerOf2: true,
+			IPCMax: 1.6, FloorFrac: 0.97, LeastWays90: 2, LatSens: 0.0,
+			BWPerCoreRef: 0.006, MissPctRef: 2, MissFloorFrac: 0.9, WHalf: 5,
+			CommFrac: 0.01, CommGrowth: 0.3,
+			TargetSoloSec: 75, MemGBPerProc: 1,
+		},
+		{
+			Name: "LU", Suite: "NPB", Framework: MPI,
+			MultiNode: true, PowerOf2: true,
+			IPCMax: 0.75, FloorFrac: 0.55, LeastWays90: 4, LatSens: 0.08,
+			BWPerCoreRef: 9.0, MissPctRef: 40, MissFloorFrac: 0.88, WHalf: 12,
+			PhaseAmp: 0.20, PhasePeriodSec: 30,
+			CommFrac: 0.02, CommGrowth: 0.4,
+			TargetSoloSec: 300, MemGBPerProc: 4,
+		},
+		{
+			Name: "BFS", Suite: "Graph500", Framework: MPI,
+			MultiNode: true, PowerOf2: true,
+			IPCMax: 0.55, FloorFrac: 0.20, LeastWays90: 17, EffWaysCap: 20,
+			LatSens:      0.40,
+			BWPerCoreRef: 0.0075, MissPctRef: 28, MissFloorFrac: 0.3, WHalf: 9,
+			CommFrac: 0.08, CommGrowth: 2.2,
+			SpreadMissBoost: 2.0, SpreadWorkBoost: 1.25,
+			TargetSoloSec: 150, MemGBPerProc: 6,
+		},
+		{
+			Name: "HC", Suite: "SPEC CPU 2006", Framework: Replicated,
+			MultiNode: true,
+			IPCMax:    1.5, FloorFrac: 0.92, LeastWays90: 2, LatSens: 0.05,
+			BWPerCoreRef: 0.25, MissPctRef: 5, MissFloorFrac: 0.8, WHalf: 5,
+			TargetSoloSec: 482, MemGBPerProc: 1,
+		},
+		{
+			Name: "BW", Suite: "SPEC CPU 2006", Framework: Replicated,
+			MultiNode: true,
+			IPCMax:    0.8, FloorFrac: 0.50, LeastWays90: 4, LatSens: 0.08,
+			BWPerCoreRef: 9.0, MissPctRef: 42, MissFloorFrac: 0.88, WHalf: 12,
+			PhaseAmp: 0.25, PhasePeriodSec: 25,
+			TargetSoloSec: 560, MemGBPerProc: 2,
+		},
+	}
+}
+
+// NewCatalog calibrates the 12 paper programs against the given node spec.
+func NewCatalog(spec hw.NodeSpec) (*Catalog, error) {
+	c := &Catalog{spec: spec, models: make(map[string]*Model)}
+	for _, m := range rawModels() {
+		if err := m.Calibrate(spec); err != nil {
+			return nil, err
+		}
+		c.models[m.Name] = m
+	}
+	return c, nil
+}
+
+// MustCatalog is NewCatalog for the default node spec, panicking on
+// calibration failure (which would be a programming error in the builtin
+// parameter table).
+func MustCatalog() *Catalog {
+	c, err := NewCatalog(hw.DefaultNodeSpec())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lookup returns the model for a program name.
+func (c *Catalog) Lookup(name string) (*Model, error) {
+	m, ok := c.models[name]
+	if !ok {
+		return nil, fmt.Errorf("app: unknown program %q", name)
+	}
+	return m, nil
+}
+
+// Spec returns the node spec the catalog was calibrated for.
+func (c *Catalog) Spec() hw.NodeSpec { return c.spec }
+
+// Names returns the catalog's program names in stable order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.models))
+	for n := range c.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Add registers a custom model (calibrating it first), for users extending
+// the catalog beyond the builtin programs.
+func (c *Catalog) Add(m *Model) error {
+	if _, ok := c.models[m.Name]; ok {
+		return fmt.Errorf("app: program %q already registered", m.Name)
+	}
+	if err := m.Calibrate(c.spec); err != nil {
+		return err
+	}
+	c.models[m.Name] = m
+	return nil
+}

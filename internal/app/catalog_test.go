@@ -1,0 +1,128 @@
+package app
+
+import (
+	"testing"
+
+	"spreadnshare/internal/hw"
+)
+
+func TestCatalogHasAllPrograms(t *testing.T) {
+	cat := MustCatalog()
+	if got, want := len(cat.Names()), 12; got != want {
+		t.Fatalf("catalog has %d programs, want %d", got, want)
+	}
+	for _, name := range ProgramNames {
+		if _, err := cat.Lookup(name); err != nil {
+			t.Errorf("Lookup(%s): %v", name, err)
+		}
+	}
+	if _, err := cat.Lookup("NOPE"); err == nil {
+		t.Error("Lookup of unknown program succeeded")
+	}
+}
+
+func TestCatalogFrameworks(t *testing.T) {
+	cat := MustCatalog()
+	want := map[string]Framework{
+		"MG": MPI, "CG": MPI, "EP": MPI, "LU": MPI, "BFS": MPI,
+		"WC": Spark, "TS": Spark, "NW": Spark,
+		"GAN": TensorFlow, "RNN": TensorFlow,
+		"HC": Replicated, "BW": Replicated,
+	}
+	for name, fw := range want {
+		m, _ := cat.Lookup(name)
+		if m.Framework != fw {
+			t.Errorf("%s framework = %v, want %v", name, m.Framework, fw)
+		}
+	}
+}
+
+func TestCatalogScaleConstraints(t *testing.T) {
+	cat := MustCatalog()
+	for _, name := range []string{"GAN", "RNN"} {
+		m, _ := cat.Lookup(name)
+		if m.MultiNode {
+			t.Errorf("%s is multi-node; TensorFlow examples must be single-node", name)
+		}
+	}
+	for _, name := range []string{"MG", "CG", "EP", "LU", "BFS"} {
+		m, _ := cat.Lookup(name)
+		if !m.PowerOf2 {
+			t.Errorf("%s lacks power-of-2 constraint", name)
+		}
+		if !m.MultiNode {
+			t.Errorf("%s not multi-node", name)
+		}
+	}
+}
+
+func TestCatalogRunTimeSizing(t *testing.T) {
+	// Section 6.1: execution times are sized between 50 s and 1200 s.
+	cat := MustCatalog()
+	for _, name := range ProgramNames {
+		m, _ := cat.Lookup(name)
+		if m.TargetSoloSec < 50 || m.TargetSoloSec > 1200 {
+			t.Errorf("%s solo time %g s outside 50..1200", name, m.TargetSoloSec)
+		}
+	}
+}
+
+func TestCatalogAdd(t *testing.T) {
+	cat := MustCatalog()
+	custom := &Model{
+		Name: "STREAMY", Suite: "custom", Framework: Replicated, MultiNode: true,
+		IPCMax: 0.5, FloorFrac: 0.8, LeastWays90: 2, LatSens: 0,
+		BWPerCoreRef: 12, MissPctRef: 60, MissFloorFrac: 0.9, WHalf: 6,
+		TargetSoloSec: 100, MemGBPerProc: 1,
+	}
+	if err := cat.Add(custom); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := cat.Lookup("STREAMY"); err != nil {
+		t.Errorf("Lookup after Add: %v", err)
+	}
+	if err := cat.Add(custom); err == nil {
+		t.Error("duplicate Add succeeded")
+	}
+	if err := cat.Add(&Model{Name: "BROKEN", FloorFrac: 0.0, LeastWays90: 25,
+		IPCMax: 1, BWPerCoreRef: 1, MissPctRef: 1, MissFloorFrac: 0.5, WHalf: 5,
+		TargetSoloSec: 100}); err == nil {
+		t.Error("Add accepted uncalibratable model")
+	}
+}
+
+func TestCatalogCustomSpec(t *testing.T) {
+	spec := hw.DefaultNodeSpec()
+	spec.Cores = 56
+	spec.PeakBandwidth = 200
+	cat, err := NewCatalog(spec)
+	if err != nil {
+		t.Fatalf("NewCatalog(custom): %v", err)
+	}
+	if cat.Spec().Cores != 56 {
+		t.Errorf("Spec().Cores = %d, want 56", cat.Spec().Cores)
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	cat := MustCatalog()
+	for _, name := range ProgramNames {
+		m, _ := cat.Lookup(name)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	bad := &Model{Name: "", IPCMax: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("nameless model validated")
+	}
+	bad2 := &Model{Name: "X", IPCMax: 0}
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero-IPC model validated")
+	}
+	bad3 := &Model{Name: "X", IPCMax: 1, FloorFrac: 0.5, BWPerCoreRef: 1,
+		MissPctRef: 10, WHalf: 5, TargetSoloSec: 100} // uncalibrated
+	if err := bad3.Validate(); err == nil {
+		t.Error("uncalibrated model validated")
+	}
+}

@@ -1,0 +1,309 @@
+// Package cluster tracks the scheduler-visible resource state of every
+// node: which jobs hold how many cores, CAT-allocated LLC ways, and
+// estimated memory bandwidth. It provides the node grouping and scoring
+// primitives the SNS placement search uses (Section 4.4 of the paper).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"spreadnshare/internal/hw"
+)
+
+// Alloc records one job's reservation on one node.
+type Alloc struct {
+	JobID int
+	// Cores reserved on this node.
+	Cores int
+	// Ways is the CAT-partitioned LLC allocation; 0 means the job
+	// runs with unmanaged cache sharing (CE/CS policies).
+	Ways int
+	// BW is the estimated memory-bandwidth reservation in GB/s
+	// (0 when the policy does not account bandwidth).
+	BW float64
+	// MemGB is the main-memory reservation (0 = unaccounted). Unlike
+	// cache and bandwidth, memory capacity is a hard per-node limit:
+	// oversubscribing it means swapping, which no scheduler risks.
+	MemGB float64
+	// IOBW is the estimated parallel-file-system bandwidth
+	// reservation in GB/s (0 = unaccounted) — the third resource
+	// dimension the paper's extensible algorithm accommodates.
+	IOBW float64
+	// Exclusive marks the node as dedicated to this job.
+	Exclusive bool
+}
+
+// Node is the bookkeeping state of one compute node.
+type Node struct {
+	ID     int
+	spec   hw.NodeSpec
+	allocs map[int]*Alloc
+}
+
+// UsedCores returns the number of reserved cores.
+func (n *Node) UsedCores() int {
+	c := 0
+	for _, a := range n.allocs {
+		c += a.Cores
+	}
+	return c
+}
+
+// FreeCores returns cores available for new reservations; an exclusively
+// held node has none.
+func (n *Node) FreeCores() int {
+	if n.Exclusive() {
+		return 0
+	}
+	return n.spec.Cores - n.UsedCores()
+}
+
+// AllocWays returns the total CAT-allocated ways.
+func (n *Node) AllocWays() int {
+	w := 0
+	for _, a := range n.allocs {
+		w += a.Ways
+	}
+	return w
+}
+
+// FreeWays returns unallocated LLC ways.
+func (n *Node) FreeWays() int { return n.spec.LLCWays - n.AllocWays() }
+
+// AllocMem returns the total reserved memory in GB.
+func (n *Node) AllocMem() float64 {
+	m := 0.0
+	for _, a := range n.allocs {
+		m += a.MemGB
+	}
+	return m
+}
+
+// FreeMem returns unreserved main memory.
+func (n *Node) FreeMem() float64 { return n.spec.MemoryGB - n.AllocMem() }
+
+// AllocBW returns the total reserved bandwidth in GB/s.
+func (n *Node) AllocBW() float64 {
+	b := 0.0
+	for _, a := range n.allocs {
+		b += a.BW
+	}
+	return b
+}
+
+// FreeBW returns unreserved bandwidth against the node's peak.
+func (n *Node) FreeBW() float64 { return n.spec.PeakBandwidth - n.AllocBW() }
+
+// AllocIO returns the total reserved file-system bandwidth in GB/s.
+func (n *Node) AllocIO() float64 {
+	b := 0.0
+	for _, a := range n.allocs {
+		b += a.IOBW
+	}
+	return b
+}
+
+// FreeIO returns unreserved file-system bandwidth.
+func (n *Node) FreeIO() float64 { return n.spec.IOBandwidth - n.AllocIO() }
+
+// Idle reports whether no job holds any resource on the node.
+func (n *Node) Idle() bool { return len(n.allocs) == 0 }
+
+// Exclusive reports whether some job holds the node exclusively.
+func (n *Node) Exclusive() bool {
+	for _, a := range n.allocs {
+		if a.Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// Jobs returns the ids of jobs with reservations on this node, sorted.
+func (n *Node) Jobs() []int {
+	ids := make([]int, 0, len(n.allocs))
+	for id := range n.allocs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Alloc returns job id's reservation on this node, if any.
+func (n *Node) Alloc(id int) (Alloc, bool) {
+	a, ok := n.allocs[id]
+	if !ok {
+		return Alloc{}, false
+	}
+	return *a, true
+}
+
+// Score is the SNS node-selection metric Co + Bo + beta*Wo, built from the
+// occupied fractions of cores, bandwidth, and LLC ways. Lower is idler.
+// The paper weighs ways with beta = 2 because LLC interference dominates.
+func (n *Node) Score(beta float64) float64 {
+	co := float64(n.UsedCores()) / float64(n.spec.Cores)
+	bo := n.AllocBW() / n.spec.PeakBandwidth
+	wo := float64(n.AllocWays()) / float64(n.spec.LLCWays)
+	return co + bo + beta*wo
+}
+
+// State is the resource bookkeeping of a whole cluster.
+type State struct {
+	Spec  hw.ClusterSpec
+	Nodes []*Node
+}
+
+// New creates an all-idle cluster.
+func New(spec hw.ClusterSpec) (*State, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{Spec: spec, Nodes: make([]*Node, spec.Nodes)}
+	for i := range s.Nodes {
+		s.Nodes[i] = &Node{ID: i, spec: spec.Node, allocs: make(map[int]*Alloc)}
+	}
+	return s, nil
+}
+
+// NodeAlloc names a node and the cores and memory a job takes there.
+type NodeAlloc struct {
+	Node  int
+	Cores int
+	MemGB float64
+}
+
+// Allocate reserves resources for a job across nodes: per-node core
+// counts, plus uniform ways/bandwidth/exclusivity. It validates every
+// node before touching any, so a failed allocation leaves the state
+// unchanged.
+func (s *State) Allocate(jobID int, nodes []NodeAlloc, ways int, bw float64, exclusive bool) error {
+	return s.AllocateIO(jobID, nodes, ways, bw, 0, exclusive)
+}
+
+// AllocateIO is Allocate with an additional per-node file-system
+// bandwidth reservation.
+func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways int, bw, ioBW float64, exclusive bool) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("cluster: job %d: empty placement", jobID)
+	}
+	seen := make(map[int]bool, len(nodes))
+	for _, na := range nodes {
+		if na.Node < 0 || na.Node >= len(s.Nodes) {
+			return fmt.Errorf("cluster: job %d: node %d out of range", jobID, na.Node)
+		}
+		if seen[na.Node] {
+			return fmt.Errorf("cluster: job %d: node %d listed twice", jobID, na.Node)
+		}
+		seen[na.Node] = true
+		n := s.Nodes[na.Node]
+		if _, ok := n.allocs[jobID]; ok {
+			return fmt.Errorf("cluster: job %d already on node %d", jobID, na.Node)
+		}
+		if na.Cores <= 0 || na.Cores > n.FreeCores() {
+			return fmt.Errorf("cluster: job %d: %d cores unavailable on node %d (%d free)",
+				jobID, na.Cores, na.Node, n.FreeCores())
+		}
+		if exclusive && !n.Idle() {
+			return fmt.Errorf("cluster: job %d: node %d not idle for exclusive use", jobID, na.Node)
+		}
+		if ways > 0 && ways > n.FreeWays() {
+			return fmt.Errorf("cluster: job %d: %d ways unavailable on node %d (%d free)",
+				jobID, ways, na.Node, n.FreeWays())
+		}
+		if bw > 0 && bw > n.FreeBW()+1e-9 {
+			return fmt.Errorf("cluster: job %d: %.1f GB/s unavailable on node %d (%.1f free)",
+				jobID, bw, na.Node, n.FreeBW())
+		}
+		if na.MemGB > 0 && na.MemGB > n.FreeMem()+1e-9 {
+			return fmt.Errorf("cluster: job %d: %.1f GB memory unavailable on node %d (%.1f free)",
+				jobID, na.MemGB, na.Node, n.FreeMem())
+		}
+		if ioBW > 0 && ioBW > n.FreeIO()+1e-9 {
+			return fmt.Errorf("cluster: job %d: %.2f GB/s I/O unavailable on node %d (%.2f free)",
+				jobID, ioBW, na.Node, n.FreeIO())
+		}
+	}
+	for _, na := range nodes {
+		s.Nodes[na.Node].allocs[jobID] = &Alloc{
+			JobID: jobID, Cores: na.Cores, Ways: ways, BW: bw, MemGB: na.MemGB,
+			IOBW: ioBW, Exclusive: exclusive,
+		}
+	}
+	return nil
+}
+
+// Release removes all of a job's reservations and returns the node ids it
+// occupied.
+func (s *State) Release(jobID int) []int {
+	var freed []int
+	for _, n := range s.Nodes {
+		if _, ok := n.allocs[jobID]; ok {
+			delete(n.allocs, jobID)
+			freed = append(freed, n.ID)
+		}
+	}
+	return freed
+}
+
+// IdleNodes returns the ids of completely idle nodes.
+func (s *State) IdleNodes() []int {
+	var ids []int
+	for _, n := range s.Nodes {
+		if n.Idle() {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Group is a set of nodes with the same idle-core count.
+type Group struct {
+	IdleCores int
+	Nodes     []int
+}
+
+// GroupsByIdleCores clusters the given candidate nodes by their free-core
+// count, the fragmentation-avoidance device of Section 4.4. Groups are
+// returned in ascending idle-core order (tightest fit first).
+func (s *State) GroupsByIdleCores(candidates []int) []Group {
+	byIdle := make(map[int][]int)
+	for _, id := range candidates {
+		free := s.Nodes[id].FreeCores()
+		byIdle[free] = append(byIdle[free], id)
+	}
+	groups := make([]Group, 0, len(byIdle))
+	for idle, nodes := range byIdle {
+		sort.Ints(nodes)
+		groups = append(groups, Group{IdleCores: idle, Nodes: nodes})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].IdleCores < groups[j].IdleCores })
+	return groups
+}
+
+// SelectIdlest returns up to n node ids from candidates with the lowest
+// SNS score (ties broken by id for determinism).
+func (s *State) SelectIdlest(candidates []int, n int, beta float64) []int {
+	sorted := append([]int(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := s.Nodes[sorted[i]].Score(beta), s.Nodes[sorted[j]].Score(beta)
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i] < sorted[j]
+	})
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
+}
+
+// TotalUsedCores returns the cluster-wide reserved core count.
+func (s *State) TotalUsedCores() int {
+	c := 0
+	for _, n := range s.Nodes {
+		c += n.UsedCores()
+	}
+	return c
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spreadnshare/internal/hw"
+)
+
+func newState(t *testing.T) *State {
+	t.Helper()
+	s, err := New(hw.DefaultClusterSpec())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(hw.ClusterSpec{Nodes: 0, Node: hw.DefaultNodeSpec()}); err == nil {
+		t.Error("New accepted zero-node cluster")
+	}
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	s := newState(t)
+	err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 16}, {Node: 1, Cores: 16}}, 4, 30, false)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	n0 := s.Nodes[0]
+	if got := n0.FreeCores(); got != 12 {
+		t.Errorf("FreeCores = %d, want 12", got)
+	}
+	if got := n0.FreeWays(); got != 16 {
+		t.Errorf("FreeWays = %d, want 16", got)
+	}
+	if got := n0.FreeBW(); math.Abs(got-(118.26-30)) > 1e-9 {
+		t.Errorf("FreeBW = %g, want %g", got, 118.26-30)
+	}
+	if a, ok := n0.Alloc(1); !ok || a.Cores != 16 || a.Ways != 4 {
+		t.Errorf("Alloc(1) = %+v, %v", a, ok)
+	}
+	freed := s.Release(1)
+	if len(freed) != 2 {
+		t.Errorf("Release freed %v, want 2 nodes", freed)
+	}
+	if !n0.Idle() {
+		t.Error("node 0 not idle after release")
+	}
+}
+
+func TestAllocateFailuresAtomic(t *testing.T) {
+	s := newState(t)
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 28}}, 0, 0, true); err != nil {
+		t.Fatalf("exclusive Allocate: %v", err)
+	}
+	// Second allocation names one good node and one bad node: nothing
+	// may be committed.
+	err := s.Allocate(2, []NodeAlloc{{Node: 1, Cores: 16}, {Node: 0, Cores: 4}}, 0, 0, false)
+	if err == nil {
+		t.Fatal("Allocate onto exclusive node succeeded")
+	}
+	if !s.Nodes[1].Idle() {
+		t.Error("failed Allocate left residue on node 1")
+	}
+
+	cases := []struct {
+		name  string
+		nodes []NodeAlloc
+		ways  int
+		bw    float64
+		excl  bool
+	}{
+		{"empty", nil, 0, 0, false},
+		{"out of range", []NodeAlloc{{Node: 99, Cores: 4}}, 0, 0, false},
+		{"duplicate node", []NodeAlloc{{Node: 1, Cores: 4}, {Node: 1, Cores: 4}}, 0, 0, false},
+		{"zero cores", []NodeAlloc{{Node: 1, Cores: 0}}, 0, 0, false},
+		{"too many cores", []NodeAlloc{{Node: 1, Cores: 29}}, 0, 0, false},
+		{"too many ways", []NodeAlloc{{Node: 1, Cores: 4}}, 21, 0, false},
+		{"too much bw", []NodeAlloc{{Node: 1, Cores: 4}}, 0, 500, false},
+	}
+	for _, c := range cases {
+		if err := s.Allocate(3, c.nodes, c.ways, c.bw, c.excl); err == nil {
+			t.Errorf("%s: Allocate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestExclusiveBlocksSharing(t *testing.T) {
+	s := newState(t)
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 16}}, 0, 0, true); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if got := s.Nodes[0].FreeCores(); got != 0 {
+		t.Errorf("exclusive node FreeCores = %d, want 0", got)
+	}
+	if err := s.Allocate(2, []NodeAlloc{{Node: 0, Cores: 4}}, 0, 0, false); err == nil {
+		t.Error("sharing an exclusive node succeeded")
+	}
+	// And the reverse: exclusive on a shared node fails.
+	if err := s.Allocate(3, []NodeAlloc{{Node: 1, Cores: 4}}, 0, 0, false); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := s.Allocate(4, []NodeAlloc{{Node: 1, Cores: 4}}, 0, 0, true); err == nil {
+		t.Error("exclusive allocation on shared node succeeded")
+	}
+}
+
+func TestDoubleAllocSameNode(t *testing.T) {
+	s := newState(t)
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 4}}, 0, 0, false); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 4}}, 0, 0, false); err == nil {
+		t.Error("same job allocated twice on one node")
+	}
+}
+
+func TestScore(t *testing.T) {
+	s := newState(t)
+	if got := s.Nodes[0].Score(2); got != 0 {
+		t.Errorf("idle node score = %g, want 0", got)
+	}
+	// 14/28 cores, 10/20 ways, 59.13/118.26 GB/s -> 0.5 + 0.5 + 2*0.5 = 2.
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 14}}, 10, 59.13, false); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if got := s.Nodes[0].Score(2); math.Abs(got-2) > 1e-9 {
+		t.Errorf("half-loaded score = %g, want 2", got)
+	}
+}
+
+func TestGroupsByIdleCores(t *testing.T) {
+	s := newState(t)
+	mustAlloc := func(id, node, cores int) {
+		t.Helper()
+		if err := s.Allocate(id, []NodeAlloc{{Node: node, Cores: cores}}, 0, 0, false); err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+	}
+	mustAlloc(1, 0, 16)
+	mustAlloc(2, 1, 16)
+	mustAlloc(3, 2, 24)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	groups := s.GroupsByIdleCores(all)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	if groups[0].IdleCores != 4 || len(groups[0].Nodes) != 1 {
+		t.Errorf("tightest group = %+v, want {4 [2]}", groups[0])
+	}
+	if groups[1].IdleCores != 12 || len(groups[1].Nodes) != 2 {
+		t.Errorf("middle group = %+v, want {12 [0 1]}", groups[1])
+	}
+	if groups[2].IdleCores != 28 || len(groups[2].Nodes) != 5 {
+		t.Errorf("idle group = %+v, want 5 idle nodes", groups[2])
+	}
+}
+
+func TestSelectIdlest(t *testing.T) {
+	s := newState(t)
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 20}}, 8, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Allocate(2, []NodeAlloc{{Node: 1, Cores: 4}}, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	got := s.SelectIdlest([]int{0, 1, 2}, 2, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("SelectIdlest = %v, want [2 1]", got)
+	}
+	// Ties broken by id.
+	got = s.SelectIdlest([]int{5, 3, 4}, 2, 2)
+	if got[0] != 3 || got[1] != 4 {
+		t.Errorf("tie-broken SelectIdlest = %v, want [3 4]", got)
+	}
+}
+
+func TestIdleNodes(t *testing.T) {
+	s := newState(t)
+	if got := len(s.IdleNodes()); got != 8 {
+		t.Errorf("fresh cluster has %d idle nodes, want 8", got)
+	}
+	if err := s.Allocate(1, []NodeAlloc{{Node: 3, Cores: 1}}, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	idle := s.IdleNodes()
+	if len(idle) != 7 {
+		t.Errorf("%d idle nodes after alloc, want 7", len(idle))
+	}
+	for _, id := range idle {
+		if id == 3 {
+			t.Error("node 3 still reported idle")
+		}
+	}
+}
+
+// Property: any sequence of allocations and releases never oversubscribes
+// cores or ways on any node, and released resources come back exactly.
+func TestStateInvariants(t *testing.T) {
+	f := func(ops []uint32) bool {
+		s, err := New(hw.DefaultClusterSpec())
+		if err != nil {
+			return false
+		}
+		live := map[int]bool{}
+		nextID := 1
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				// Release an arbitrary live job.
+				for id := range live {
+					s.Release(id)
+					delete(live, id)
+					break
+				}
+				continue
+			}
+			node := int(op>>2) % 8
+			cores := int(op>>5)%30 + 1
+			ways := int(op >> 10 % 24)
+			if s.Allocate(nextID, []NodeAlloc{{Node: node, Cores: cores}}, ways, 0, op%7 == 0) == nil {
+				live[nextID] = true
+				nextID++
+			}
+		}
+		used := 0
+		for _, n := range s.Nodes {
+			if n.UsedCores() > 28 || n.AllocWays() > 20 || n.FreeCores() < 0 {
+				return false
+			}
+			used += n.UsedCores()
+		}
+		return used == s.TotalUsedCores()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateMemoryAccounting(t *testing.T) {
+	s := newState(t)
+	// 128 GB nodes: a 100 GB reservation fits, a second does not.
+	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 8, MemGB: 100}}, 0, 0, false); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if got := s.Nodes[0].FreeMem(); got != 28 {
+		t.Errorf("FreeMem = %g, want 28", got)
+	}
+	if err := s.Allocate(2, []NodeAlloc{{Node: 0, Cores: 8, MemGB: 100}}, 0, 0, false); err == nil {
+		t.Error("memory oversubscription accepted")
+	}
+	// Unaccounted (0) reservations are always allowed.
+	if err := s.Allocate(3, []NodeAlloc{{Node: 0, Cores: 8}}, 0, 0, false); err != nil {
+		t.Errorf("zero-memory alloc rejected: %v", err)
+	}
+	s.Release(1)
+	if got := s.Nodes[0].FreeMem(); got != 128 {
+		t.Errorf("FreeMem after release = %g, want 128", got)
+	}
+}
+
+func TestAllocateIOAccounting(t *testing.T) {
+	s := newState(t)
+	// 2 GB/s links: a 1.4 reservation fits, a second does not.
+	if err := s.AllocateIO(1, []NodeAlloc{{Node: 0, Cores: 14}}, 0, 0, 1.4, false); err != nil {
+		t.Fatalf("AllocateIO: %v", err)
+	}
+	if got := s.Nodes[0].FreeIO(); got < 0.59 || got > 0.61 {
+		t.Errorf("FreeIO = %g, want 0.6", got)
+	}
+	if err := s.AllocateIO(2, []NodeAlloc{{Node: 0, Cores: 14}}, 0, 0, 1.4, false); err == nil {
+		t.Error("I/O oversubscription accepted")
+	}
+	s.Release(1)
+	if got := s.Nodes[0].FreeIO(); got != 2.0 {
+		t.Errorf("FreeIO after release = %g, want 2.0", got)
+	}
+}

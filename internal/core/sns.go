@@ -1,0 +1,136 @@
+// Package core implements the Spread-n-Share decision logic of Sections
+// 4.3 and 4.4: estimating a job's per-node resource demand (cores, LLC
+// ways, memory bandwidth) from its profiled IPC-LLC and BW-LLC curves
+// under a slowdown threshold alpha, and searching the cluster for nodes
+// that can host the job at a given scale factor with fragmentation-aware
+// grouping and idleness scoring.
+package core
+
+import (
+	"spreadnshare/internal/cluster"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+// DefaultBeta is the extra weight the node-selection score gives to LLC
+// occupancy (the paper uses 2: cache interference dominates within a
+// node).
+const DefaultBeta = 2.0
+
+// Demand is a job's estimated per-node resource requirement at one scale
+// factor — the (c, w, b) triple of Figure 10.
+type Demand struct {
+	// Cores per node (the profile's placement).
+	Cores int
+	// Ways is the minimum LLC allocation achieving the tolerable IPC.
+	Ways int
+	// BW is the estimated per-node memory bandwidth at that
+	// allocation, GB/s.
+	BW float64
+	// MemGB is the per-node main-memory requirement.
+	MemGB float64
+	// IOBW is the estimated per-node file-system bandwidth, from the
+	// profile's measured I/O (independent of the cache allocation).
+	IOBW float64
+}
+
+// EstimateDemand walks the profiled curves: starting from the IPC at full
+// way allocation (F-IPC), the tolerable IPC is alpha*F-IPC; the demanded
+// ways w is the least allocation whose profiled IPC reaches it (bounded
+// below by the hardware minimum), and the BW-LLC curve read at w gives the
+// bandwidth estimate.
+func EstimateDemand(sp *profiler.ScaleProfile, alpha float64, spec hw.NodeSpec) Demand {
+	full := sp.FullWays()
+	if full < 1 {
+		return Demand{Cores: sp.CoresPerNode, Ways: spec.MinWaysPerJob}
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	target := alpha * sp.IPCAt(full)
+	ways := full
+	for w := spec.MinWaysPerJob; w <= full; w++ {
+		if sp.IPCAt(w) >= target {
+			ways = w
+			break
+		}
+	}
+	if ways < spec.MinWaysPerJob {
+		ways = spec.MinWaysPerJob
+	}
+	return Demand{
+		Cores: sp.CoresPerNode,
+		Ways:  ways,
+		BW:    sp.BWAt(ways),
+		IOBW:  sp.IOPerNode,
+	}
+}
+
+// FindNodes searches the cluster for n nodes that can each host the
+// demand. Per Section 4.4 it first clusters candidate nodes into groups by
+// idle-core count and tries to place the job within a single group
+// (tightest adequate group first, keeping resource consumption even within
+// groups); failing that it falls back to the whole cluster. Within the
+// chosen set it returns the n idlest nodes by the Co + Bo + beta*Wo score.
+// It returns nil when fewer than n nodes qualify.
+func FindNodes(cl *cluster.State, n int, d Demand, beta float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	var feasible []int
+	for _, node := range cl.Nodes {
+		if nodeFits(node, d) {
+			feasible = append(feasible, node.ID)
+		}
+	}
+	if len(feasible) < n {
+		return nil
+	}
+	// Single-group attempt, tightest fit first.
+	for _, g := range cl.GroupsByIdleCores(feasible) {
+		if len(g.Nodes) >= n {
+			return cl.SelectIdlest(g.Nodes, n, beta)
+		}
+	}
+	// Whole-cluster fallback.
+	return cl.SelectIdlest(feasible, n, beta)
+}
+
+// FindNodesUngrouped is FindNodes without the idle-core grouping step —
+// the ablation baseline for the fragmentation-avoidance device: feasible
+// nodes are scored across the whole cluster directly.
+func FindNodesUngrouped(cl *cluster.State, n int, d Demand, beta float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	var feasible []int
+	for _, node := range cl.Nodes {
+		if nodeFits(node, d) {
+			feasible = append(feasible, node.ID)
+		}
+	}
+	if len(feasible) < n {
+		return nil
+	}
+	return cl.SelectIdlest(feasible, n, beta)
+}
+
+// nodeFits reports whether one node currently has room for the demand.
+func nodeFits(node *cluster.Node, d Demand) bool {
+	if node.FreeCores() < d.Cores {
+		return false
+	}
+	if d.Ways > 0 && node.FreeWays() < d.Ways {
+		return false
+	}
+	if d.BW > 0 && node.FreeBW() < d.BW {
+		return false
+	}
+	if d.MemGB > 0 && node.FreeMem() < d.MemGB {
+		return false
+	}
+	if d.IOBW > 0 && node.FreeIO() < d.IOBW {
+		return false
+	}
+	return true
+}

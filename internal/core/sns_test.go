@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spreadnshare/internal/cluster"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+// syntheticProfile builds a ScaleProfile with a linear IPC curve from lo at
+// way 1 to hi at way 20 and a bandwidth curve declining from bwLo demand.
+func syntheticProfile(lo, hi float64) *profiler.ScaleProfile {
+	ipc := make([]float64, 21)
+	bw := make([]float64, 21)
+	for w := 1; w <= 20; w++ {
+		ipc[w] = lo + (hi-lo)*float64(w-1)/19
+		bw[w] = 100 - 2*float64(w)
+	}
+	return &profiler.ScaleProfile{K: 1, Nodes: 1, CoresPerNode: 16, TimeSec: 100,
+		IPCByWay: ipc, BWByWay: bw}
+}
+
+func TestEstimateDemandWalksCurve(t *testing.T) {
+	spec := hw.DefaultNodeSpec()
+	sp := syntheticProfile(0.5, 1.0)
+	// alpha 0.9: target = 0.9; curve hits 0.9 at w where
+	// 0.5 + 0.5*(w-1)/19 >= 0.9 -> w >= 16.2 -> 17 ways.
+	d := EstimateDemand(sp, 0.9, spec)
+	if d.Ways != 17 {
+		t.Errorf("Ways = %d, want 17", d.Ways)
+	}
+	if d.Cores != 16 {
+		t.Errorf("Cores = %d, want 16", d.Cores)
+	}
+	if want := 100 - 2*17.0; d.BW != want {
+		t.Errorf("BW = %g, want %g (curve at demanded ways)", d.BW, want)
+	}
+}
+
+func TestEstimateDemandInsensitiveProgram(t *testing.T) {
+	spec := hw.DefaultNodeSpec()
+	sp := syntheticProfile(0.99, 1.0)
+	d := EstimateDemand(sp, 0.9, spec)
+	if d.Ways != spec.MinWaysPerJob {
+		t.Errorf("insensitive program demanded %d ways, want hardware minimum %d",
+			d.Ways, spec.MinWaysPerJob)
+	}
+}
+
+func TestEstimateDemandAlphaOne(t *testing.T) {
+	spec := hw.DefaultNodeSpec()
+	sp := syntheticProfile(0.5, 1.0)
+	d := EstimateDemand(sp, 1.0, spec)
+	if d.Ways != 20 {
+		t.Errorf("alpha=1 demanded %d ways, want full 20", d.Ways)
+	}
+	// Out-of-range alpha treated as 1.
+	d2 := EstimateDemand(sp, 0, spec)
+	if d2.Ways != 20 {
+		t.Errorf("alpha=0 demanded %d ways, want full 20 (treated as 1)", d2.Ways)
+	}
+}
+
+func TestEstimateDemandEmptyProfile(t *testing.T) {
+	spec := hw.DefaultNodeSpec()
+	d := EstimateDemand(&profiler.ScaleProfile{CoresPerNode: 8}, 0.9, spec)
+	if d.Cores != 8 || d.Ways != spec.MinWaysPerJob {
+		t.Errorf("empty profile demand = %+v", d)
+	}
+}
+
+// Property: demanded ways decrease (weakly) as alpha loosens, and the
+// demand always meets the target IPC on the curve.
+func TestEstimateDemandMonotoneInAlpha(t *testing.T) {
+	spec := hw.DefaultNodeSpec()
+	f := func(loRaw, a1Raw, a2Raw uint16) bool {
+		lo := 0.3 + float64(loRaw%60)/100 // 0.3..0.89
+		sp := syntheticProfile(lo, 1.0)
+		a1 := 0.5 + float64(a1Raw%50)/100
+		a2 := 0.5 + float64(a2Raw%50)/100
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		d1 := EstimateDemand(sp, a1, spec)
+		d2 := EstimateDemand(sp, a2, spec)
+		if d1.Ways > d2.Ways {
+			return false
+		}
+		return sp.IPCAt(d2.Ways) >= a2*sp.IPCAt(20)-1e-9 || d2.Ways == spec.MinWaysPerJob
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testCluster(t *testing.T) *cluster.State {
+	t.Helper()
+	cl, err := cluster.New(hw.DefaultClusterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestFindNodesBasic(t *testing.T) {
+	cl := testCluster(t)
+	got := FindNodes(cl, 2, Demand{Cores: 16, Ways: 4, BW: 30}, DefaultBeta)
+	if len(got) != 2 {
+		t.Fatalf("FindNodes = %v, want 2 nodes", got)
+	}
+}
+
+func TestFindNodesInsufficient(t *testing.T) {
+	cl := testCluster(t)
+	if got := FindNodes(cl, 9, Demand{Cores: 4}, DefaultBeta); got != nil {
+		t.Errorf("FindNodes found %v on an 8-node cluster, want nil", got)
+	}
+	if got := FindNodes(cl, 0, Demand{Cores: 4}, DefaultBeta); got != nil {
+		t.Errorf("FindNodes(0) = %v, want nil", got)
+	}
+	// Fill every node's cores.
+	for i := 0; i < 8; i++ {
+		if err := cl.Allocate(100+i, []cluster.NodeAlloc{{Node: i, Cores: 28}}, 0, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := FindNodes(cl, 1, Demand{Cores: 1}, DefaultBeta); got != nil {
+		t.Errorf("FindNodes on full cluster = %v, want nil", got)
+	}
+}
+
+func TestFindNodesRespectsWaysAndBW(t *testing.T) {
+	cl := testCluster(t)
+	// Node 0: 18 ways taken; node 1: 100 GB/s reserved.
+	if err := cl.Allocate(1, []cluster.NodeAlloc{{Node: 0, Cores: 2}}, 18, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Allocate(2, []cluster.NodeAlloc{{Node: 1, Cores: 2}}, 0, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	got := FindNodes(cl, 8, Demand{Cores: 4, Ways: 4, BW: 30}, DefaultBeta)
+	if got != nil {
+		t.Errorf("FindNodes = %v, want nil (nodes 0 and 1 infeasible)", got)
+	}
+	got = FindNodes(cl, 6, Demand{Cores: 4, Ways: 4, BW: 30}, DefaultBeta)
+	if len(got) != 6 {
+		t.Fatalf("FindNodes = %v, want the 6 clean nodes", got)
+	}
+	for _, id := range got {
+		if id == 0 || id == 1 {
+			t.Errorf("FindNodes selected infeasible node %d", id)
+		}
+	}
+}
+
+func TestFindNodesPrefersSingleGroupTightFit(t *testing.T) {
+	cl := testCluster(t)
+	// Nodes 0,1: 12 cores free (16 used); nodes 2..7 idle. A 2-node
+	// 8-core job fits in the tight group; SNS should use it and leave
+	// the idle group unfragmented.
+	for i := 0; i < 2; i++ {
+		if err := cl.Allocate(10+i, []cluster.NodeAlloc{{Node: i, Cores: 16}}, 4, 20, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := FindNodes(cl, 2, Demand{Cores: 8, Ways: 4, BW: 20}, DefaultBeta)
+	if len(got) != 2 {
+		t.Fatalf("FindNodes = %v, want 2", got)
+	}
+	for _, id := range got {
+		if id != 0 && id != 1 {
+			t.Errorf("FindNodes picked idle node %d; want the partially-used group", id)
+		}
+	}
+}
+
+func TestFindNodesFallsBackAcrossGroups(t *testing.T) {
+	cl := testCluster(t)
+	// Create 4 groups of 2 nodes with distinct idle counts; ask for 5
+	// nodes, more than any single group holds.
+	uses := []int{0, 0, 4, 4, 8, 8, 12, 12}
+	for i, u := range uses {
+		if u == 0 {
+			continue
+		}
+		if err := cl.Allocate(20+i, []cluster.NodeAlloc{{Node: i, Cores: u}}, 0, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := FindNodes(cl, 5, Demand{Cores: 8}, DefaultBeta)
+	if len(got) != 5 {
+		t.Fatalf("FindNodes = %v, want 5 across groups", got)
+	}
+	// The idlest 5 by score should be picked: the two idle nodes first.
+	seen := map[int]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("whole-cluster fallback did not pick idlest nodes: %v", got)
+	}
+}
+
+func TestFindNodesUngrouped(t *testing.T) {
+	cl := testCluster(t)
+	// Partially fill nodes 0 and 1 so scores differ.
+	if err := cl.Allocate(1, []cluster.NodeAlloc{{Node: 0, Cores: 20}}, 8, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	got := FindNodesUngrouped(cl, 3, Demand{Cores: 4, Ways: 2, BW: 10}, DefaultBeta)
+	if len(got) != 3 {
+		t.Fatalf("FindNodesUngrouped = %v, want 3 nodes", got)
+	}
+	for _, id := range got {
+		if id == 0 {
+			t.Error("ungrouped search picked the loaded node over idle ones")
+		}
+	}
+	if got := FindNodesUngrouped(cl, 0, Demand{Cores: 4}, DefaultBeta); got != nil {
+		t.Errorf("n=0 returned %v", got)
+	}
+	if got := FindNodesUngrouped(cl, 99, Demand{Cores: 4}, DefaultBeta); got != nil {
+		t.Errorf("infeasible count returned %v", got)
+	}
+	// Memory-infeasible nodes are filtered.
+	if err := cl.Allocate(2, []cluster.NodeAlloc{{Node: 1, Cores: 2, MemGB: 120}}, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	got = FindNodesUngrouped(cl, 7, Demand{Cores: 4, MemGB: 20}, DefaultBeta)
+	if len(got) != 7 {
+		t.Fatalf("want 7 memory-feasible nodes, got %v", got)
+	}
+	for _, id := range got {
+		if id == 1 {
+			t.Error("memory-full node selected")
+		}
+	}
+}

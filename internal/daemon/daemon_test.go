@@ -1,0 +1,233 @@
+package daemon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+)
+
+func testCatalog(t *testing.T) *app.Catalog {
+	t.Helper()
+	cat, err := app.NewCatalog(hw.DefaultNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestCoreSetString(t *testing.T) {
+	cases := []struct {
+		set  CoreSet
+		want string
+	}{
+		{nil, ""},
+		{CoreSet{3}, "3"},
+		{CoreSet{0, 1, 2, 3}, "0-3"},
+		{CoreSet{0, 2, 3, 7}, "0,2-3,7"},
+		{CoreSet{14, 15, 0, 1}, "0-1,14-15"}, // unsorted input
+	}
+	for _, c := range cases {
+		if got := c.set.String(); got != c.want {
+			t.Errorf("CoreSet%v = %q, want %q", c.set, got, c.want)
+		}
+	}
+}
+
+func TestActuateBindsBalancedSockets(t *testing.T) {
+	cat := testCatalog(t)
+	mg, _ := cat.Lookup("MG")
+	d := New(0, hw.DefaultNodeSpec())
+	plan, err := d.Actuate(1, mg, 16, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cores) != 16 {
+		t.Fatalf("bound %d cores, want 16", len(plan.Cores))
+	}
+	// 8 per socket on the dual-14-core node.
+	s0 := 0
+	for _, id := range plan.Cores {
+		if id < 14 {
+			s0++
+		}
+	}
+	if s0 != 8 {
+		t.Errorf("socket balance %d/%d, want 8/8", s0, 16-s0)
+	}
+	if plan.WayMask.Count() != 4 || !plan.WayMask.Contiguous() {
+		t.Errorf("way mask %v, want 4 contiguous ways", plan.WayMask)
+	}
+	if d.FreeCores() != 12 {
+		t.Errorf("FreeCores = %d, want 12", d.FreeCores())
+	}
+}
+
+func TestActuateDisjointJobs(t *testing.T) {
+	cat := testCatalog(t)
+	mg, _ := cat.Lookup("MG")
+	hc, _ := cat.Lookup("HC")
+	d := New(0, hw.DefaultNodeSpec())
+	p1, err := d.Actuate(1, mg, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.Actuate(2, hc, 8, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, id := range p1.Cores {
+		seen[id] = true
+	}
+	for _, id := range p2.Cores {
+		if seen[id] {
+			t.Fatalf("core %d bound to both jobs", id)
+		}
+	}
+	if p1.WayMask.Overlaps(p2.WayMask) {
+		t.Errorf("way masks overlap: %v, %v", p1.WayMask, p2.WayMask)
+	}
+	if p2.BWCapGB != 30 {
+		t.Errorf("plan cap %.1f, want 30", p2.BWCapGB)
+	}
+}
+
+func TestActuateErrors(t *testing.T) {
+	cat := testCatalog(t)
+	mg, _ := cat.Lookup("MG")
+	d := New(0, hw.DefaultNodeSpec())
+	if _, err := d.Actuate(1, mg, 0, 0, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := d.Actuate(1, mg, 29, 0, 0); err == nil {
+		t.Error("more cores than the node has accepted")
+	}
+	if _, err := d.Actuate(1, mg, 8, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Actuate(1, mg, 8, 0, 0); err == nil {
+		t.Error("double actuation accepted")
+	}
+	if _, err := d.Actuate(2, mg, 28, 0, 0); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := d.Actuate(3, mg, 4, 25, 0); err == nil {
+		t.Error("LLC oversubscription accepted")
+	}
+	if err := d.Release(99); err == nil {
+		t.Error("release of unknown job accepted")
+	}
+}
+
+func TestReleaseRestores(t *testing.T) {
+	cat := testCatalog(t)
+	mg, _ := cat.Lookup("MG")
+	d := New(0, hw.DefaultNodeSpec())
+	if _, err := d.Actuate(1, mg, 16, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release(1); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if d.FreeCores() != 28 {
+		t.Errorf("FreeCores after release = %d, want 28", d.FreeCores())
+	}
+	if _, ok := d.Bound(1); ok {
+		t.Error("job still bound after release")
+	}
+	// Full LLC must be allocatable again.
+	if _, err := d.Actuate(2, mg, 4, 20, 0); err != nil {
+		t.Errorf("full LLC not recovered: %v", err)
+	}
+	// Unmanaged job (ways 0) releases cleanly too.
+	if err := d.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Actuate(3, mg, 4, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release(3); err != nil {
+		t.Errorf("unmanaged release failed: %v", err)
+	}
+}
+
+func TestLaunchCommandsPerFramework(t *testing.T) {
+	cat := testCatalog(t)
+	d := New(0, hw.DefaultNodeSpec())
+	cases := []struct {
+		prog string
+		want []string
+	}{
+		{"MG", []string{"mpirun", "--cpu-set", "-np 8"}},
+		{"TS", []string{"SPARK_WORKER_CORES=8", "taskset"}},
+		{"GAN", []string{"TF_NUM_INTRAOP_THREADS=8", "taskset"}},
+		{"HC", []string{"taskset -c $c", "for c in"}},
+	}
+	for i, c := range cases {
+		prog, _ := cat.Lookup(c.prog)
+		plan, err := d.Actuate(10+i, prog, 8, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.prog, err)
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(plan.Command, frag) {
+				t.Errorf("%s command %q missing %q", c.prog, plan.Command, frag)
+			}
+		}
+		if err := d.Release(10 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: any sequence of actuations and releases keeps core bindings
+// disjoint and conserves the free-core count.
+func TestDaemonInvariants(t *testing.T) {
+	cat := testCatalog(t)
+	mg, _ := cat.Lookup("MG")
+	f := func(ops []uint16) bool {
+		d := New(0, hw.DefaultNodeSpec())
+		live := map[int]int{} // job id -> cores
+		next := 1
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				for id := range live {
+					if d.Release(id) != nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+				continue
+			}
+			cores := int(op%28) + 1
+			ways := int(op >> 5 % 8)
+			if _, err := d.Actuate(next, mg, cores, ways, 0); err == nil {
+				live[next] = cores
+				next++
+			}
+		}
+		used := 0
+		seen := map[int]bool{}
+		for id := range live {
+			set, ok := d.Bound(id)
+			if !ok || len(set) != live[id] {
+				return false
+			}
+			for _, c := range set {
+				if seen[c] {
+					return false
+				}
+				seen[c] = true
+			}
+			used += len(set)
+		}
+		return d.FreeCores() == 28-used
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

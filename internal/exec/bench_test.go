@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+)
+
+func benchCatalog(b *testing.B) *app.Catalog {
+	b.Helper()
+	cat, err := app.NewCatalog(hw.DefaultNodeSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+// BenchmarkSoloRun measures one full exclusive simulation end to end.
+func BenchmarkSoloRun(b *testing.B) {
+	cat := benchCatalog(b)
+	spec := hw.DefaultClusterSpec()
+	mg, _ := cat.Lookup("MG")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSolo(spec, mg, 16, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContendedNode measures the contention-resolution hot path: six
+// jobs sharing one node, resolved on every membership change.
+func BenchmarkContendedNode(b *testing.B) {
+	cat := benchCatalog(b)
+	spec := hw.DefaultClusterSpec()
+	names := []string{"MG", "CG", "EP", "HC", "BW", "WC"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, name := range names {
+			m, _ := cat.Lookup(name)
+			j := &Job{ID: id, Prog: m, Procs: 4, Nodes: []int{0}, CoresByNode: []int{4}}
+			if err := e.Launch(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.Run(0)
+	}
+}

@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"spreadnshare/internal/hw"
+)
+
+// TestSlowestNodeGatesProgress: a spread job whose nodes are unevenly
+// loaded runs at the slow node's pace — lock-step parallel semantics.
+func TestSlowestNodeGatesProgress(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	lu := prog(t, cat, "LU")
+	bw := prog(t, cat, "BW")
+
+	// LU spread over nodes 0 and 1, alone.
+	e1, _ := New(spec)
+	alone := &Job{ID: 1, Prog: lu, Procs: 16, Nodes: []int{0, 1}, CoresByNode: []int{8, 8}}
+	if err := e1.Launch(alone); err != nil {
+		t.Fatal(err)
+	}
+	e1.Run(0)
+
+	// Same LU, but node 1 also hosts a bandwidth hog: only one of the
+	// two nodes is contended, yet the whole job must slow down.
+	e2, _ := New(spec)
+	gated := &Job{ID: 1, Prog: lu, Procs: 16, Nodes: []int{0, 1}, CoresByNode: []int{8, 8}}
+	hog := &Job{ID: 2, Prog: bw, Procs: 14, Nodes: []int{1}, CoresByNode: []int{14}}
+	if err := e2.Launch(gated); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Launch(hog); err != nil {
+		t.Fatal(err)
+	}
+	e2.Run(0)
+	if gated.RunTime() <= alone.RunTime()*1.02 {
+		t.Errorf("one contended node did not gate the job: %.1f s vs %.1f s alone",
+			gated.RunTime(), alone.RunTime())
+	}
+}
+
+// TestNICContentionStretchesComm: two communication-heavy spread jobs
+// sharing every node stretch each other's communication phases.
+func TestNICContentionStretchesComm(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	bfs := prog(t, cat, "BFS")
+
+	solo := func() float64 {
+		e, _ := New(spec)
+		j := &Job{ID: 1, Prog: bfs, Procs: 16, Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+			CoresByNode: EvenSplit(16, 8)}
+		if err := e.Launch(j); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(0)
+		return j.RunTime()
+	}()
+
+	e, _ := New(spec)
+	a := &Job{ID: 1, Prog: bfs, Procs: 16, Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		CoresByNode: EvenSplit(16, 8)}
+	b := &Job{ID: 2, Prog: bfs, Procs: 16, Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		CoresByNode: EvenSplit(16, 8)}
+	if err := e.Launch(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Launch(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if a.RunTime() <= solo*1.01 {
+		t.Errorf("co-running BFS pair %.1f s not above solo %.1f s (NIC + latency contention)",
+			a.RunTime(), solo)
+	}
+}
+
+// TestEffWaysCapLimitsSpreadBenefit: NW's effective-ways cap means extra
+// per-process cache beyond a full LLC buys nothing.
+func TestEffWaysCapLimitsSpreadBenefit(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	nw := prog(t, cat, "NW")
+	base, err := RunSolo(spec, nw, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := RunSolo(spec, nw, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any difference comes from latency relief and comm cost, not
+	// cache: the run must stay within a narrow band of the compact one.
+	ratio := base.RunTime() / spread.RunTime()
+	if ratio > 1.10 {
+		t.Errorf("capped NW gained %.3fx from spreading; the cap should limit cache benefit", ratio)
+	}
+}
+
+// TestExclusiveRunIgnoresAllocatedWays: a solo job with a small CAT
+// partition plus the giveaway of residual ways effectively sees the whole
+// LLC (the paper's "gives away unused resources" rule).
+func TestExclusiveRunResidualGiveaway(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	cg := prog(t, cat, "CG")
+
+	full, err := RunSolo(spec, cg, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(spec)
+	j := &Job{ID: 1, Prog: cg, Procs: 16, Nodes: []int{0}, CoresByNode: []int{16}, Ways: 4}
+	if err := e.Launch(j); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if math.Abs(j.RunTime()-full.RunTime()) > 1e-6*full.RunTime() {
+		t.Errorf("solo job with 4 allocated ways ran %.2f s, want %.2f s (residual giveaway)",
+			j.RunTime(), full.RunTime())
+	}
+}
+
+// TestResidualReclaimedOnArrival: the giveaway is reclaimed when a second
+// job lands on the node — the cache-sensitive job slows down accordingly.
+func TestResidualReclaimedOnArrival(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	cg := prog(t, cat, "CG")
+	ep := prog(t, cat, "EP")
+
+	e, _ := New(spec)
+	j := &Job{ID: 1, Prog: cg, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}, Ways: 4}
+	if err := e.Launch(j); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := e.JobMetrics(1)
+	// EP arrives with its own partition; CG's share shrinks from
+	// 4+16 residual to 4+residual/2.
+	k := &Job{ID: 2, Prog: ep, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}, Ways: 2}
+	if err := e.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := e.JobMetrics(1)
+	if after.EffectiveWays >= before.EffectiveWays {
+		t.Errorf("residual not reclaimed: eff ways %.1f -> %.1f",
+			before.EffectiveWays, after.EffectiveWays)
+	}
+	if after.IPC >= before.IPC {
+		t.Errorf("CG IPC did not drop when residual reclaimed: %.3f -> %.3f",
+			before.IPC, after.IPC)
+	}
+}
+
+// TestMixedManagedUnmanagedNode: a CAT-managed job keeps its partition
+// while an unmanaged job on the same node gets only the leftover pool.
+func TestMixedManagedUnmanagedNode(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	cg := prog(t, cat, "CG")
+	bw := prog(t, cat, "BW")
+
+	e, _ := New(spec)
+	managed := &Job{ID: 1, Prog: cg, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}, Ways: 12}
+	unmanaged := &Job{ID: 2, Prog: bw, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+	if err := e.Launch(managed); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Launch(unmanaged); err != nil {
+		t.Fatal(err)
+	}
+	mm, _ := e.JobMetrics(1)
+	um, _ := e.JobMetrics(2)
+	// Managed CG sees exactly its 12 ways at 14 cores: 12*16/14 = 13.7.
+	if math.Abs(mm.EffectiveWays-12.0*16/14) > 1e-9 {
+		t.Errorf("managed job eff ways %.2f, want %.2f", mm.EffectiveWays, 12.0*16/14)
+	}
+	// Unmanaged BW sees the 8-way leftover pool.
+	if math.Abs(um.EffectiveWays-8.0*16/14) > 1e-9 {
+		t.Errorf("unmanaged job eff ways %.2f, want %.2f", um.EffectiveWays, 8.0*16/14)
+	}
+}
+
+// TestCancelReleasesResources: failure injection — killing a job mid-run
+// frees its node share and accelerates the survivor.
+func TestCancelReleasesResources(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	bw := prog(t, cat, "BW")
+
+	solo, err := RunSolo(spec, bw, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(spec)
+	victim := &Job{ID: 1, Prog: bw, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+	doomed := &Job{ID: 2, Prog: bw, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+	if err := e.Launch(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Launch(doomed); err != nil {
+		t.Fatal(err)
+	}
+	var cancelledSeen bool
+	e.OnFinish(func(j *Job) {
+		if j.ID == 2 && j.State == Cancelled {
+			cancelledSeen = true
+		}
+	})
+	// Kill the co-runner early.
+	e.Queue().At(10, func() {
+		if err := e.Cancel(2); err != nil {
+			t.Errorf("Cancel: %v", err)
+		}
+	})
+	e.Run(0)
+	if !cancelledSeen {
+		t.Error("OnFinish never saw the cancelled job")
+	}
+	if doomed.State != Cancelled || doomed.Remaining() <= 0 {
+		t.Errorf("doomed job state %v remaining %.3f", doomed.State, doomed.Remaining())
+	}
+	// Victim ran contended only 10 s of its life: close to solo time.
+	if victim.RunTime() >= solo.RunTime()*1.25 {
+		t.Errorf("victim %.1f s did not benefit from the kill (solo %.1f s)",
+			victim.RunTime(), solo.RunTime())
+	}
+	if err := e.Cancel(2); err == nil {
+		t.Error("double cancel succeeded")
+	}
+	if err := e.Cancel(99); err == nil {
+		t.Error("cancel of unknown job succeeded")
+	}
+	if Cancelled.String() != "cancelled" {
+		t.Error("state name wrong")
+	}
+}

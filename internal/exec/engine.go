@@ -1,0 +1,570 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/interconnect"
+	"spreadnshare/internal/pmu"
+	"spreadnshare/internal/sim"
+)
+
+// Engine executes jobs on a simulated cluster.
+type Engine struct {
+	spec     hw.ClusterSpec
+	net      interconnect.Model
+	q        *sim.Queue
+	nodes    []map[int]*Job // node id -> jobs running there
+	jobs     map[int]*Job
+	onFinish []func(*Job)
+
+	// PhasesOn enables program bandwidth-phase simulation: jobs whose
+	// model declares a PhaseAmp alternate between high- and
+	// low-bandwidth phases, temporarily exceeding their profiled
+	// average demand. Set before launching jobs. Off by default so
+	// calibration runs reproduce the profiled averages exactly.
+	PhasesOn bool
+}
+
+// New creates an engine for the given cluster.
+func New(spec hw.ClusterSpec) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		spec:  spec,
+		net:   interconnect.Model{BandwidthGB: spec.Node.NICBandwidth, LatencyUS: spec.Node.NICLatencyUS},
+		q:     &sim.Queue{},
+		nodes: make([]map[int]*Job, spec.Nodes),
+		jobs:  make(map[int]*Job),
+	}
+	for i := range e.nodes {
+		e.nodes[i] = make(map[int]*Job)
+	}
+	return e, nil
+}
+
+// Spec returns the cluster spec.
+func (e *Engine) Spec() hw.ClusterSpec { return e.spec }
+
+// Queue exposes the event queue so schedulers can add arrival or
+// monitoring events.
+func (e *Engine) Queue() *sim.Queue { return e.q }
+
+// Now returns the simulation clock.
+func (e *Engine) Now() float64 { return e.q.Now() }
+
+// OnFinish registers a callback fired when any job completes, after its
+// resources are released (so schedulers see the freed capacity).
+func (e *Engine) OnFinish(fn func(*Job)) { e.onFinish = append(e.onFinish, fn) }
+
+// Job returns a job by id.
+func (e *Engine) Job(id int) (*Job, bool) {
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Launch starts a job at the current time with the placement recorded in
+// its Nodes/CoresByNode/Ways fields.
+func (e *Engine) Launch(j *Job) error {
+	if j.State != Pending {
+		return fmt.Errorf("exec: job %d is %v, not pending", j.ID, j.State)
+	}
+	if _, ok := e.jobs[j.ID]; ok {
+		return fmt.Errorf("exec: duplicate job id %d", j.ID)
+	}
+	if j.Prog == nil {
+		return fmt.Errorf("exec: job %d has no program", j.ID)
+	}
+	if len(j.Nodes) == 0 || len(j.Nodes) != len(j.CoresByNode) {
+		return fmt.Errorf("exec: job %d placement malformed (%d nodes, %d core entries)",
+			j.ID, len(j.Nodes), len(j.CoresByNode))
+	}
+	if j.TotalCores() != j.Procs {
+		return fmt.Errorf("exec: job %d places %d cores for %d processes", j.ID, j.TotalCores(), j.Procs)
+	}
+	if !j.Prog.MultiNode && len(j.Nodes) > 1 {
+		return fmt.Errorf("exec: job %d program %s is single-node but placed on %d nodes",
+			j.ID, j.Prog.Name, len(j.Nodes))
+	}
+	for i, n := range j.Nodes {
+		if n < 0 || n >= e.spec.Nodes {
+			return fmt.Errorf("exec: job %d node %d out of range", j.ID, n)
+		}
+		if j.CoresByNode[i] <= 0 {
+			return fmt.Errorf("exec: job %d has %d cores on node %d", j.ID, j.CoresByNode[i], n)
+		}
+		used := j.CoresByNode[i]
+		ways := j.Ways
+		for _, other := range e.nodes[n] {
+			used += other.coresOn(n)
+			ways += other.Ways
+		}
+		if used > e.spec.Node.Cores {
+			return fmt.Errorf("exec: node %d oversubscribed: %d cores > %d", n, used, e.spec.Node.Cores)
+		}
+		if ways > e.spec.Node.LLCWays {
+			return fmt.Errorf("exec: node %d LLC oversubscribed: %d ways > %d", n, ways, e.spec.Node.LLCWays)
+		}
+	}
+	j.State = Running
+	j.Start = e.q.Now()
+	j.lastT = j.Start
+	j.remaining = 1
+	j.shares = make(map[int]nodeShare, len(j.Nodes))
+	e.jobs[j.ID] = j
+	j.phaseMul = 1
+	dirty := make(map[int]bool, len(j.Nodes))
+	for _, n := range j.Nodes {
+		e.nodes[n][j.ID] = j
+		dirty[n] = true
+	}
+	if e.PhasesOn && j.Prog.PhaseAmp > 0 && j.Prog.PhasePeriodSec > 0 {
+		j.phaseMul = 1 + j.Prog.PhaseAmp
+		e.schedulePhaseFlip(j)
+	}
+	e.recompute(dirty)
+	return nil
+}
+
+// schedulePhaseFlip arranges the job's next bandwidth-phase transition.
+func (e *Engine) schedulePhaseFlip(j *Job) {
+	e.q.At(e.q.Now()+j.Prog.PhasePeriodSec, func() {
+		if j.State != Running {
+			return
+		}
+		if j.phaseMul > 1 {
+			j.phaseMul = 1 - j.Prog.PhaseAmp
+		} else {
+			j.phaseMul = 1 + j.Prog.PhaseAmp
+		}
+		dirty := make(map[int]bool, len(j.Nodes))
+		for _, n := range j.Nodes {
+			dirty[n] = true
+		}
+		e.recompute(dirty)
+		e.schedulePhaseFlip(j)
+	})
+}
+
+// coresOn returns the job's core count on node n (0 if not placed there).
+func (j *Job) coresOn(n int) int {
+	for i, id := range j.Nodes {
+		if id == n {
+			return j.CoresByNode[i]
+		}
+	}
+	return 0
+}
+
+// SetJobWays forces the node-level LLC allocation of a running job — the
+// profiler's CAT manipulation. Passing 0 restores the launch allocation.
+func (e *Engine) SetJobWays(id, ways int) error {
+	j, ok := e.jobs[id]
+	if !ok || j.State != Running {
+		return fmt.Errorf("exec: job %d not running", id)
+	}
+	if ways < 0 || ways > e.spec.Node.LLCWays {
+		return fmt.Errorf("exec: way override %d out of range", ways)
+	}
+	j.wayOverride = ways
+	dirty := make(map[int]bool, len(j.Nodes))
+	for _, n := range j.Nodes {
+		dirty[n] = true
+	}
+	e.recompute(dirty)
+	return nil
+}
+
+// JobMetrics returns the job's instantaneous simulated PMU reading.
+func (e *Engine) JobMetrics(id int) (pmu.Metrics, error) {
+	j, ok := e.jobs[id]
+	if !ok {
+		return pmu.Metrics{}, fmt.Errorf("exec: unknown job %d", id)
+	}
+	return j.metrics, nil
+}
+
+// JobCounters returns cumulative counters, advanced to the current time.
+func (e *Engine) JobCounters(id int) (pmu.Counters, error) {
+	j, ok := e.jobs[id]
+	if !ok {
+		return pmu.Counters{}, fmt.Errorf("exec: unknown job %d", id)
+	}
+	if j.State == Running {
+		e.advance(j)
+	}
+	return j.counters, nil
+}
+
+// NodeBandwidth returns the instantaneous achieved memory bandwidth on a
+// node in GB/s (traffic actually flowing, weighted by each job's compute
+// fraction).
+func (e *Engine) NodeBandwidth(n int) float64 {
+	bw := 0.0
+	for _, j := range e.nodes[n] {
+		if sh, ok := j.shares[n]; ok {
+			bw += sh.grant * j.computeFrac
+		}
+	}
+	return bw
+}
+
+// NodeActiveCores returns the number of occupied cores on a node.
+func (e *Engine) NodeActiveCores(n int) int {
+	c := 0
+	for _, j := range e.nodes[n] {
+		c += j.coresOn(n)
+	}
+	return c
+}
+
+// Monitor installs a periodic recorder sampling every node's bandwidth
+// and occupancy, mirroring the paper's 30-second monitoring episodes.
+// Sampling stops after horizon (0 = run forever while events remain).
+func (e *Engine) Monitor(rec *pmu.Recorder, horizon float64) {
+	var tick func()
+	tick = func() {
+		now := e.q.Now()
+		for n := range e.nodes {
+			rec.Record(pmu.NodeSample{
+				Time: now, Node: n,
+				BandwidthGB: e.NodeBandwidth(n),
+				ActiveCores: e.NodeActiveCores(n),
+			})
+		}
+		if horizon > 0 && now+rec.Interval > horizon {
+			return
+		}
+		if e.q.Len() > 0 { // stop ticking once the workload has drained
+			e.q.At(now+rec.Interval, tick)
+		}
+	}
+	e.q.At(e.q.Now(), tick)
+}
+
+// Run drives the simulation until the event queue empties or the horizon
+// passes. It returns the number of events processed.
+func (e *Engine) Run(horizon float64) int { return e.q.Run(horizon) }
+
+// advance brings a running job's progress and counters up to now.
+func (e *Engine) advance(j *Job) {
+	now := e.q.Now()
+	dt := now - j.lastT
+	if dt <= 0 {
+		return
+	}
+	j.remaining -= j.rate * dt
+	if j.remaining < 0 {
+		j.remaining = 0
+	}
+	cores := float64(j.TotalCores())
+	j.counters.Elapsed += dt
+	j.counters.Cycles += e.spec.Node.FreqGHz * cores * dt
+	j.counters.Instructions += j.perCoreRate * j.computeFrac * cores * dt
+	j.counters.CommSeconds += (1 - j.computeFrac) * dt
+	traffic := 0.0
+	for _, sh := range j.shares {
+		traffic += sh.grant
+	}
+	j.counters.TrafficGB += traffic * j.computeFrac * dt
+	j.lastT = now
+}
+
+// recompute resolves contention on the dirty nodes and refreshes the
+// rates and finish events of every job touching them.
+func (e *Engine) recompute(dirty map[int]bool) {
+	affected := make(map[int]*Job)
+	for n := range dirty {
+		for id, j := range e.nodes[n] {
+			affected[id] = j
+		}
+	}
+	// Advance all affected jobs under their previous rates first.
+	ids := make([]int, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e.advance(affected[id])
+	}
+	// Resolve each dirty node.
+	nodeIDs := make([]int, 0, len(dirty))
+	for n := range dirty {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	for _, n := range nodeIDs {
+		e.resolveNode(n)
+	}
+	// Refresh job-level rates and finish events.
+	for _, id := range ids {
+		e.refreshJob(affected[id])
+	}
+}
+
+// resolveNode computes every resident job's share of the node's LLC and
+// memory bandwidth.
+func (e *Engine) resolveNode(n int) {
+	node := e.nodes[n]
+	if len(node) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(node))
+	for id := range node {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	spec := e.spec.Node
+	totalCores := 0
+	for _, id := range ids {
+		totalCores += node[id].coresOn(n)
+	}
+
+	// LLC ways: CAT-managed jobs keep their partitions; the remainder
+	// is the free pool. With only managed jobs the pool is given away
+	// in equal shares and reclaimed when a new job arrives (Section
+	// 4.4) — except to jobs under a profiler way-override, whose
+	// allocation must stay exact. Unmanaged jobs (CE/CS) split the
+	// pool in proportion to their core-weighted miss traffic: in an
+	// uncontrolled shared cache, occupancy follows eviction pressure,
+	// so a streaming thrasher squeezes out a reuse-friendly neighbor.
+	ways := make(map[int]float64, len(ids))
+	managedTotal := 0.0
+	var unmanaged, giveaway []int
+	for _, id := range ids {
+		j := node[id]
+		w := j.Ways
+		if j.wayOverride > 0 {
+			w = j.wayOverride
+		}
+		if w > 0 {
+			ways[id] = float64(w)
+			managedTotal += float64(w)
+			if j.wayOverride == 0 {
+				giveaway = append(giveaway, id)
+			}
+		} else {
+			unmanaged = append(unmanaged, id)
+		}
+	}
+	pool := float64(spec.LLCWays) - managedTotal
+	if pool < 0 {
+		pool = 0
+	}
+	if len(unmanaged) > 0 {
+		weight := 0.0
+		pressure := func(j *Job) float64 {
+			return float64(j.coresOn(n)) * (0.05 + j.Prog.BWPerCoreRef)
+		}
+		for _, id := range unmanaged {
+			weight += pressure(node[id])
+		}
+		for _, id := range unmanaged {
+			ways[id] = pool * pressure(node[id]) / weight
+		}
+	} else if pool > 0 && len(giveaway) > 0 {
+		share := pool / float64(len(giveaway))
+		for _, id := range giveaway {
+			ways[id] += share
+		}
+	}
+
+	// Memory bandwidth: demands are water-filled against the roofline
+	// for the node's active core count.
+	demands := make([]float64, len(ids))
+	rawDemands := make([]float64, len(ids))
+	effWays := make([]float64, len(ids))
+	for i, id := range ids {
+		j := node[id]
+		cores := j.coresOn(n)
+		eff := j.Prog.EffectiveWays(ways[id], cores)
+		effWays[i] = eff
+		spread := j.SpanNodes() > 1
+		d := float64(cores) * j.Prog.BWDemandPerCore(eff, totalCores, spec.Cores, spread)
+		if j.phaseMul > 0 {
+			d *= j.phaseMul
+		}
+		rawDemands[i] = d
+		// MBA throttling caps what the job may request; the slowdown
+		// from running under the cap shows up through the throttle
+		// ratio against the raw (unthrottled) demand below.
+		if j.BWCap > 0 && d > j.BWCap {
+			d = j.BWCap
+		}
+		demands[i] = d
+	}
+	grants := hw.WaterFill(spec.StreamBandwidth(totalCores), demands)
+
+	// I/O bandwidth to the shared file system is a third contended
+	// resource, water-filled against the node's injection limit.
+	ioDemands := make([]float64, len(ids))
+	for i, id := range ids {
+		j := node[id]
+		ioDemands[i] = float64(j.coresOn(n)) * j.Prog.IOBWPerCore
+	}
+	ioGrants := hw.WaterFill(spec.IOBandwidth, ioDemands)
+
+	for i, id := range ids {
+		j := node[id]
+		cores := j.coresOn(n)
+		spread := j.SpanNodes() > 1
+		throttle := 1.0
+		if rawDemands[i] > 0 && grants[i] < rawDemands[i] {
+			throttle = grants[i] / rawDemands[i]
+		}
+		if ioDemands[i] > 0 && ioGrants[i] < ioDemands[i] {
+			if t := ioGrants[i] / ioDemands[i]; t < throttle {
+				throttle = t
+			}
+		}
+		ipc := j.Prog.IPC(effWays[i], totalCores, spec.Cores)
+		j.shares[n] = nodeShare{
+			rate:    ipc * spec.FreqGHz * throttle,
+			grant:   grants[i],
+			demand:  rawDemands[i],
+			ioGrant: ioGrants[i],
+			missPct: j.Prog.MissPct(effWays[i], spread),
+			effWays: effWays[i],
+			cores:   cores,
+		}
+	}
+}
+
+// refreshJob recomputes a job's completion rate from its per-node shares
+// and reschedules its finish event.
+func (e *Engine) refreshJob(j *Job) {
+	if j.State != Running {
+		return
+	}
+	// Gating rate: the slowest node limits lock-step parallel progress.
+	minRate := -1.0
+	missSum, grantSum, ioSum, wayseffSum := 0.0, 0.0, 0.0, 0.0
+	for _, n := range j.Nodes {
+		sh := j.shares[n]
+		if minRate < 0 || sh.rate < minRate {
+			minRate = sh.rate
+		}
+		missSum += sh.missPct
+		grantSum += sh.grant
+		ioSum += sh.ioGrant
+		wayseffSum += sh.effWays
+	}
+	nn := float64(len(j.Nodes))
+	j.perCoreRate = minRate
+
+	work := j.Prog.WorkPerProcess(j.SpanNodes())
+	comm := j.Prog.CommSeconds(j.SpanNodes())
+	j.commInflation = e.commInflation(j)
+	comm *= j.commInflation
+
+	var computeSec float64
+	if minRate > 0 {
+		computeSec = work / minRate
+	}
+	total := computeSec + comm
+	if minRate <= 0 || total <= 0 {
+		j.rate = 0
+		j.computeFrac = 0
+	} else {
+		j.rate = 1 / total
+		j.computeFrac = computeSec / total
+	}
+	j.metrics = pmu.Metrics{
+		IPC:           j.perCoreRate / e.spec.Node.FreqGHz * j.computeFrac,
+		BWPerNode:     grantSum / nn * j.computeFrac,
+		BWTotal:       grantSum * j.computeFrac,
+		IOPerNode:     ioSum / nn * j.computeFrac,
+		MissPct:       missSum / nn,
+		ComputeFrac:   j.computeFrac,
+		EffectiveWays: wayseffSum / nn,
+	}
+	// Reschedule completion.
+	e.q.Cancel(j.finishEv)
+	j.finishEv = nil
+	if j.rate > 0 {
+		at := e.q.Now() + j.remaining/j.rate
+		j.finishEv = e.q.At(at, func() { e.finish(j) })
+	}
+}
+
+// commInflation estimates NIC contention: on each of the job's nodes, sum
+// the uncontended NIC-utilization fractions of all spread jobs; the worst
+// node stretches this job's communication.
+func (e *Engine) commInflation(j *Job) float64 {
+	if j.SpanNodes() <= 1 {
+		return 1
+	}
+	worst := 1.0
+	for _, n := range j.Nodes {
+		var utils []float64
+		for _, other := range e.nodes[n] {
+			if other.SpanNodes() <= 1 {
+				continue
+			}
+			w := other.Prog.WorkPerProcess(other.SpanNodes())
+			c := other.Prog.CommSeconds(other.SpanNodes())
+			r := other.perCoreRate
+			if r <= 0 {
+				// Not yet rated (fresh launch): use solo rate.
+				r = other.Prog.IPCMax * e.spec.Node.FreqGHz
+			}
+			utils = append(utils, c/(w/r+c))
+		}
+		if f := interconnect.Inflation(utils); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// Cancel aborts a running job immediately: its resources are released,
+// co-runners re-rate, and OnFinish listeners fire with the job in
+// Cancelled state. Used for failure injection and operator kills.
+func (e *Engine) Cancel(id int) error {
+	j, ok := e.jobs[id]
+	if !ok || j.State != Running {
+		return fmt.Errorf("exec: job %d not running", id)
+	}
+	e.advance(j)
+	j.State = Cancelled
+	j.Finish = e.q.Now()
+	j.rate = 0
+	e.q.Cancel(j.finishEv)
+	j.finishEv = nil
+	dirty := make(map[int]bool, len(j.Nodes))
+	for _, n := range j.Nodes {
+		delete(e.nodes[n], j.ID)
+		dirty[n] = true
+	}
+	e.recompute(dirty)
+	for _, fn := range e.onFinish {
+		fn(j)
+	}
+	return nil
+}
+
+// finish completes a job: releases its nodes and notifies listeners.
+func (e *Engine) finish(j *Job) {
+	if j.State != Running {
+		return
+	}
+	e.advance(j)
+	j.State = Done
+	j.Finish = e.q.Now()
+	j.rate = 0
+	e.q.Cancel(j.finishEv)
+	j.finishEv = nil
+	dirty := make(map[int]bool, len(j.Nodes))
+	for _, n := range j.Nodes {
+		delete(e.nodes[n], j.ID)
+		dirty[n] = true
+	}
+	e.recompute(dirty)
+	for _, fn := range e.onFinish {
+		fn(j)
+	}
+}

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"fmt"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/pmu"
+)
+
+// RunSoloStats is RunSolo returning the job's cumulative PMU counters and
+// its (steady-state) instantaneous metrics alongside the finished job —
+// the raw material for the paper's single-program studies (Figures 2-7).
+func RunSoloStats(spec hw.ClusterSpec, prog *app.Model, procs, nodes int) (*Job, pmu.Counters, pmu.Metrics, error) {
+	e, err := New(spec)
+	if err != nil {
+		return nil, pmu.Counters{}, pmu.Metrics{}, err
+	}
+	j, err := PlaceEven(prog, 0, procs, nodes, spec.Nodes)
+	if err != nil {
+		return nil, pmu.Counters{}, pmu.Metrics{}, err
+	}
+	j.Exclusive = true
+	if err := e.Launch(j); err != nil {
+		return nil, pmu.Counters{}, pmu.Metrics{}, err
+	}
+	e.Run(0)
+	if j.State != Done {
+		return nil, pmu.Counters{}, pmu.Metrics{}, fmt.Errorf("exec: solo run of %s did not finish", prog.Name)
+	}
+	c, err := e.JobCounters(j.ID)
+	if err != nil {
+		return nil, pmu.Counters{}, pmu.Metrics{}, err
+	}
+	m, err := e.JobMetrics(j.ID)
+	if err != nil {
+		return nil, pmu.Counters{}, pmu.Metrics{}, err
+	}
+	return j, c, m, nil
+}
+
+// RunSolo executes one job exclusively on a fresh cluster spread over the
+// given number of nodes, returning the completed job. It is the
+// measurement primitive behind the paper's scaling studies (Figures 1, 2,
+// 13) and the profiler's clean timing runs.
+func RunSolo(spec hw.ClusterSpec, prog *app.Model, procs, nodes int) (*Job, error) {
+	e, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	j, err := PlaceEven(prog, 0, procs, nodes, spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	j.Exclusive = true
+	if err := e.Launch(j); err != nil {
+		return nil, err
+	}
+	e.Run(0)
+	if j.State != Done {
+		return nil, fmt.Errorf("exec: solo run of %s did not finish", prog.Name)
+	}
+	return j, nil
+}
+
+// PlaceEven builds a pending job spread evenly over the first `nodes`
+// nodes of a cluster with `avail` nodes. It enforces the program's
+// framework constraints (single-node programs, power-of-2 splits).
+func PlaceEven(prog *app.Model, id, procs, nodes, avail int) (*Job, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("exec: job needs at least one process, got %d", procs)
+	}
+	if nodes <= 0 || nodes > avail {
+		return nil, fmt.Errorf("exec: %d nodes unavailable (%d in cluster)", nodes, avail)
+	}
+	if nodes > procs {
+		return nil, fmt.Errorf("exec: cannot spread %d processes over %d nodes", procs, nodes)
+	}
+	if !prog.MultiNode && nodes > 1 {
+		return nil, fmt.Errorf("exec: %s is single-node", prog.Name)
+	}
+	if prog.PowerOf2 && procs%nodes != 0 {
+		return nil, fmt.Errorf("exec: %s needs even process split (%d procs on %d nodes)",
+			prog.Name, procs, nodes)
+	}
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	return &Job{
+		ID:          id,
+		Prog:        prog,
+		Procs:       procs,
+		Alpha:       0.9,
+		Nodes:       ids,
+		CoresByNode: EvenSplit(procs, nodes),
+	}, nil
+}

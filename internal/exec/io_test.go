@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"spreadnshare/internal/hw"
+)
+
+// TestIOContentionThrottles: two I/O-hungry TeraSort jobs sharing one
+// node's file-system link slow each other down even though cores, cache
+// and memory bandwidth all have headroom.
+func TestIOContentionThrottles(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	ts := prog(t, cat, "TS")
+
+	solo, err := RunSolo(spec, ts, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(spec)
+	a := &Job{ID: 1, Prog: ts, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}, Ways: 10}
+	b := &Job{ID: 2, Prog: ts, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}, Ways: 10}
+	if err := e.Launch(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Launch(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	// Combined I/O demand 2 x 1.4 = 2.8 GB/s against the 2.0 GB/s link:
+	// each job gets ~71% of its demand.
+	if a.RunTime() <= solo.RunTime()*1.1 {
+		t.Errorf("I/O-contended TS %.1f s not clearly above solo %.1f s",
+			a.RunTime(), solo.RunTime())
+	}
+}
+
+// TestIOLightJobsUnaffected: compute codes with ~zero I/O share a node's
+// link without any effect.
+func TestIOLightJobsUnaffected(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	ep := prog(t, cat, "EP")
+
+	solo, err := RunSolo(spec, ep, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(spec)
+	a := &Job{ID: 1, Prog: ep, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+	b := &Job{ID: 2, Prog: ep, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+	if err := e.Launch(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Launch(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if math.Abs(a.RunTime()-solo.RunTime()) > solo.RunTime()*0.01 {
+		t.Errorf("I/O-light EP perturbed: %.2f s vs solo %.2f s", a.RunTime(), solo.RunTime())
+	}
+}
+
+// TestIOMetricsReported: the simulated PMU exposes achieved file-system
+// bandwidth, which the profiler records.
+func TestIOMetricsReported(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	ts := prog(t, cat, "TS")
+	_, _, m, err := RunSoloStats(spec, ts, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 * ts.IOBWPerCore
+	if math.Abs(m.IOPerNode-want) > 0.2 {
+		t.Errorf("TS I/O per node = %.2f GB/s, want ~%.2f", m.IOPerNode, want)
+	}
+	ep := prog(t, cat, "EP")
+	_, _, m2, err := RunSoloStats(spec, ep, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.IOPerNode > 0.01 {
+		t.Errorf("EP I/O per node = %.2f, want ~0", m2.IOPerNode)
+	}
+}
+
+// TestIOSpreadRelief: spreading an I/O-bound job widens its aggregate
+// file-system bandwidth (the paper: "I/O intensive applications typically
+// benefit from spreading out due to enlarged aggregate bandwidth").
+func TestIOSpreadRelief(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	// A synthetic I/O-saturated variant of TS: demand above one node's
+	// link.
+	ioHog := *prog(t, cat, "TS")
+	ioHog.Name = "TSIO"
+	ioHog.IOBWPerCore = 0.25 // 4 GB/s at 16 cores vs the 2 GB/s link
+	if err := ioHog.Calibrate(spec.Node); err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunSolo(spec, &ioHog, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunSolo(spec, &ioHog, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := one.RunTime() / four.RunTime(); speedup < 1.3 {
+		t.Errorf("I/O-saturated job spread speedup %.2f, want substantial", speedup)
+	}
+}

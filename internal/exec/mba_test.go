@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"testing"
+
+	"spreadnshare/internal/hw"
+)
+
+// TestBWCapThrottlesHog: an MBA cap below a job's demand slows it to the
+// cap, leaving headroom for a co-runner.
+func TestBWCapThrottlesHog(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	spec.Node.HasMBA = true
+	bw := prog(t, cat, "BW")
+
+	uncapped, err := RunSolo(spec, bw, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := &Job{ID: 1, Prog: bw, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14},
+		BWCap: 40}
+	if err := e.Launch(capped); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if capped.RunTime() <= uncapped.RunTime()*1.2 {
+		t.Errorf("capped BW run %.1f s not clearly slower than uncapped %.1f s",
+			capped.RunTime(), uncapped.RunTime())
+	}
+	c, err := e.JobCounters(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bandwidth(); got > 41 {
+		t.Errorf("capped job consumed %.1f GB/s, cap was 40", got)
+	}
+}
+
+// TestBWCapProtectsCorunner: with the hog capped, a bandwidth-hungry
+// neighbor keeps nearly solo performance; without the cap it suffers.
+func TestBWCapProtectsCorunner(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	spec.Node.HasMBA = true
+	bw := prog(t, cat, "BW")
+	mg := prog(t, cat, "MG")
+
+	victimTime := func(hogCap float64) float64 {
+		e, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hog := &Job{ID: 1, Prog: bw, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14},
+			BWCap: hogCap}
+		victim := &Job{ID: 2, Prog: mg, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+		if err := e.Launch(hog); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Launch(victim); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(0)
+		return victim.RunTime()
+	}
+	unprotected := victimTime(0)
+	protected := victimTime(24)
+	if protected >= unprotected {
+		t.Errorf("MG with capped hog %.1f s not faster than with uncapped hog %.1f s",
+			protected, unprotected)
+	}
+}
+
+// TestBWCapAboveDemandIsNoop: a generous cap changes nothing.
+func TestBWCapAboveDemandIsNoop(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	ep := prog(t, cat, "EP")
+
+	base, err := RunSolo(spec, ep, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(spec)
+	j := &Job{ID: 1, Prog: ep, Procs: 16, Nodes: []int{0}, CoresByNode: []int{16}, BWCap: 100}
+	if err := e.Launch(j); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if diff := j.RunTime() - base.RunTime(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("generous cap changed EP run time: %.3f vs %.3f", j.RunTime(), base.RunTime())
+	}
+}

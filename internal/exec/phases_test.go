@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"spreadnshare/internal/hw"
+)
+
+func TestPhasesOffByDefault(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	mg := prog(t, cat, "MG")
+	// RunSolo uses a default engine: phases off, calibrated time exact.
+	j, err := RunSolo(spec, mg, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j.RunTime()-mg.TargetSoloSec) > 1e-6 {
+		t.Errorf("unphased run %.3f s, want calibrated %.3f s", j.RunTime(), mg.TargetSoloSec)
+	}
+}
+
+func TestPhasedSoloRunDiffers(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	mg := prog(t, cat, "MG")
+
+	e, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PhasesOn = true
+	j := &Job{ID: 1, Prog: mg, Procs: 16, Nodes: []int{0}, CoresByNode: []int{16}}
+	if err := e.Launch(j); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	// MG is bandwidth-saturated on one node, so phase swings change the
+	// throttle and the run time departs from the calibrated average —
+	// slightly faster, in fact: the instruction rate under a fixed
+	// bandwidth grant is convex in the demand multiplier (low-demand
+	// phases gain more than high-demand phases lose).
+	if math.Abs(j.RunTime()-mg.TargetSoloSec) < 1e-6 {
+		t.Errorf("phased saturated run %.3f s identical to calibrated; phases inactive", j.RunTime())
+	}
+	if j.RunTime() < mg.TargetSoloSec*0.7 || j.RunTime() > mg.TargetSoloSec*1.3 {
+		t.Errorf("phased run %.2f s implausible vs calibrated %.2f s", j.RunTime(), mg.TargetSoloSec)
+	}
+}
+
+func TestPhasesNoEffectWhenUncontended(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	// CG on one node is far below the bandwidth roofline, so phase
+	// swings in demand never throttle: run time matches calibration.
+	cg := prog(t, cat, "CG")
+	e, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PhasesOn = true
+	j := &Job{ID: 1, Prog: cg, Procs: 16, Nodes: []int{0}, CoresByNode: []int{16}}
+	if err := e.Launch(j); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if math.Abs(j.RunTime()-cg.TargetSoloSec) > 1e-6*cg.TargetSoloSec {
+		t.Errorf("uncontended phased CG %.3f s, want %.3f s", j.RunTime(), cg.TargetSoloSec)
+	}
+}
+
+func TestPhaseBurstHurtsCorunnerWithoutMBA(t *testing.T) {
+	cat := catalog(t)
+	spec := hw.DefaultClusterSpec()
+	bw := prog(t, cat, "BW")
+	mg := prog(t, cat, "MG")
+
+	run := func(phases bool, cap float64) float64 {
+		e, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.PhasesOn = phases
+		hog := &Job{ID: 1, Prog: bw, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}, BWCap: cap}
+		victim := &Job{ID: 2, Prog: mg, Procs: 14, Nodes: []int{0}, CoresByNode: []int{14}}
+		if err := e.Launch(hog); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Launch(victim); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(0)
+		return victim.RunTime()
+	}
+	steady := run(false, 0)
+	bursty := run(true, 0)
+	// Both high-demand jobs split the saturated node either way; bursts
+	// shift the water-fill split back and forth but stay in the same
+	// regime.
+	if math.Abs(bursty-steady)/steady > 0.15 {
+		t.Errorf("bursty hog moved victim time by >15%%: %.2f vs %.2f", bursty, steady)
+	}
+	// An MBA cap on the bursty hog must help the victim.
+	capped := run(true, 40)
+	if capped >= bursty {
+		t.Errorf("victim with capped bursty hog %.2f s not faster than uncapped %.2f s",
+			capped, bursty)
+	}
+}

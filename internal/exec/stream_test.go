@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+)
+
+// streamModel builds a synthetic STREAM benchmark: pure streaming triad
+// whose per-core demand equals the single-core peak, cache-insensitive,
+// no communication.
+func streamModel(t *testing.T, spec hw.NodeSpec) *app.Model {
+	t.Helper()
+	m := &app.Model{
+		Name: "STREAM", Suite: "synthetic", Framework: app.Replicated,
+		MultiNode: true,
+		IPCMax:    0.4, FloorFrac: 0.95, LeastWays90: 2, LatSens: 0,
+		BWPerCoreRef: spec.SingleCoreBandwidth, MissPctRef: 95,
+		MissFloorFrac: 1, WHalf: 10,
+		TargetSoloSec: 100, MemGBPerProc: 1,
+	}
+	if err := m.Calibrate(spec); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEngineReproducesStreamRoofline: running the synthetic STREAM with k
+// cores measures the hardware model's B(k) through the full engine stack —
+// the end-to-end validation of Figure 3.
+func TestEngineReproducesStreamRoofline(t *testing.T) {
+	spec := hw.DefaultClusterSpec()
+	stream := streamModel(t, spec.Node)
+	for _, k := range []int{1, 2, 4, 8, 16, 28} {
+		e, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := &Job{ID: 1, Prog: stream, Procs: k, Nodes: []int{0}, CoresByNode: []int{k}}
+		if err := e.Launch(j); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(0)
+		c, err := e.JobCounters(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Demand is k * 18.8 with a nearly flat cache curve; the
+		// measured bandwidth must sit within a few percent of
+		// min(demand, B(k)).
+		demand := float64(k) * spec.Node.SingleCoreBandwidth
+		want := math.Min(demand, spec.Node.StreamBandwidth(k))
+		if got := c.Bandwidth(); math.Abs(got-want)/want > 0.06 {
+			t.Errorf("STREAM with %d cores measured %.1f GB/s, want ~%.1f", k, got, want)
+		}
+	}
+}
+
+// TestStreamPerCoreDecline: the declining per-core curve of Figure 3,
+// measured through the engine.
+func TestStreamPerCoreDecline(t *testing.T) {
+	spec := hw.DefaultClusterSpec()
+	stream := streamModel(t, spec.Node)
+	perCore := func(k int) float64 {
+		e, _ := New(spec)
+		j := &Job{ID: 1, Prog: stream, Procs: k, Nodes: []int{0}, CoresByNode: []int{k}}
+		if err := e.Launch(j); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(0)
+		c, _ := e.JobCounters(1)
+		return c.Bandwidth() / float64(k)
+	}
+	p1, p28 := perCore(1), perCore(28)
+	if p28 >= p1 {
+		t.Fatalf("per-core bandwidth did not decline: %.2f at 1 core, %.2f at 28", p1, p28)
+	}
+	// Paper: 4.22 GB/s at 28 cores, 22.45% of the single-core peak.
+	if ratio := p28 / p1; ratio < 0.15 || ratio > 0.35 {
+		t.Errorf("per-core ratio %.3f, want ~0.22", ratio)
+	}
+}

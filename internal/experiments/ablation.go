@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/stats"
+	"spreadnshare/internal/workload"
+)
+
+// ViolationStats summarizes slowdown-threshold violations across job
+// executions. The paper reports that 136 of 720 SNS executions exceeded
+// the alpha=0.9 slowdown factor of 1.1, by 28.3% on average and up to
+// 125.9% (Section 6.2).
+type ViolationStats struct {
+	Executions int
+	Violations int
+	// AvgExcessPct and MaxExcessPct measure how far violators exceed
+	// the 1/alpha slowdown bound, in percent of the bound.
+	AvgExcessPct float64
+	MaxExcessPct float64
+}
+
+// ViolationsOf counts violations among normalized run times (run time
+// over the CE solo baseline) against a slowdown threshold alpha.
+func ViolationsOf(normRuns []float64, alpha float64) ViolationStats {
+	bound := 1 / alpha
+	v := ViolationStats{Executions: len(normRuns)}
+	var excesses []float64
+	for _, r := range normRuns {
+		if r > bound {
+			v.Violations++
+			excesses = append(excesses, 100*(r/bound-1))
+		}
+	}
+	if len(excesses) > 0 {
+		v.AvgExcessPct = stats.Mean(excesses)
+		_, v.MaxExcessPct = stats.MinMax(excesses)
+	}
+	return v
+}
+
+// AblationRow is one configuration's outcome in an ablation sweep.
+type AblationRow struct {
+	Label string
+	// ThroughputVsCE is the mean throughput across sequences,
+	// normalized per sequence to CE.
+	ThroughputVsCE float64
+	// GeoNormRun is the geometric-mean normalized job run time.
+	GeoNormRun float64
+	// Violations aggregates alpha-violations over all executions.
+	Violations ViolationStats
+}
+
+// ablationConfig runs `count` seeded sequences under one configuration
+// and aggregates against a CE baseline run under the same execution
+// settings (including phase simulation, when enabled).
+func (e *Env) ablationConfig(label string, cfg sched.Config, count, jobs int) (AblationRow, error) {
+	row := AblationRow{Label: label}
+	var thr, norms []float64
+	for i := 0; i < count; i++ {
+		seed := int64(1000 + i)
+		seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), e.Cat, jobs)
+
+		ceCfg := sched.DefaultConfig(sched.CE)
+		ceCfg.PhasedExecution = cfg.PhasedExecution
+		ceSched, err := sched.New(e.Spec, e.Cat, e.DB, ceCfg)
+		if err != nil {
+			return row, err
+		}
+		spec := e.Spec
+		if cfg.UseMBA {
+			spec.Node.HasMBA = true
+		}
+		s, err := sched.New(spec, e.Cat, e.DB, cfg)
+		if err != nil {
+			return row, err
+		}
+		for _, js := range seq {
+			if err := ceSched.Submit(js); err != nil {
+				return row, err
+			}
+			if err := s.Submit(js); err != nil {
+				return row, err
+			}
+		}
+		ceJobs, err := ceSched.Run()
+		if err != nil {
+			return row, err
+		}
+		jobsDone, err := s.Run()
+		if err != nil {
+			return row, fmt.Errorf("%s seq %d: %w", label, i, err)
+		}
+		var ceTurns, turns []float64
+		ceRun := make(map[int]float64, len(ceJobs))
+		for _, j := range ceJobs {
+			ceTurns = append(ceTurns, j.Turnaround())
+			ceRun[j.ID] = j.RunTime()
+		}
+		for _, j := range jobsDone {
+			turns = append(turns, j.Turnaround())
+			base := ceRun[j.ID]
+			if base <= 0 {
+				return row, fmt.Errorf("%s: no CE baseline for job %d", label, j.ID)
+			}
+			norms = append(norms, j.RunTime()/base)
+		}
+		thr = append(thr, stats.Throughput(turns)/stats.Throughput(ceTurns))
+	}
+	row.ThroughputVsCE = stats.Mean(thr)
+	row.GeoNormRun = stats.GeoMean(norms)
+	row.Violations = ViolationsOf(norms, 0.9)
+	return row, nil
+}
+
+// AblationMechanisms decomposes SNS into its mechanisms over `count`
+// random sequences: plain CE, share-only (CS), the related-work two-slot
+// co-scheduler, spread-only (profiled scaling on dedicated nodes), full
+// SNS, and SNS with hardware MBA bandwidth enforcement.
+func AblationMechanisms(env *Env, count, jobs int) ([]AblationRow, error) {
+	mk := func(p sched.Policy) sched.Config {
+		c := sched.DefaultConfig(p)
+		// Phase simulation on: programs burst above their profiled
+		// averages, the condition under which MBA enforcement and
+		// resource-blind co-location actually differ.
+		c.PhasedExecution = true
+		return c
+	}
+	spreadOnly := mk(sched.SNS)
+	spreadOnly.ExclusiveSpread = true
+	mba := mk(sched.SNS)
+	mba.UseMBA = true
+	configs := []struct {
+		label string
+		cfg   sched.Config
+	}{
+		{"CE", mk(sched.CE)},
+		{"CS (share only)", mk(sched.CS)},
+		{"two-slot (related work)", mk(sched.TwoSlot)},
+		{"spread only", spreadOnly},
+		{"SNS", mk(sched.SNS)},
+		{"SNS+MBA", mba},
+	}
+	rows := make([]AblationRow, 0, len(configs))
+	for _, c := range configs {
+		row, err := env.ablationConfig(c.label, c.cfg, count, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationBeta sweeps the LLC-occupancy weight of the node-selection
+// score (the paper picks beta = 2).
+func AblationBeta(env *Env, count, jobs int, betas []float64) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(betas))
+	for _, b := range betas {
+		cfg := sched.DefaultConfig(sched.SNS)
+		cfg.Beta = b
+		// Beta 0 must stay 0, not be defaulted away.
+		if b == 0 {
+			cfg.Beta = 1e-9
+		}
+		row, err := env.ablationConfig(fmt.Sprintf("beta=%g", b), cfg, count, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationAlpha sweeps the default slowdown threshold: looser thresholds
+// admit more aggressive co-location.
+func AblationAlpha(env *Env, count, jobs int, alphas []float64) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(alphas))
+	for _, a := range alphas {
+		cfg := sched.DefaultConfig(sched.SNS)
+		cfg.DefaultAlpha = a
+		row, err := env.ablationConfig(fmt.Sprintf("alpha=%.2f", a), cfg, count, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationGrouping compares the idle-core grouping placement against
+// whole-cluster scoring.
+func AblationGrouping(env *Env, count, jobs int) ([]AblationRow, error) {
+	grouped := sched.DefaultConfig(sched.SNS)
+	ungrouped := sched.DefaultConfig(sched.SNS)
+	ungrouped.NoGrouping = true
+	var rows []AblationRow
+	for _, c := range []struct {
+		label string
+		cfg   sched.Config
+	}{{"grouped", grouped}, {"ungrouped", ungrouped}} {
+		row, err := env.ablationConfig(c.label, c.cfg, count, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationTable renders ablation rows.
+func AblationTable(rows []AblationRow) [][]string {
+	out := [][]string{{"config", "throughput/CE", "geo norm run",
+		"violations", "avg excess %", "max excess %"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			f3(r.ThroughputVsCE),
+			f3(r.GeoNormRun),
+			fmt.Sprintf("%d/%d", r.Violations.Violations, r.Violations.Executions),
+			f1(r.Violations.AvgExcessPct),
+			f1(r.Violations.MaxExcessPct),
+		})
+	}
+	return out
+}
+
+// QoSMixRow is one class of the heterogeneous-alpha study.
+type QoSMixRow struct {
+	Class      string
+	Alpha      float64
+	GeoNormRun float64
+	Violations ViolationStats
+}
+
+// QoSMix runs sequences where half the jobs are QoS-strict (alpha 0.95)
+// and half are loose (alpha 0.7), measuring whether SNS honors the strict
+// class while exploiting the loose one — the per-job QoS contract of
+// Section 4.3.
+func QoSMix(env *Env, count, jobs int) ([]QoSMixRow, error) {
+	strictNorm, looseNorm := []float64{}, []float64{}
+	const strictAlpha, looseAlpha = 0.95, 0.70
+	for i := 0; i < count; i++ {
+		seed := int64(3000 + i)
+		seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), env.Cat, jobs)
+		for k := range seq {
+			if k%2 == 0 {
+				seq[k].Alpha = strictAlpha
+			} else {
+				seq[k].Alpha = looseAlpha
+			}
+		}
+		s, err := sched.New(env.Spec, env.Cat, env.DB, sched.DefaultConfig(sched.SNS))
+		if err != nil {
+			return nil, err
+		}
+		for _, js := range seq {
+			if err := s.Submit(js); err != nil {
+				return nil, err
+			}
+		}
+		done, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range done {
+			base, err := env.CE.Of(j.Prog.Name, j.Procs)
+			if err != nil {
+				return nil, err
+			}
+			norm := j.RunTime() / base
+			if j.Alpha == strictAlpha {
+				strictNorm = append(strictNorm, norm)
+			} else {
+				looseNorm = append(looseNorm, norm)
+			}
+		}
+	}
+	return []QoSMixRow{
+		{Class: "strict", Alpha: strictAlpha, GeoNormRun: stats.GeoMean(strictNorm),
+			Violations: ViolationsOf(strictNorm, strictAlpha)},
+		{Class: "loose", Alpha: looseAlpha, GeoNormRun: stats.GeoMean(looseNorm),
+			Violations: ViolationsOf(looseNorm, looseAlpha)},
+	}, nil
+}
+
+// QoSMixTable renders the heterogeneous-alpha study.
+func QoSMixTable(rows []QoSMixRow) [][]string {
+	out := [][]string{{"class", "alpha", "geo norm run", "violations of own bound"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Class, f2(r.Alpha), f3(r.GeoNormRun),
+			fmt.Sprintf("%d/%d", r.Violations.Violations, r.Violations.Executions)})
+	}
+	return out
+}

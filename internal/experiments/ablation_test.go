@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestViolationsOf(t *testing.T) {
+	// alpha 0.9 -> bound 1.111...
+	v := ViolationsOf([]float64{1.0, 1.05, 1.2, 1.5}, 0.9)
+	if v.Executions != 4 || v.Violations != 2 {
+		t.Fatalf("violations = %d/%d, want 2/4", v.Violations, v.Executions)
+	}
+	// Excesses: 1.2/1.111-1 = 8%, 1.5/1.111-1 = 35%.
+	if math.Abs(v.AvgExcessPct-21.5) > 1 {
+		t.Errorf("avg excess %.1f%%, want ~21.5%%", v.AvgExcessPct)
+	}
+	if math.Abs(v.MaxExcessPct-35.0) > 1 {
+		t.Errorf("max excess %.1f%%, want ~35%%", v.MaxExcessPct)
+	}
+	clean := ViolationsOf([]float64{0.9, 1.0}, 0.9)
+	if clean.Violations != 0 || clean.AvgExcessPct != 0 {
+		t.Errorf("clean run reported violations: %+v", clean)
+	}
+}
+
+func TestAblationMechanismsShape(t *testing.T) {
+	rows, err := AblationMechanisms(env(t), 6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	ce := byLabel["CE"]
+	cs := byLabel["CS (share only)"]
+	spread := byLabel["spread only"]
+	sns := byLabel["SNS"]
+	mba := byLabel["SNS+MBA"]
+
+	// CE normalizes to itself.
+	if math.Abs(ce.ThroughputVsCE-1) > 1e-9 || ce.Violations.Violations != 0 {
+		t.Errorf("CE baseline row wrong: %+v", ce)
+	}
+	// Spread-only makes individual jobs faster but wastes nodes:
+	// normalized run below 1, throughput below CE.
+	if spread.GeoNormRun >= 1 {
+		t.Errorf("spread-only norm run %.3f, want < 1", spread.GeoNormRun)
+	}
+	if spread.ThroughputVsCE >= 1 {
+		t.Errorf("spread-only throughput %.3f, want < 1 (exclusive spreading wastes nodes)",
+			spread.ThroughputVsCE)
+	}
+	if spread.Violations.Violations != 0 {
+		t.Errorf("spread-only (exclusive) had %d violations", spread.Violations.Violations)
+	}
+	// Share-only gains throughput but butchers job protection.
+	if cs.ThroughputVsCE <= 1 {
+		t.Errorf("CS throughput %.3f, want > 1", cs.ThroughputVsCE)
+	}
+	if cs.GeoNormRun <= sns.GeoNormRun {
+		t.Errorf("CS norm run %.3f not worse than SNS %.3f", cs.GeoNormRun, sns.GeoNormRun)
+	}
+	if cs.Violations.MaxExcessPct <= sns.Violations.MaxExcessPct {
+		t.Errorf("CS worst violation %.1f%% not worse than SNS %.1f%%",
+			cs.Violations.MaxExcessPct, sns.Violations.MaxExcessPct)
+	}
+	// Full SNS: the only configuration with both throughput above CE
+	// and normalized run time at or below CE.
+	if sns.ThroughputVsCE <= cs.ThroughputVsCE {
+		t.Errorf("SNS throughput %.3f not above CS %.3f", sns.ThroughputVsCE, cs.ThroughputVsCE)
+	}
+	if sns.GeoNormRun > 1.0 {
+		t.Errorf("SNS norm run %.3f, want <= 1", sns.GeoNormRun)
+	}
+	// MBA enforces caps; it must not materially increase violations
+	// (throttled jobs shift completion order, so allow a couple of
+	// jobs of schedule noise).
+	if mba.Violations.Violations > sns.Violations.Violations+2 {
+		t.Errorf("MBA increased violations: %d vs %d",
+			mba.Violations.Violations, sns.Violations.Violations)
+	}
+}
+
+func TestAblationAlphaTradeoff(t *testing.T) {
+	rows, err := AblationAlpha(env(t), 4, 20, []float64{0.7, 0.9, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Looser alpha (0.7) admits more co-location: throughput at least
+	// as high as strict alpha (0.95), and more violations of the 0.9
+	// bound.
+	if rows[0].ThroughputVsCE < rows[2].ThroughputVsCE-1e-9 {
+		t.Errorf("alpha=0.7 throughput %.3f below alpha=0.95 %.3f",
+			rows[0].ThroughputVsCE, rows[2].ThroughputVsCE)
+	}
+	if rows[0].Violations.Violations < rows[2].Violations.Violations {
+		t.Errorf("alpha=0.7 violations %d below alpha=0.95 %d",
+			rows[0].Violations.Violations, rows[2].Violations.Violations)
+	}
+}
+
+func TestAblationBetaRuns(t *testing.T) {
+	rows, err := AblationBeta(env(t), 3, 16, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ThroughputVsCE <= 0 {
+			t.Errorf("%s: non-positive throughput", r.Label)
+		}
+	}
+}
+
+func TestAblationGroupingRuns(t *testing.T) {
+	rows, err := AblationGrouping(env(t), 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Label != "grouped" || rows[1].Label != "ungrouped" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestAblationTableRenders(t *testing.T) {
+	rows := []AblationRow{{Label: "x", ThroughputVsCE: 1.2, GeoNormRun: 0.9,
+		Violations: ViolationStats{Executions: 10, Violations: 2, AvgExcessPct: 5, MaxExcessPct: 9}}}
+	tab := AblationTable(rows)
+	if len(tab) != 2 || tab[1][3] != "2/10" {
+		t.Errorf("table = %v", tab)
+	}
+}
+
+func TestLoadSweepShape(t *testing.T) {
+	rows, err := LoadSweep(env(t), []float64{0.3, 0.7, 1.1}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// Queueing grows with offered load under CE.
+	if !(rows[2].WaitCE > rows[0].WaitCE) {
+		t.Errorf("CE wait did not grow with load: %.1f -> %.1f",
+			rows[0].WaitCE, rows[2].WaitCE)
+	}
+	// At saturation, SNS's run-time reductions relieve the queue.
+	if rows[2].SNSTurnNorm >= 1 {
+		t.Errorf("SNS turnaround %.3f at load 1.1, want below CE", rows[2].SNSTurnNorm)
+	}
+	if _, err := LoadSweep(env(t), []float64{0}, 10); err == nil {
+		t.Error("zero load accepted")
+	}
+	if len(LoadTable(rows)) != 4 {
+		t.Error("table shape wrong")
+	}
+}
+
+func TestQoSMixHonorsClasses(t *testing.T) {
+	rows, err := QoSMix(env(t), 6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	strict, loose := rows[0], rows[1]
+	// The strict class must be protected better than the loose class.
+	if strict.GeoNormRun >= loose.GeoNormRun {
+		t.Errorf("strict class norm run %.3f not below loose %.3f",
+			strict.GeoNormRun, loose.GeoNormRun)
+	}
+	// Most strict executions honor their own (tight) bound.
+	frac := float64(strict.Violations.Violations) / float64(strict.Violations.Executions)
+	if frac > 0.5 {
+		t.Errorf("strict class violated its bound in %.0f%% of executions", 100*frac)
+	}
+	if len(QoSMixTable(rows)) != 3 {
+		t.Error("table shape wrong")
+	}
+}
+
+func TestClusterSizeSweepConjecture(t *testing.T) {
+	rows, err := ClusterSizeSweep(env(t), []int{4, 8, 16}, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// The smallest cluster pays the worst wait-time penalty...
+	if !(rows[0].WaitNorm > rows[1].WaitNorm && rows[0].WaitNorm > rows[2].WaitNorm) {
+		t.Errorf("4-node wait penalty %.3f not the worst (%.3f, %.3f)",
+			rows[0].WaitNorm, rows[1].WaitNorm, rows[2].WaitNorm)
+	}
+	// ...and is the only one where SNS loses on turnaround.
+	if rows[0].TurnNorm <= 1 {
+		t.Errorf("4-node turnaround %.3f, expected above CE (fragmentation)", rows[0].TurnNorm)
+	}
+	for _, r := range rows[1:] {
+		if r.TurnNorm >= 1 {
+			t.Errorf("%d-node turnaround %.3f, want below CE", r.Nodes, r.TurnNorm)
+		}
+	}
+	if len(SizeSweepTable(rows)) != 4 {
+		t.Error("table shape wrong")
+	}
+}

@@ -1,0 +1,119 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figures 1-7 and 12-20) on the simulated substrate. Each experiment
+// returns structured rows consumed by cmd/snsbench and by the benchmark
+// harness in the repository root; EXPERIMENTS.md records paper-vs-measured
+// values for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/workload"
+)
+
+// Env bundles the shared experimental setup: the paper's 8-node cluster,
+// the 12-program catalog, a fully-populated profile database, and the CE
+// baseline measurement cache.
+type Env struct {
+	Spec hw.ClusterSpec
+	Cat  *app.Catalog
+	DB   *profiler.DB
+	CE   *workload.CERunTimes
+}
+
+// NewEnv builds the environment, profiling all programs at 16 processes
+// and the flexible (non-power-of-2) programs at 28.
+func NewEnv() (*Env, error) {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		return nil, err
+	}
+	db := profiler.NewDB()
+	k := profiler.New(spec)
+	if err := k.ProfileAll(cat, app.ProgramNames, 16, db); err != nil {
+		return nil, err
+	}
+	var flexible []string
+	for _, name := range app.ProgramNames {
+		m, _ := cat.Lookup(name)
+		if !m.PowerOf2 {
+			flexible = append(flexible, name)
+		}
+	}
+	if err := k.ProfileAll(cat, flexible, 28, db); err != nil {
+		return nil, err
+	}
+	return &Env{
+		Spec: spec,
+		Cat:  cat,
+		DB:   db,
+		CE:   workload.NewCERunTimes(spec, cat),
+	}, nil
+}
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+// SharedEnv returns a lazily-built process-wide environment, so the many
+// benchmark targets do not re-profile per invocation.
+func SharedEnv() (*Env, error) {
+	envOnce.Do(func() { envVal, envErr = NewEnv() })
+	return envVal, envErr
+}
+
+// Prog looks a program up, panicking on unknown names (experiment tables
+// are static).
+func (e *Env) Prog(name string) *app.Model {
+	m, err := e.Cat.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FormatTable renders rows as aligned columns for terminal output.
+func FormatTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, r := range rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f3 formats a float with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// f1 formats a float with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+)
+
+// Fig12Row is one program's cache sensitivity (Figure 12): the least LLC
+// ways (of 20) needed for 90% of full-allocation performance, and the
+// average memory bandwidth measured at that allocation, with 16 cores on
+// one node.
+type Fig12Row struct {
+	Program     string
+	LeastWays   int
+	BandwidthGB float64
+	Class       string
+	Constraint  string
+}
+
+// Fig12CacheSensitivity reproduces Figure 12 from the profile database's
+// measured curves.
+func Fig12CacheSensitivity(env *Env) ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, name := range app.ProgramNames {
+		p, ok := env.DB.Get(name, 16)
+		if !ok {
+			return nil, fmt.Errorf("fig12: %s unprofiled", name)
+		}
+		base, ok := p.AtK(1)
+		if !ok {
+			return nil, fmt.Errorf("fig12: %s has no compact profile", name)
+		}
+		full := base.FullWays()
+		least := full
+		for w := env.Spec.Node.MinWaysPerJob; w <= full; w++ {
+			if base.IPCAt(w) >= 0.9*base.IPCAt(full) {
+				least = w
+				break
+			}
+		}
+		rows = append(rows, Fig12Row{
+			Program:     name,
+			LeastWays:   least,
+			BandwidthGB: base.BWAt(least),
+			Class:       p.Class.String(),
+			Constraint:  p.ConstrainedBy,
+		})
+	}
+	return rows, nil
+}
+
+// Fig12Table renders Figure 12 rows.
+func Fig12Table(rows []Fig12Row) [][]string {
+	out := [][]string{{"program", "least ways (90%)", "bandwidth GB/s", "class", "constraint"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Program, fmt.Sprint(r.LeastWays),
+			f1(r.BandwidthGB), r.Class, r.Constraint})
+	}
+	return out
+}
+
+// Fig13Row is one program's exclusive scaling speedup at 2x, 4x and 8x
+// versus its compact run (Figure 13).
+type Fig13Row struct {
+	Program string
+	X2      float64
+	X4      float64
+	X8      float64
+	IdealK  int
+}
+
+// Fig13Programs are the ten multi-node-capable test programs of Figure 13
+// (the TensorFlow examples cannot spread).
+var Fig13Programs = []string{"WC", "TS", "NW", "MG", "CG", "EP", "LU", "BFS", "HC", "BW"}
+
+// Fig13SpeedupScaling reproduces Figure 13 with exclusive 16-process runs.
+func Fig13SpeedupScaling(env *Env) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, name := range Fig13Programs {
+		prog := env.Prog(name)
+		base, err := exec.RunSolo(env.Spec, prog, 16, 1)
+		if err != nil {
+			return nil, err
+		}
+		speedup := func(n int) (float64, error) {
+			j, err := exec.RunSolo(env.Spec, prog, 16, n)
+			if err != nil {
+				return 0, err
+			}
+			return base.RunTime() / j.RunTime(), nil
+		}
+		row := Fig13Row{Program: name}
+		if row.X2, err = speedup(2); err != nil {
+			return nil, err
+		}
+		if row.X4, err = speedup(4); err != nil {
+			return nil, err
+		}
+		if row.X8, err = speedup(8); err != nil {
+			return nil, err
+		}
+		if p, ok := env.DB.Get(name, 16); ok {
+			row.IdealK = p.IdealK()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig13Table renders Figure 13 rows.
+func Fig13Table(rows []Fig13Row) [][]string {
+	out := [][]string{{"program", "2x,E", "4x,E", "8x,E", "ideal k"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Program, f3(r.X2), f3(r.X4), f3(r.X8), fmt.Sprint(r.IdealK)})
+	}
+	return out
+}

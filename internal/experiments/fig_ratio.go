@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/stats"
+	"spreadnshare/internal/workload"
+)
+
+// Fig19Row is one scaling-ratio point of the controlled mix study
+// (Figure 19): SNS's average wait, run, and turnaround time normalized to
+// CE's.
+type Fig19Row struct {
+	TargetRatio float64
+	RunNorm     float64
+	WaitNorm    float64
+	TurnNorm    float64
+}
+
+// Fig19ScalingRatio reproduces Figure 19: eleven BW/HC mixes of 30
+// full-node jobs spanning scaling ratios 0..1, each replayed under CE and
+// SNS. (With full-node jobs CS equals CE, so it is omitted, as in the
+// paper.)
+func Fig19ScalingRatio(env *Env) ([]Fig19Row, error) {
+	var rows []Fig19Row
+	for i := 0; i <= 10; i++ {
+		target := float64(i) / 10
+		seq := workload.RatioMix(rand.New(rand.NewSource(int64(50+i))), target, 30)
+		type agg struct{ run, wait, turn float64 }
+		byPolicy := make(map[sched.Policy]agg)
+		for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+			done, err := runSequence(env, seq, p)
+			if err != nil {
+				return nil, err
+			}
+			var runs, waits, turns []float64
+			for _, j := range done {
+				runs = append(runs, j.RunTime())
+				waits = append(waits, j.WaitTime())
+				turns = append(turns, j.Turnaround())
+			}
+			byPolicy[p] = agg{stats.Mean(runs), stats.Mean(waits), stats.Mean(turns)}
+		}
+		ce, sns := byPolicy[sched.CE], byPolicy[sched.SNS]
+		row := Fig19Row{TargetRatio: target}
+		if ce.run > 0 {
+			row.RunNorm = sns.run / ce.run
+		}
+		if ce.wait > 0 {
+			row.WaitNorm = sns.wait / ce.wait
+		}
+		if ce.turn > 0 {
+			row.TurnNorm = sns.turn / ce.turn
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig19Table renders Figure 19.
+func Fig19Table(rows []Fig19Row) [][]string {
+	out := [][]string{{"scaling ratio", "run/CE", "wait/CE", "turnaround/CE"}}
+	for _, r := range rows {
+		out = append(out, []string{f2(r.TargetRatio), f3(r.RunNorm), f3(r.WaitNorm), f3(r.TurnNorm)})
+	}
+	return out
+}

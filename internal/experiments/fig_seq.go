@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/pmu"
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/stats"
+	"spreadnshare/internal/workload"
+)
+
+// SeqCount and SeqJobs are the paper's evaluation scale: 36 random
+// sequences of 20 jobs each (Section 6.2).
+const (
+	SeqCount = 36
+	SeqJobs  = 20
+)
+
+// SequenceOutcome is the measured result of one random job sequence under
+// all three policies.
+type SequenceOutcome struct {
+	Seed         int64
+	ScalingRatio float64
+	// Throughput per policy (1 / mean turnaround).
+	Throughput map[sched.Policy]float64
+	// NormRun holds each job's run time normalized to its CE solo
+	// baseline, per policy.
+	NormRun map[sched.Policy][]float64
+}
+
+// runSequence executes one job sequence under one policy.
+func runSequence(env *Env, seq []sched.JobSpec, policy sched.Policy) ([]*exec.Job, error) {
+	s, err := sched.New(env.Spec, env.Cat, env.DB, sched.DefaultConfig(policy))
+	if err != nil {
+		return nil, err
+	}
+	for _, js := range seq {
+		if err := s.Submit(js); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run()
+}
+
+// RunSequences evaluates `count` random sequences of `jobs` jobs under CE,
+// CS and SNS, seeded deterministically. Sequences are independent
+// simulations, so they run concurrently across the available cores;
+// results are returned in sequence order regardless of completion order.
+func RunSequences(env *Env, count, jobs int) ([]SequenceOutcome, error) {
+	outcomes := make([]SequenceOutcome, count)
+	errs := make([]error, count)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i], errs[i] = runOneSequenceStudy(env, i, jobs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outcomes, nil
+}
+
+// runOneSequenceStudy measures sequence i under all three policies.
+func runOneSequenceStudy(env *Env, i, jobs int) (SequenceOutcome, error) {
+	seed := int64(1000 + i)
+	seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), env.Cat, jobs)
+	ratio, err := workload.ScalingRatio(seq, env.DB, env.CE)
+	if err != nil {
+		return SequenceOutcome{}, err
+	}
+	o := SequenceOutcome{
+		Seed:         seed,
+		ScalingRatio: ratio,
+		Throughput:   make(map[sched.Policy]float64),
+		NormRun:      make(map[sched.Policy][]float64),
+	}
+	for _, p := range []sched.Policy{sched.CE, sched.CS, sched.SNS} {
+		done, err := runSequence(env, seq, p)
+		if err != nil {
+			return o, fmt.Errorf("seq %d policy %v: %w", i, p, err)
+		}
+		turns := make([]float64, len(done))
+		norm := make([]float64, len(done))
+		for k, j := range done {
+			turns[k] = j.Turnaround()
+			base, err := env.CE.Of(j.Prog.Name, j.Procs)
+			if err != nil {
+				return o, err
+			}
+			norm[k] = j.RunTime() / base
+		}
+		o.Throughput[p] = stats.Throughput(turns)
+		o.NormRun[p] = norm
+	}
+	return o, nil
+}
+
+// Fig14Row is one sequence's normalized throughput (Figure 14).
+type Fig14Row struct {
+	ScalingRatio float64
+	CSOverCE     float64
+	SNSOverCE    float64
+}
+
+// Fig14Throughput reproduces Figure 14 from sequence outcomes.
+func Fig14Throughput(outcomes []SequenceOutcome) []Fig14Row {
+	rows := make([]Fig14Row, 0, len(outcomes))
+	for _, o := range outcomes {
+		rows = append(rows, Fig14Row{
+			ScalingRatio: o.ScalingRatio,
+			CSOverCE:     o.Throughput[sched.CS] / o.Throughput[sched.CE],
+			SNSOverCE:    o.Throughput[sched.SNS] / o.Throughput[sched.CE],
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ScalingRatio < rows[b].ScalingRatio })
+	return rows
+}
+
+// Fig14Summary returns the average gains over CE (the paper reports CS
+// +13.7% and SNS +19.8%).
+func Fig14Summary(rows []Fig14Row) (csAvg, snsAvg float64) {
+	var cs, sns []float64
+	for _, r := range rows {
+		cs = append(cs, r.CSOverCE)
+		sns = append(sns, r.SNSOverCE)
+	}
+	return stats.Mean(cs), stats.Mean(sns)
+}
+
+// Fig14Table renders Figure 14.
+func Fig14Table(rows []Fig14Row) [][]string {
+	out := [][]string{{"scaling ratio", "CS/CE", "SNS/CE"}}
+	for _, r := range rows {
+		out = append(out, []string{f3(r.ScalingRatio), f3(r.CSOverCE), f3(r.SNSOverCE)})
+	}
+	cs, sns := Fig14Summary(rows)
+	out = append(out, []string{"average", f3(cs), f3(sns)})
+	return out
+}
+
+// Fig15Row is one sequence's SNS throughput relative to CE and to CS
+// (Figure 15; the two columns are sorted independently, as in the paper).
+type Fig15Row struct {
+	SNSOverCE float64
+	SNSOverCS float64
+}
+
+// Fig15Relative reproduces Figure 15.
+func Fig15Relative(outcomes []SequenceOutcome) []Fig15Row {
+	ce := make([]float64, 0, len(outcomes))
+	cs := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		ce = append(ce, o.Throughput[sched.SNS]/o.Throughput[sched.CE])
+		cs = append(cs, o.Throughput[sched.SNS]/o.Throughput[sched.CS])
+	}
+	sort.Float64s(ce)
+	sort.Float64s(cs)
+	rows := make([]Fig15Row, len(outcomes))
+	for i := range rows {
+		rows[i] = Fig15Row{SNSOverCE: ce[i], SNSOverCS: cs[i]}
+	}
+	return rows
+}
+
+// Fig15Table renders Figure 15 plus the win-rate summary.
+func Fig15Table(rows []Fig15Row) [][]string {
+	out := [][]string{{"rank", "SNS/CE", "SNS/CS"}}
+	winsCE, winsCS := 0, 0
+	for i, r := range rows {
+		out = append(out, []string{fmt.Sprint(i), f3(r.SNSOverCE), f3(r.SNSOverCS)})
+		if r.SNSOverCE > 1 {
+			winsCE++
+		}
+		if r.SNSOverCS > 1 {
+			winsCS++
+		}
+	}
+	out = append(out, []string{"wins",
+		fmt.Sprintf("%d/%d", winsCE, len(rows)),
+		fmt.Sprintf("%d/%d", winsCS, len(rows))})
+	return out
+}
+
+// Fig16Row is one sequence's normalized job run-time distribution
+// (Figure 16): geometric mean plus extremes, for CS and SNS.
+type Fig16Row struct {
+	CSAvg, CSMax, CSMin    float64
+	SNSAvg, SNSMax, SNSMin float64
+}
+
+// Fig16RunTime reproduces Figure 16, sorted by SNS average.
+func Fig16RunTime(outcomes []SequenceOutcome) []Fig16Row {
+	rows := make([]Fig16Row, 0, len(outcomes))
+	for _, o := range outcomes {
+		csMin, csMax := stats.MinMax(o.NormRun[sched.CS])
+		snsMin, snsMax := stats.MinMax(o.NormRun[sched.SNS])
+		rows = append(rows, Fig16Row{
+			CSAvg: stats.GeoMean(o.NormRun[sched.CS]), CSMax: csMax, CSMin: csMin,
+			SNSAvg: stats.GeoMean(o.NormRun[sched.SNS]), SNSMax: snsMax, SNSMin: snsMin,
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].SNSAvg < rows[b].SNSAvg })
+	return rows
+}
+
+// Fig16Table renders Figure 16.
+func Fig16Table(rows []Fig16Row) [][]string {
+	out := [][]string{{"rank", "CS avg", "CS min", "CS max", "SNS avg", "SNS min", "SNS max"}}
+	for i, r := range rows {
+		out = append(out, []string{fmt.Sprint(i),
+			f3(r.CSAvg), f3(r.CSMin), f3(r.CSMax),
+			f3(r.SNSAvg), f3(r.SNSMin), f3(r.SNSMax)})
+	}
+	return out
+}
+
+// Fig16Violations aggregates slowdown-threshold violations across all SNS
+// executions of a sequence study — the statistic the paper reports as 136
+// of 720 executions exceeding the alpha = 0.9 slowdown factor by 28.3% on
+// average (Section 6.2).
+func Fig16Violations(outcomes []SequenceOutcome) ViolationStats {
+	var all []float64
+	for _, o := range outcomes {
+		all = append(all, o.NormRun[sched.SNS]...)
+	}
+	return ViolationsOf(all, 0.9)
+}
+
+// Fig17Result is the load-balance study (Figures 17 and 18): per-node
+// bandwidth samples over 30-second episodes for the same sequence under
+// CE and SNS.
+type Fig17Result struct {
+	// Samples per policy: one bandwidth reading per (node, episode).
+	Samples map[sched.Policy][]float64
+	// Variance is the std-dev/peak metric (paper: CE 0.40, SNS 0.25).
+	Variance map[sched.Policy]float64
+	// Histograms over 10 GB/s bins up to the node peak (Figure 18).
+	Histogram map[sched.Policy][]int
+	// Matrix[node] is the node's bandwidth time series.
+	Matrix map[sched.Policy][][]float64
+}
+
+// Fig17LoadBalance runs one random sequence under CE and SNS with the
+// 30-second monitor attached.
+func Fig17LoadBalance(env *Env, seed int64) (*Fig17Result, error) {
+	seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), env.Cat, SeqJobs)
+	res := &Fig17Result{
+		Samples:   make(map[sched.Policy][]float64),
+		Variance:  make(map[sched.Policy]float64),
+		Histogram: make(map[sched.Policy][]int),
+		Matrix:    make(map[sched.Policy][][]float64),
+	}
+	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+		s, err := sched.New(env.Spec, env.Cat, env.DB, sched.DefaultConfig(p))
+		if err != nil {
+			return nil, err
+		}
+		for _, js := range seq {
+			if err := s.Submit(js); err != nil {
+				return nil, err
+			}
+		}
+		rec := &pmu.Recorder{Interval: 30}
+		s.Engine().Monitor(rec, 0)
+		if _, err := s.Run(); err != nil {
+			return nil, err
+		}
+		var flat []float64
+		matrix := make([][]float64, env.Spec.Nodes)
+		for node, series := range rec.ByNode(env.Spec.Nodes) {
+			for _, sample := range series {
+				flat = append(flat, sample.BandwidthGB)
+				matrix[node] = append(matrix[node], sample.BandwidthGB)
+			}
+		}
+		res.Samples[p] = flat
+		res.Variance[p] = stats.PeakNormVariance(flat)
+		res.Histogram[p] = stats.Histogram(flat, 0, env.Spec.Node.PeakBandwidth, 12)
+		res.Matrix[p] = matrix
+	}
+	return res, nil
+}
+
+// Fig17Table renders the variance summary and histograms.
+func Fig17Table(r *Fig17Result) [][]string {
+	out := [][]string{{"policy", "episodes", "variance (std/peak)"}}
+	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+		out = append(out, []string{p.String(),
+			fmt.Sprint(len(r.Samples[p])), f3(r.Variance[p])})
+	}
+	out = append(out, []string{"", "", ""})
+	out = append(out, []string{"policy", "bin (GB/s)", "episodes"})
+	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+		for b, c := range r.Histogram[p] {
+			lo := float64(b) * 118.26 / 12
+			out = append(out, []string{p.String(), fmt.Sprintf("%.0f-%.0f", lo, lo+118.26/12), fmt.Sprint(c)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/sched"
+)
+
+// ScaleLabels name the paper's four standard placements of a 16-process
+// job.
+var ScaleLabels = []string{"1N16C", "2N8C", "4N4C", "8N2C"}
+
+// scaleNodes are the node counts behind ScaleLabels.
+var scaleNodes = []int{1, 2, 4, 8}
+
+// Fig2Row is one program's scaling behavior (Figure 2): speedup of a
+// 16-process run at each placement versus 1N16C.
+type Fig2Row struct {
+	Program  string
+	Speedups [4]float64
+}
+
+// Fig2Scaling reproduces Figure 2 for the paper's four characterization
+// programs.
+func Fig2Scaling(env *Env) ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, name := range []string{"MG", "CG", "EP", "BFS"} {
+		prog := env.Prog(name)
+		base, err := exec.RunSolo(env.Spec, prog, 16, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Program: name}
+		for i, n := range scaleNodes {
+			j, err := exec.RunSolo(env.Spec, prog, 16, n)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups[i] = base.RunTime() / j.RunTime()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig2Table renders Figure 2 rows.
+func Fig2Table(rows []Fig2Row) [][]string {
+	out := [][]string{{"program", "1N16C", "2N8C", "4N4C", "8N2C"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Program,
+			f3(r.Speedups[0]), f3(r.Speedups[1]), f3(r.Speedups[2]), f3(r.Speedups[3])})
+	}
+	return out
+}
+
+// Fig3Row is one point of the STREAM bandwidth curve (Figure 3).
+type Fig3Row struct {
+	Cores     int
+	OverallGB float64
+	PerCoreGB float64
+}
+
+// Fig3Stream reproduces Figure 3 from the hardware model.
+func Fig3Stream(env *Env) []Fig3Row {
+	var rows []Fig3Row
+	for k := 1; k <= env.Spec.Node.Cores; k++ {
+		rows = append(rows, Fig3Row{
+			Cores:     k,
+			OverallGB: env.Spec.Node.StreamBandwidth(k),
+			PerCoreGB: env.Spec.Node.PerCoreBandwidth(k),
+		})
+	}
+	return rows
+}
+
+// Fig3Table renders Figure 3 rows.
+func Fig3Table(rows []Fig3Row) [][]string {
+	out := [][]string{{"cores", "overall GB/s", "per-core GB/s"}}
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.Cores), f2(r.OverallGB), f2(r.PerCoreGB)})
+	}
+	return out
+}
+
+// Fig4Row is one program's per-node memory bandwidth consumption at each
+// placement (Figure 4).
+type Fig4Row struct {
+	Program   string
+	PerNodeGB [4]float64
+}
+
+// Fig4Bandwidth reproduces Figure 4 from simulated PMU counters.
+func Fig4Bandwidth(env *Env) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, name := range []string{"MG", "CG", "EP", "BFS"} {
+		prog := env.Prog(name)
+		row := Fig4Row{Program: name}
+		for i, n := range scaleNodes {
+			j, c, _, err := exec.RunSoloStats(env.Spec, prog, 16, n)
+			if err != nil {
+				return nil, err
+			}
+			_ = j
+			row.PerNodeGB[i] = c.Bandwidth() / float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4Table renders Figure 4 rows.
+func Fig4Table(rows []Fig4Row) [][]string {
+	out := [][]string{{"program", "1N16C", "2N8C", "4N4C", "8N2C"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Program,
+			f2(r.PerNodeGB[0]), f2(r.PerNodeGB[1]), f2(r.PerNodeGB[2]), f2(r.PerNodeGB[3])})
+	}
+	return out
+}
+
+// Fig5Row is one program's LLC miss rate at each placement (Figure 5).
+type Fig5Row struct {
+	Program string
+	MissPct [4]float64
+}
+
+// Fig5MissRate reproduces Figure 5.
+func Fig5MissRate(env *Env) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, name := range []string{"MG", "CG", "EP", "BFS"} {
+		prog := env.Prog(name)
+		row := Fig5Row{Program: name}
+		for i, n := range scaleNodes {
+			_, _, m, err := exec.RunSoloStats(env.Spec, prog, 16, n)
+			if err != nil {
+				return nil, err
+			}
+			row.MissPct[i] = m.MissPct
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig5Table renders Figure 5 rows.
+func Fig5Table(rows []Fig5Row) [][]string {
+	out := [][]string{{"program", "1N16C", "2N8C", "4N4C", "8N2C"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Program,
+			f1(r.MissPct[0]), f1(r.MissPct[1]), f1(r.MissPct[2]), f1(r.MissPct[3])})
+	}
+	return out
+}
+
+// Fig6Row is one program's performance under a CAT way sweep, normalized
+// to full ways (Figure 6).
+type Fig6Row struct {
+	Program string
+	Norm    []float64 // index w-1 for w ways
+}
+
+// Fig6WaySweep reproduces Figure 6: each program runs solo on one node
+// while its LLC allocation is fixed at w ways for the whole run.
+func Fig6WaySweep(env *Env) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, name := range []string{"MG", "CG", "EP", "BFS"} {
+		prog := env.Prog(name)
+		times := make([]float64, env.Spec.Node.LLCWays)
+		for w := 1; w <= env.Spec.Node.LLCWays; w++ {
+			e, err := exec.New(env.Spec)
+			if err != nil {
+				return nil, err
+			}
+			j, err := exec.PlaceEven(prog, 0, 16, 1, env.Spec.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.Launch(j); err != nil {
+				return nil, err
+			}
+			if err := e.SetJobWays(j.ID, w); err != nil {
+				return nil, err
+			}
+			e.Run(0)
+			times[w-1] = j.RunTime()
+		}
+		full := times[len(times)-1]
+		row := Fig6Row{Program: name, Norm: make([]float64, len(times))}
+		for i, t := range times {
+			row.Norm[i] = full / t
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Table renders selected way counts of Figure 6.
+func Fig6Table(rows []Fig6Row) [][]string {
+	out := [][]string{{"program", "1w", "2w", "4w", "8w", "12w", "16w", "20w"}}
+	for _, r := range rows {
+		pick := func(w int) string { return f3(r.Norm[w-1]) }
+		out = append(out, []string{r.Program,
+			pick(1), pick(2), pick(4), pick(8), pick(12), pick(16), pick(20)})
+	}
+	return out
+}
+
+// Fig7Row is one program's compute/communication breakdown at each
+// placement, normalized to the 1-node total run time (Figure 7).
+type Fig7Row struct {
+	Program string
+	Compute [4]float64
+	Comm    [4]float64
+}
+
+// Fig7CommBreakdown reproduces Figure 7 from the engine's mpiP-style
+// compute-fraction accounting.
+func Fig7CommBreakdown(env *Env) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, name := range []string{"MG", "CG", "EP", "BFS"} {
+		prog := env.Prog(name)
+		base, _, _, err := exec.RunSoloStats(env.Spec, prog, 16, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Program: name}
+		for i, n := range scaleNodes {
+			j, c, _, err := exec.RunSoloStats(env.Spec, prog, 16, n)
+			if err != nil {
+				return nil, err
+			}
+			total := j.RunTime() / base.RunTime()
+			commFrac := 0.0
+			if c.Elapsed > 0 {
+				commFrac = c.CommSeconds / c.Elapsed
+			}
+			row.Comm[i] = total * commFrac
+			row.Compute[i] = total * (1 - commFrac)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7Table renders Figure 7 rows as compute+comm pairs.
+func Fig7Table(rows []Fig7Row) [][]string {
+	out := [][]string{{"program", "scale", "compute", "comm", "total"}}
+	for _, r := range rows {
+		for i, label := range ScaleLabels {
+			out = append(out, []string{r.Program, label,
+				f3(r.Compute[i]), f3(r.Comm[i]), f3(r.Compute[i] + r.Comm[i])})
+		}
+	}
+	return out
+}
+
+// Fig1Result is the motivating-example outcome (Figure 1): the same
+// three-program mix under CE on three nodes versus SNS on two.
+type Fig1Result struct {
+	// Times per program label, seconds (MG is the span of its five
+	// back-to-back repetitions).
+	CETimes, SNSTimes map[string]float64
+	// Makespans and node-seconds.
+	CEMakespan, SNSMakespan    float64
+	CENodeSecs, SNSNodeSecs    float64
+	NodeSecsReductionPct       float64
+	MGSpeedupPct, TSSpeedupPct float64
+	HCSlowdownPct              float64
+}
+
+// Fig1Motivating reproduces the Figure 1 layout: MG (five back-to-back
+// 16-core runs), HC (16 replicated instances), and TS (16 cores), under
+// CE on a 3-node cluster and under SNS on a 2-node cluster.
+func Fig1Motivating(env *Env) (*Fig1Result, error) {
+	run := func(policy sched.Policy, nodes int) (map[string]float64, float64, error) {
+		spec := env.Spec
+		spec.Nodes = nodes
+		s, err := sched.New(spec, env.Cat, env.DB, sched.DefaultConfig(policy))
+		if err != nil {
+			return nil, 0, err
+		}
+		// MG repeats five times back to back: resubmit on completion.
+		mgRuns := 1
+		mgStart, mgEnd := -1.0, 0.0
+		s.Engine().OnFinish(func(j *exec.Job) {
+			if j.Prog.Name != "MG" {
+				return
+			}
+			mgEnd = j.Finish
+			if mgRuns < 5 {
+				mgRuns++
+				if err := s.Submit(sched.JobSpec{
+					Program: "MG", Procs: 16, Submit: s.Engine().Now(),
+				}); err != nil {
+					panic(err)
+				}
+			}
+		})
+		for _, js := range []sched.JobSpec{
+			{Program: "MG", Procs: 16},
+			{Program: "TS", Procs: 16},
+			{Program: "HC", Procs: 16},
+		} {
+			if err := s.Submit(js); err != nil {
+				return nil, 0, err
+			}
+		}
+		jobs, err := s.Run()
+		if err != nil {
+			return nil, 0, err
+		}
+		times := map[string]float64{}
+		makespan := 0.0
+		for _, j := range jobs {
+			if j.Prog.Name == "MG" {
+				if mgStart < 0 || j.Start < mgStart {
+					mgStart = j.Start
+				}
+			} else {
+				times[j.Prog.Name] = j.Finish - j.Submit
+			}
+			if j.Finish > makespan {
+				makespan = j.Finish
+			}
+		}
+		times["MG"] = mgEnd - mgStart
+		return times, makespan, nil
+	}
+
+	ceTimes, ceSpan, err := run(sched.CE, 3)
+	if err != nil {
+		return nil, fmt.Errorf("fig1 CE: %w", err)
+	}
+	snsTimes, snsSpan, err := run(sched.SNS, 2)
+	if err != nil {
+		return nil, fmt.Errorf("fig1 SNS: %w", err)
+	}
+	res := &Fig1Result{
+		CETimes: ceTimes, SNSTimes: snsTimes,
+		CEMakespan: ceSpan, SNSMakespan: snsSpan,
+		CENodeSecs:  3 * ceSpan,
+		SNSNodeSecs: 2 * snsSpan,
+	}
+	res.NodeSecsReductionPct = 100 * (1 - res.SNSNodeSecs/res.CENodeSecs)
+	res.MGSpeedupPct = 100 * (ceTimes["MG"]/snsTimes["MG"] - 1)
+	res.TSSpeedupPct = 100 * (ceTimes["TS"]/snsTimes["TS"] - 1)
+	res.HCSlowdownPct = 100 * (snsTimes["HC"]/ceTimes["HC"] - 1)
+	return res, nil
+}
+
+// Fig1Table renders the motivating example.
+func Fig1Table(r *Fig1Result) [][]string {
+	return [][]string{
+		{"metric", "CE (3 nodes)", "SNS (2 nodes)"},
+		{"MG time (s)", f2(r.CETimes["MG"]), f2(r.SNSTimes["MG"])},
+		{"TS time (s)", f2(r.CETimes["TS"]), f2(r.SNSTimes["TS"])},
+		{"HC time (s)", f2(r.CETimes["HC"]), f2(r.SNSTimes["HC"])},
+		{"makespan (s)", f2(r.CEMakespan), f2(r.SNSMakespan)},
+		{"node-seconds", f1(r.CENodeSecs), f1(r.SNSNodeSecs)},
+		{"node-secs reduction %", "", f1(r.NodeSecsReductionPct)},
+		{"MG speedup %", "", f1(r.MGSpeedupPct)},
+		{"TS speedup %", "", f1(r.TSSpeedupPct)},
+		{"HC slowdown %", "", f1(r.HCSlowdownPct)},
+	}
+}

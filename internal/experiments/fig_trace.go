@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spreadnshare/internal/trace"
+)
+
+// TraceScalingPrograms and TraceOtherPrograms are the groups trace jobs
+// are mapped onto (multi-node capable programs only; Section 6.4 samples
+// each group uniformly).
+var (
+	TraceScalingPrograms = []string{"MG", "CG", "LU", "TS", "BW"}
+	TraceOtherPrograms   = []string{"EP", "WC", "NW", "HC", "BFS"}
+)
+
+// Fig20Row is one (cluster size, scaling ratio) cell of the large-cluster
+// study (Figure 20): CE and SNS average wait and run time, normalized to
+// the CE average turnaround of that cell.
+type Fig20Row struct {
+	ClusterNodes int
+	ScalingRatio float64
+	CEWait       float64
+	CERun        float64
+	SNSWait      float64
+	SNSRun       float64
+	// SNSTurnImprovePct is the turnaround (throughput) improvement of
+	// SNS over CE in percent.
+	SNSTurnImprovePct float64
+}
+
+// Fig20Config controls the replay scale so tests can run a reduced
+// version; DefaultFig20Config is the paper's setting.
+type Fig20Config struct {
+	Seed     int64
+	Jobs     int
+	Span     float64 // hours
+	MaxNodes int
+	Sizes    []int
+	Ratios   []float64
+}
+
+// DefaultFig20Config mirrors Section 6.4: 7,044 jobs over 1900 hours,
+// jobs up to 4,096 nodes, clusters of 4K-32K nodes, ratios 0.9 and 0.5.
+func DefaultFig20Config() Fig20Config {
+	return Fig20Config{
+		Seed:     42,
+		Jobs:     7044,
+		Span:     1900,
+		MaxNodes: 4096,
+		Sizes:    []int{4096, 8192, 16384, 32768},
+		Ratios:   []float64{0.9, 0.5},
+	}
+}
+
+// Fig20TraceSim reproduces Figure 20 by trace-driven simulation.
+func Fig20TraceSim(env *Env, cfg Fig20Config) ([]Fig20Row, error) {
+	var rows []Fig20Row
+	for _, ratio := range cfg.Ratios {
+		jobs := trace.Synthesize(cfg.Seed, trace.GenConfig{
+			Jobs: cfg.Jobs, SpanHours: cfg.Span, MaxNodes: cfg.MaxNodes,
+		})
+		trace.MapPrograms(cfg.Seed, jobs, TraceScalingPrograms, TraceOtherPrograms, ratio)
+		for _, size := range cfg.Sizes {
+			ce, err := trace.Simulate(jobs, env.DB, env.Spec.Node, trace.DefaultSimConfig(size, trace.CE))
+			if err != nil {
+				return nil, fmt.Errorf("fig20 CE %d@%.1f: %w", size, ratio, err)
+			}
+			sns, err := trace.Simulate(jobs, env.DB, env.Spec.Node, trace.DefaultSimConfig(size, trace.SNS))
+			if err != nil {
+				return nil, fmt.Errorf("fig20 SNS %d@%.1f: %w", size, ratio, err)
+			}
+			row := Fig20Row{ClusterNodes: size, ScalingRatio: ratio}
+			if ce.AvgTurn > 0 {
+				row.CEWait = ce.AvgWait / ce.AvgTurn
+				row.CERun = ce.AvgRun / ce.AvgTurn
+				row.SNSWait = sns.AvgWait / ce.AvgTurn
+				row.SNSRun = sns.AvgRun / ce.AvgTurn
+				row.SNSTurnImprovePct = 100 * (ce.AvgTurn/sns.AvgTurn - 1)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig20Table renders Figure 20.
+func Fig20Table(rows []Fig20Row) [][]string {
+	out := [][]string{{"cluster-ratio", "CE wait", "CE run", "SNS wait", "SNS run", "SNS turnaround gain %"}}
+	for _, r := range rows {
+		label := fmt.Sprintf("%dK-%.1f", r.ClusterNodes/1024, r.ScalingRatio)
+		out = append(out, []string{label,
+			f3(r.CEWait), f3(r.CERun), f3(r.SNSWait), f3(r.SNSRun), f1(r.SNSTurnImprovePct)})
+	}
+	return out
+}

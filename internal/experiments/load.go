@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/stats"
+	"spreadnshare/internal/workload"
+)
+
+// LoadRow is one point of the open-arrival load study: jobs arrive as a
+// Poisson process at the given offered load (fraction of the cluster's
+// core capacity the workload demands under CE), and each policy's mean
+// wait and turnaround are reported relative to CE.
+type LoadRow struct {
+	OfferedLoad float64
+	// WaitCE is CE's mean wait in seconds (absolute, for context).
+	WaitCE float64
+	// Relative turnaround per policy (CS, SNS over CE).
+	CSTurnNorm  float64
+	SNSTurnNorm float64
+}
+
+// LoadSweep extends the paper's closed "time segment" methodology with an
+// open system: at low load every policy idles, at high load queues build —
+// SNS's run-time reductions compound into queueing relief, so its
+// advantage should *grow* with load until the cluster saturates.
+func LoadSweep(env *Env, loads []float64, jobs int) ([]LoadRow, error) {
+	// Mean CE core-seconds per job under the random 12-program mix,
+	// estimated from a sample sequence.
+	sample := workload.RandomSequence(rand.New(rand.NewSource(99)), env.Cat, 60)
+	meanCoreSec := 0.0
+	for _, js := range sample {
+		t, err := env.CE.Of(js.Program, js.Procs)
+		if err != nil {
+			return nil, err
+		}
+		meanCoreSec += float64(js.Procs) * t
+	}
+	meanCoreSec /= float64(len(sample))
+	capacity := float64(env.Spec.TotalCores())
+
+	var rows []LoadRow
+	for _, load := range loads {
+		if load <= 0 {
+			return nil, fmt.Errorf("experiments: offered load must be positive, got %g", load)
+		}
+		interArrival := meanCoreSec / (load * capacity)
+		seq := workload.PoissonSequence(rand.New(rand.NewSource(7)), env.Cat, jobs, interArrival)
+		turn := make(map[sched.Policy]float64)
+		var waitCE float64
+		for _, p := range []sched.Policy{sched.CE, sched.CS, sched.SNS} {
+			done, err := runSequence(env, seq, p)
+			if err != nil {
+				return nil, fmt.Errorf("load %.2f policy %v: %w", load, p, err)
+			}
+			var turns, waits []float64
+			for _, j := range done {
+				turns = append(turns, j.Turnaround())
+				waits = append(waits, j.WaitTime())
+			}
+			turn[p] = stats.Mean(turns)
+			if p == sched.CE {
+				waitCE = stats.Mean(waits)
+			}
+		}
+		rows = append(rows, LoadRow{
+			OfferedLoad: load,
+			WaitCE:      waitCE,
+			CSTurnNorm:  turn[sched.CS] / turn[sched.CE],
+			SNSTurnNorm: turn[sched.SNS] / turn[sched.CE],
+		})
+	}
+	return rows, nil
+}
+
+// LoadTable renders the load sweep.
+func LoadTable(rows []LoadRow) [][]string {
+	out := [][]string{{"offered load", "CE wait (s)", "CS turn/CE", "SNS turn/CE"}}
+	for _, r := range rows {
+		out = append(out, []string{f2(r.OfferedLoad), f1(r.WaitCE),
+			f3(r.CSTurnNorm), f3(r.SNSTurnNorm)})
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/stats"
+	"spreadnshare/internal/workload"
+)
+
+// SizeSweepRow is one cluster size of the fragmentation study.
+type SizeSweepRow struct {
+	Nodes    int
+	Jobs     int
+	WaitNorm float64 // SNS mean wait / CE mean wait
+	TurnNorm float64 // SNS mean turnaround / CE mean turnaround
+}
+
+// ClusterSizeSweep tests the paper's Section 6.3 conjecture head-on: the
+// wait-time degradation SNS shows at high scaling ratios "is highlighted
+// by our small testbed cluster size; larger clusters ... would provide
+// large enough playgrounds". The paper could only check this with
+// trace-driven simulation; the full execution engine here replays the same
+// high-ratio BW/HC mix on growing clusters, holding the per-node job
+// pressure constant (jobs scale with nodes).
+func ClusterSizeSweep(env *Env, sizes []int, ratio float64) ([]SizeSweepRow, error) {
+	var rows []SizeSweepRow
+	for _, size := range sizes {
+		spec := env.Spec
+		spec.Nodes = size
+		jobs := 4 * size // constant offered pressure per node
+		seq := workload.RatioMix(rand.New(rand.NewSource(int64(90+size))), ratio, jobs)
+
+		type agg struct{ wait, turn float64 }
+		byPolicy := make(map[sched.Policy]agg)
+		for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+			s, err := sched.New(spec, env.Cat, env.DB, sched.DefaultConfig(p))
+			if err != nil {
+				return nil, err
+			}
+			for _, js := range seq {
+				if err := s.Submit(js); err != nil {
+					return nil, err
+				}
+			}
+			done, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			var waits, turns []float64
+			for _, j := range done {
+				waits = append(waits, j.WaitTime())
+				turns = append(turns, j.Turnaround())
+			}
+			byPolicy[p] = agg{stats.Mean(waits), stats.Mean(turns)}
+		}
+		row := SizeSweepRow{Nodes: size, Jobs: jobs}
+		if ce := byPolicy[sched.CE]; ce.wait > 0 {
+			row.WaitNorm = byPolicy[sched.SNS].wait / ce.wait
+		}
+		if ce := byPolicy[sched.CE]; ce.turn > 0 {
+			row.TurnNorm = byPolicy[sched.SNS].turn / ce.turn
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SizeSweepTable renders the cluster-size sweep.
+func SizeSweepTable(rows []SizeSweepRow) [][]string {
+	out := [][]string{{"nodes", "jobs", "SNS wait/CE", "SNS turnaround/CE"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			f1(float64(r.Nodes)), f1(float64(r.Jobs)), f3(r.WaitNorm), f3(r.TurnNorm)})
+	}
+	return out
+}

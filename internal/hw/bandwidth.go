@@ -1,0 +1,94 @@
+package hw
+
+import (
+	"math"
+	"sort"
+)
+
+// StreamBandwidth returns the aggregate memory bandwidth B(k) achievable
+// with k cores issuing homogeneous streaming accesses, in GB/s.
+//
+// The curve is the saturating roofline
+//
+//	B(k) = Bpeak * (1 - (1 - b1/Bpeak)^k)
+//
+// which matches the paper's STREAM measurements (Figure 3): linear growth
+// for the first few cores (B(1) = 18.80, B(2) ~ 35 GB/s), levelling off
+// around 8 cores and reaching 118.26 GB/s at 28 cores. This early
+// saturation is exactly the self-contention that makes Compact-n-Exclusive
+// placement a bottleneck for bandwidth-hungry programs.
+func (s NodeSpec) StreamBandwidth(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= s.Cores {
+		return s.PeakBandwidth
+	}
+	r := 1 - s.SingleCoreBandwidth/s.PeakBandwidth
+	return s.PeakBandwidth * (1 - math.Pow(r, float64(k)))
+}
+
+// PerCoreBandwidth returns B(k)/k, the bandwidth available to each of k
+// homogeneous cores (the blue declining curve of Figure 3).
+func (s NodeSpec) PerCoreBandwidth(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return s.StreamBandwidth(k) / float64(k)
+}
+
+// WaterFill distributes supply among demands using max-min fairness: every
+// demand is granted in full if the total fits; otherwise small consumers
+// receive their full demand and the remaining supply is split equally among
+// the large ones. The returned slice is aligned with demands and sums to
+// min(supply, sum(demands)).
+//
+// This models how a saturated memory controller serves co-located jobs: a
+// bandwidth-light job (EP, HC) keeps its trickle while bandwidth-bound jobs
+// (MG, BW, LU) share whatever headroom remains.
+func WaterFill(supply float64, demands []float64) []float64 {
+	grants := make([]float64, len(demands))
+	if supply <= 0 || len(demands) == 0 {
+		return grants
+	}
+	total := 0.0
+	for _, d := range demands {
+		if d > 0 {
+			total += d
+		}
+	}
+	if total <= supply {
+		for i, d := range demands {
+			if d > 0 {
+				grants[i] = d
+			}
+		}
+		return grants
+	}
+	// Saturated: serve demands in ascending order, giving each the
+	// smaller of its demand and an equal share of what is left.
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return demands[order[a]] < demands[order[b]] })
+	remaining := supply
+	left := 0
+	for _, i := range order {
+		if demands[i] > 0 {
+			left++
+		}
+	}
+	for _, i := range order {
+		d := demands[i]
+		if d <= 0 {
+			continue
+		}
+		share := remaining / float64(left)
+		g := math.Min(d, share)
+		grants[i] = g
+		remaining -= g
+		left--
+	}
+	return grants
+}

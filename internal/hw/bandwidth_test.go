@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBandwidthCalibration(t *testing.T) {
+	s := DefaultNodeSpec()
+	if got := s.StreamBandwidth(1); math.Abs(got-18.80) > 1e-9 {
+		t.Errorf("B(1) = %g, want 18.80", got)
+	}
+	if got := s.StreamBandwidth(28); math.Abs(got-118.26) > 1e-9 {
+		t.Errorf("B(28) = %g, want 118.26", got)
+	}
+	// Two cores roughly double one core (paper measures 37.17).
+	if got := s.StreamBandwidth(2); got < 30 || got > 40 {
+		t.Errorf("B(2) = %g, want near 2x single core", got)
+	}
+	// The curve levels off: by 8 cores we are within 30%% of peak.
+	if got := s.StreamBandwidth(8); got < 0.70*s.PeakBandwidth {
+		t.Errorf("B(8) = %g, want >= 70%% of peak %g", got, s.PeakBandwidth)
+	}
+}
+
+func TestStreamBandwidthMonotone(t *testing.T) {
+	s := DefaultNodeSpec()
+	prev := 0.0
+	for k := 1; k <= s.Cores; k++ {
+		b := s.StreamBandwidth(k)
+		if b <= prev {
+			t.Fatalf("B(%d) = %g not strictly above B(%d) = %g", k, b, k-1, prev)
+		}
+		prev = b
+	}
+	if got := s.StreamBandwidth(s.Cores + 10); got != s.PeakBandwidth {
+		t.Errorf("B beyond core count = %g, want peak %g", got, s.PeakBandwidth)
+	}
+}
+
+func TestPerCoreBandwidthDeclines(t *testing.T) {
+	s := DefaultNodeSpec()
+	prev := math.Inf(1)
+	for k := 1; k <= s.Cores; k++ {
+		pc := s.PerCoreBandwidth(k)
+		if pc >= prev {
+			t.Fatalf("per-core bandwidth at %d cores = %g, not below %g", k, pc, prev)
+		}
+		prev = pc
+	}
+	// Paper: at 28 cores per-core bandwidth dips to ~22%% of single-core.
+	ratio := s.PerCoreBandwidth(28) / s.PerCoreBandwidth(1)
+	if ratio < 0.15 || ratio > 0.35 {
+		t.Errorf("per-core ratio 28c/1c = %g, want around 0.22", ratio)
+	}
+}
+
+func TestPerCoreBandwidthEdge(t *testing.T) {
+	s := DefaultNodeSpec()
+	if got := s.PerCoreBandwidth(0); got != 0 {
+		t.Errorf("PerCoreBandwidth(0) = %g, want 0", got)
+	}
+	if got := s.StreamBandwidth(-3); got != 0 {
+		t.Errorf("StreamBandwidth(-3) = %g, want 0", got)
+	}
+}
+
+func TestWaterFillUnderSupplied(t *testing.T) {
+	g := WaterFill(100, []float64{10, 20, 30})
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Errorf("grant[%d] = %g, want %g", i, g[i], want[i])
+		}
+	}
+}
+
+func TestWaterFillSaturated(t *testing.T) {
+	// Supply 60 against demands 10, 40, 50: the small consumer keeps 10,
+	// the remaining 50 splits equally between the two big ones.
+	g := WaterFill(60, []float64{10, 40, 50})
+	if g[0] != 10 {
+		t.Errorf("small consumer granted %g, want full 10", g[0])
+	}
+	if math.Abs(g[1]-25) > 1e-9 || math.Abs(g[2]-25) > 1e-9 {
+		t.Errorf("big consumers granted %g, %g, want 25, 25", g[1], g[2])
+	}
+}
+
+func TestWaterFillZeroAndNegative(t *testing.T) {
+	g := WaterFill(50, []float64{0, -5, 30})
+	if g[0] != 0 || g[1] != 0 {
+		t.Errorf("non-positive demands granted %g, %g, want 0, 0", g[0], g[1])
+	}
+	if g[2] != 30 {
+		t.Errorf("positive demand granted %g, want 30", g[2])
+	}
+	if g := WaterFill(0, []float64{10}); g[0] != 0 {
+		t.Errorf("zero supply granted %g, want 0", g[0])
+	}
+	if g := WaterFill(10, nil); len(g) != 0 {
+		t.Errorf("nil demands returned %v, want empty", g)
+	}
+}
+
+// Property: grants never exceed demands, never exceed supply in total, and
+// conserve exactly min(supply, total demand).
+func TestWaterFillProperties(t *testing.T) {
+	f := func(supply float64, raw []float64) bool {
+		supply = math.Mod(math.Abs(supply), 1000)
+		demands := make([]float64, len(raw))
+		total := 0.0
+		for i, d := range raw {
+			demands[i] = math.Mod(math.Abs(d), 100)
+			total += demands[i]
+		}
+		g := WaterFill(supply, demands)
+		sum := 0.0
+		for i, gi := range g {
+			if gi < 0 || gi > demands[i]+1e-9 {
+				return false
+			}
+			sum += gi
+		}
+		want := math.Min(supply, total)
+		return math.Abs(sum-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: water-filling is fair — a job never receives less than another
+// job with a smaller or equal demand.
+func TestWaterFillFairnessProperty(t *testing.T) {
+	f := func(supply float64, raw []float64) bool {
+		supply = math.Mod(math.Abs(supply), 500)
+		demands := make([]float64, len(raw))
+		for i, d := range raw {
+			demands[i] = math.Mod(math.Abs(d), 100)
+		}
+		g := WaterFill(supply, demands)
+		for i := range demands {
+			for j := range demands {
+				if demands[i] <= demands[j] && g[i] > g[j]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkStreamBandwidth(b *testing.B) {
+	spec := DefaultNodeSpec()
+	for i := 0; i < b.N; i++ {
+		_ = spec.StreamBandwidth(i%28 + 1)
+	}
+}
+
+func BenchmarkWaterFill8(b *testing.B) {
+	demands := []float64{40, 3, 28, 0.1, 55, 12, 7, 90}
+	for i := 0; i < b.N; i++ {
+		_ = WaterFill(118.26, demands)
+	}
+}
+
+func BenchmarkWaterFill64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	demands := make([]float64, 64)
+	for i := range demands {
+		demands[i] = rng.Float64() * 20
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WaterFill(118.26, demands)
+	}
+}
+
+func BenchmarkWayAllocator(b *testing.B) {
+	spec := DefaultNodeSpec()
+	for i := 0; i < b.N; i++ {
+		a := NewWayAllocator(spec)
+		for id := 0; id < 5; id++ {
+			if _, err := a.Allocate(id, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for id := 0; id < 5; id++ {
+			if err := a.Release(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

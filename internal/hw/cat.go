@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WayMask is a bitmask over LLC ways, mirroring the capacity bitmasks Intel
+// CAT programs into IA32_L3_MASK_n MSRs. Bit i set means way i belongs to
+// the partition. Real CAT requires masks to be contiguous runs of set bits;
+// ContiguousMask and WayAllocator preserve that invariant.
+type WayMask uint32
+
+// ContiguousMask returns a mask of n ways starting at way lo.
+func ContiguousMask(lo, n int) WayMask {
+	if n <= 0 {
+		return 0
+	}
+	return WayMask(((uint32(1) << uint(n)) - 1) << uint(lo))
+}
+
+// Count returns the number of ways in the mask.
+func (m WayMask) Count() int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// Contiguous reports whether the set bits form one unbroken run, the shape
+// CAT hardware accepts.
+func (m WayMask) Contiguous() bool {
+	if m == 0 {
+		return false
+	}
+	// Strip trailing zeros, then the run of ones; nothing may remain.
+	for m&1 == 0 {
+		m >>= 1
+	}
+	for m&1 == 1 {
+		m >>= 1
+	}
+	return m == 0
+}
+
+// Overlaps reports whether two partitions share any way.
+func (m WayMask) Overlaps(o WayMask) bool { return m&o != 0 }
+
+// String renders the mask as a way-bitmap, e.g. "0x0000f" for ways 0-3.
+func (m WayMask) String() string { return fmt.Sprintf("%#05x", uint32(m)) }
+
+// WayAllocator hands out disjoint contiguous LLC way partitions on one
+// node, the bookkeeping a CAT actuator performs when a job is dispatched.
+// It enforces the node's MaxCLOS partition limit.
+type WayAllocator struct {
+	spec  NodeSpec
+	alloc map[int]WayMask // job id -> mask
+}
+
+// NewWayAllocator returns an allocator for one node of the given spec.
+func NewWayAllocator(spec NodeSpec) *WayAllocator {
+	return &WayAllocator{spec: spec, alloc: make(map[int]WayMask)}
+}
+
+// FreeWays returns the number of ways not allocated to any job.
+func (a *WayAllocator) FreeWays() int {
+	used := 0
+	for _, m := range a.alloc {
+		used += m.Count()
+	}
+	return a.spec.LLCWays - used
+}
+
+// Partitions returns the number of active partitions.
+func (a *WayAllocator) Partitions() int { return len(a.alloc) }
+
+// Mask returns the partition allocated to job id, if any.
+func (a *WayAllocator) Mask(id int) (WayMask, bool) {
+	m, ok := a.alloc[id]
+	return m, ok
+}
+
+// Allocate reserves n contiguous ways for job id. It fails if the job
+// already holds a partition, the node is out of CLOS entries, n is below
+// the per-job minimum, or no contiguous run of n free ways exists.
+func (a *WayAllocator) Allocate(id, n int) (WayMask, error) {
+	if _, ok := a.alloc[id]; ok {
+		return 0, fmt.Errorf("hw: job %d already holds an LLC partition", id)
+	}
+	if len(a.alloc) >= a.spec.MaxCLOS {
+		return 0, fmt.Errorf("hw: node out of CLOS entries (max %d)", a.spec.MaxCLOS)
+	}
+	if n < a.spec.MinWaysPerJob {
+		return 0, fmt.Errorf("hw: allocation of %d ways below minimum %d", n, a.spec.MinWaysPerJob)
+	}
+	if n > a.spec.LLCWays {
+		return 0, fmt.Errorf("hw: allocation of %d ways exceeds LLC size %d", n, a.spec.LLCWays)
+	}
+	var used WayMask
+	for _, m := range a.alloc {
+		used |= m
+	}
+	for lo := 0; lo+n <= a.spec.LLCWays; lo++ {
+		m := ContiguousMask(lo, n)
+		if !m.Overlaps(used) {
+			a.alloc[id] = m
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("hw: no contiguous run of %d free ways", n)
+}
+
+// Defragment repacks all partitions into one contiguous run starting at
+// way 0, preserving each job's way count. Reprogramming CLOS masks is a
+// cheap register write on real CAT hardware, and Uberun already
+// redistributes allocations at every dispatch (Section 4.4), so the
+// actuator defragments whenever a new partition would not fit
+// contiguously.
+func (a *WayAllocator) Defragment() {
+	ids := make([]int, 0, len(a.alloc))
+	for id := range a.alloc {
+		ids = append(ids, id)
+	}
+	// Stable repacking order for determinism.
+	sort.Ints(ids)
+	lo := 0
+	for _, id := range ids {
+		n := a.alloc[id].Count()
+		a.alloc[id] = ContiguousMask(lo, n)
+		lo += n
+	}
+}
+
+// Release returns job id's partition to the free pool.
+func (a *WayAllocator) Release(id int) error {
+	if _, ok := a.alloc[id]; !ok {
+		return fmt.Errorf("hw: job %d holds no LLC partition", id)
+	}
+	delete(a.alloc, id)
+	return nil
+}

@@ -1,0 +1,190 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContiguousMask(t *testing.T) {
+	cases := []struct {
+		lo, n int
+		count int
+		ok    bool
+	}{
+		{0, 4, 4, true},
+		{3, 2, 2, true},
+		{0, 20, 20, true},
+		{5, 0, 0, false},
+	}
+	for _, c := range cases {
+		m := ContiguousMask(c.lo, c.n)
+		if m.Count() != c.count {
+			t.Errorf("ContiguousMask(%d,%d).Count() = %d, want %d", c.lo, c.n, m.Count(), c.count)
+		}
+		if m.Contiguous() != c.ok {
+			t.Errorf("ContiguousMask(%d,%d).Contiguous() = %v, want %v", c.lo, c.n, m.Contiguous(), c.ok)
+		}
+	}
+	if WayMask(0b1011).Contiguous() {
+		t.Error("0b1011 reported contiguous")
+	}
+	if !WayMask(0b0110).Contiguous() {
+		t.Error("0b0110 reported non-contiguous")
+	}
+}
+
+func TestWayAllocatorBasic(t *testing.T) {
+	a := NewWayAllocator(DefaultNodeSpec())
+	m1, err := a.Allocate(1, 4)
+	if err != nil {
+		t.Fatalf("Allocate(1, 4): %v", err)
+	}
+	m2, err := a.Allocate(2, 8)
+	if err != nil {
+		t.Fatalf("Allocate(2, 8): %v", err)
+	}
+	if m1.Overlaps(m2) {
+		t.Errorf("partitions overlap: %v and %v", m1, m2)
+	}
+	if got := a.FreeWays(); got != 8 {
+		t.Errorf("FreeWays = %d, want 8", got)
+	}
+	if _, err := a.Allocate(3, 10); err == nil {
+		t.Error("Allocate(3, 10) succeeded with only 8 free ways")
+	}
+	if err := a.Release(1); err != nil {
+		t.Fatalf("Release(1): %v", err)
+	}
+	if got := a.FreeWays(); got != 12 {
+		t.Errorf("FreeWays after release = %d, want 12", got)
+	}
+	if err := a.Release(1); err == nil {
+		t.Error("double Release(1) succeeded")
+	}
+}
+
+func TestWayAllocatorRejectsBelowMinimum(t *testing.T) {
+	a := NewWayAllocator(DefaultNodeSpec())
+	if _, err := a.Allocate(1, 1); err == nil {
+		t.Error("allocation of 1 way below MinWaysPerJob succeeded")
+	}
+	if _, err := a.Allocate(1, 2); err != nil {
+		t.Errorf("allocation of 2 ways failed: %v", err)
+	}
+	if _, err := a.Allocate(1, 2); err == nil {
+		t.Error("double allocation for same job succeeded")
+	}
+}
+
+func TestWayAllocatorCLOSLimit(t *testing.T) {
+	spec := DefaultNodeSpec()
+	spec.MaxCLOS = 3
+	a := NewWayAllocator(spec)
+	for id := 0; id < 3; id++ {
+		if _, err := a.Allocate(id, 2); err != nil {
+			t.Fatalf("Allocate(%d): %v", id, err)
+		}
+	}
+	if _, err := a.Allocate(9, 2); err == nil {
+		t.Error("allocation beyond MaxCLOS succeeded")
+	}
+}
+
+// Property: any sequence of allocations yields pairwise-disjoint contiguous
+// partitions whose total never exceeds the LLC way count.
+func TestWayAllocatorInvariants(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewWayAllocator(DefaultNodeSpec())
+		var masks []WayMask
+		for id, raw := range sizes {
+			n := int(raw%22) + 1 // 1..22, some invalid on purpose
+			m, err := a.Allocate(id, n)
+			if err != nil {
+				continue
+			}
+			if !m.Contiguous() || m.Count() != n {
+				return false
+			}
+			for _, prev := range masks {
+				if m.Overlaps(prev) {
+					return false
+				}
+			}
+			masks = append(masks, m)
+		}
+		total := 0
+		for _, m := range masks {
+			total += m.Count()
+		}
+		return total <= 20 && a.FreeWays() == 20-total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultNodeSpec().Validate(); err != nil {
+		t.Errorf("default node spec invalid: %v", err)
+	}
+	if err := DefaultClusterSpec().Validate(); err != nil {
+		t.Errorf("default cluster spec invalid: %v", err)
+	}
+	bad := DefaultNodeSpec()
+	bad.Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-core spec validated")
+	}
+	bad = DefaultNodeSpec()
+	bad.PeakBandwidth = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("peak < single-core spec validated")
+	}
+	badCl := DefaultClusterSpec()
+	badCl.Nodes = 0
+	if err := badCl.Validate(); err == nil {
+		t.Error("zero-node cluster validated")
+	}
+	if got := DefaultClusterSpec().TotalCores(); got != 8*28 {
+		t.Errorf("TotalCores = %d, want 224", got)
+	}
+}
+
+func TestWayAllocatorDefragment(t *testing.T) {
+	a := NewWayAllocator(DefaultNodeSpec())
+	// Create fragmentation: allocate 4+4+4+4, release the middle two.
+	for id := 1; id <= 4; id++ {
+		if _, err := a.Allocate(id, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	// 12 ways free but split 4+4+4: a 10-way run does not exist.
+	if _, err := a.Allocate(5, 10); err == nil {
+		t.Fatal("fragmented allocation unexpectedly succeeded")
+	}
+	a.Defragment()
+	m5, err := a.Allocate(5, 10)
+	if err != nil {
+		t.Fatalf("allocation after defragment: %v", err)
+	}
+	// All partitions still contiguous and disjoint with preserved sizes.
+	m1, _ := a.Mask(1)
+	m4, _ := a.Mask(4)
+	for _, m := range []WayMask{m1, m4, m5} {
+		if !m.Contiguous() {
+			t.Errorf("mask %v not contiguous after defragment", m)
+		}
+	}
+	if m1.Count() != 4 || m4.Count() != 4 || m5.Count() != 10 {
+		t.Error("defragment changed partition sizes")
+	}
+	if m1.Overlaps(m4) || m1.Overlaps(m5) || m4.Overlaps(m5) {
+		t.Error("masks overlap after defragment")
+	}
+}

@@ -1,0 +1,42 @@
+package hw_test
+
+import (
+	"fmt"
+
+	"spreadnshare/internal/hw"
+)
+
+// The bandwidth roofline saturates early: four cores already draw more
+// than half the node's peak, which is why compact placement starves
+// bandwidth-bound programs.
+func ExampleNodeSpec_StreamBandwidth() {
+	node := hw.DefaultNodeSpec()
+	for _, k := range []int{1, 4, 8, 28} {
+		fmt.Printf("%2d cores: %6.2f GB/s\n", k, node.StreamBandwidth(k))
+	}
+	// Output:
+	//  1 cores:  18.80 GB/s
+	//  4 cores:  59.09 GB/s
+	//  8 cores:  88.66 GB/s
+	// 28 cores: 118.26 GB/s
+}
+
+// Water-filling a saturated memory controller: the small consumer keeps
+// its trickle, the two hogs split what remains.
+func ExampleWaterFill() {
+	grants := hw.WaterFill(100, []float64{5, 80, 80})
+	fmt.Printf("%.1f %.1f %.1f\n", grants[0], grants[1], grants[2])
+	// Output:
+	// 5.0 47.5 47.5
+}
+
+// CAT partitions are contiguous way runs, like the hardware's capacity
+// bitmasks.
+func ExampleWayAllocator() {
+	a := hw.NewWayAllocator(hw.DefaultNodeSpec())
+	m1, _ := a.Allocate(1, 4)
+	m2, _ := a.Allocate(2, 8)
+	fmt.Println(m1, m2, a.FreeWays())
+	// Output:
+	// 0x0000f 0x00ff0 8
+}

@@ -1,0 +1,30 @@
+package hw
+
+import "math"
+
+// MBACap quantizes a per-node bandwidth reservation (GB/s) up to the
+// nearest Intel MBA throttle level the hardware can program, returning
+// the enforceable cap in GB/s. MBA delays are coarse — roughly 10% steps
+// of peak bandwidth — so the cap rounds up: a job is never throttled
+// below its estimated demand. Returns 0 (uncapped) when the node has no
+// MBA support or the reservation is non-positive.
+func (s NodeSpec) MBACap(bw float64) float64 {
+	if !s.HasMBA || bw <= 0 {
+		return 0
+	}
+	gran := s.MBAGranularityPct
+	if gran <= 0 || gran > 100 {
+		gran = 10
+	}
+	steps := 100.0 / float64(gran)
+	frac := bw / s.PeakBandwidth
+	level := math.Ceil(frac*steps) / steps
+	if level > 1 {
+		level = 1
+	}
+	min := float64(gran) / 100
+	if level < min {
+		level = min
+	}
+	return level * s.PeakBandwidth
+}

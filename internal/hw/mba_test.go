@@ -1,0 +1,72 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMBACapDisabled(t *testing.T) {
+	s := DefaultNodeSpec()
+	if got := s.MBACap(50); got != 0 {
+		t.Errorf("MBACap on non-MBA node = %g, want 0 (uncapped)", got)
+	}
+}
+
+func TestMBACapQuantization(t *testing.T) {
+	s := MBANodeSpec()
+	// 50 GB/s is 42.3% of 118.26 peak -> rounds up to the 50% level.
+	if got, want := s.MBACap(50), 0.5*s.PeakBandwidth; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MBACap(50) = %g, want %g", got, want)
+	}
+	// Tiny reservations get the minimum 10% level.
+	if got, want := s.MBACap(0.5), 0.1*s.PeakBandwidth; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MBACap(0.5) = %g, want floor %g", got, want)
+	}
+	// At or beyond peak: full level.
+	if got := s.MBACap(500); got != s.PeakBandwidth {
+		t.Errorf("MBACap(500) = %g, want peak", got)
+	}
+	if got := s.MBACap(0); got != 0 {
+		t.Errorf("MBACap(0) = %g, want 0", got)
+	}
+	if got := s.MBACap(-5); got != 0 {
+		t.Errorf("MBACap(-5) = %g, want 0", got)
+	}
+}
+
+func TestMBACapBadGranularity(t *testing.T) {
+	s := MBANodeSpec()
+	s.MBAGranularityPct = 0
+	// Falls back to 10% steps rather than dividing by zero.
+	if got, want := s.MBACap(50), 0.5*s.PeakBandwidth; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MBACap with zero granularity = %g, want %g", got, want)
+	}
+	s.MBAGranularityPct = 500
+	if got := s.MBACap(50); got <= 0 || got > s.PeakBandwidth {
+		t.Errorf("MBACap with absurd granularity = %g", got)
+	}
+}
+
+// Property: the cap never under-serves the reservation and never exceeds
+// peak; it is monotone in the reservation.
+func TestMBACapProperties(t *testing.T) {
+	s := MBANodeSpec()
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%2000) / 10 // 0..200 GB/s
+		b := float64(bRaw%2000) / 10
+		ca, cb := s.MBACap(a), s.MBACap(b)
+		if a > 0 {
+			if ca < math.Min(a, s.PeakBandwidth)-1e-9 || ca > s.PeakBandwidth+1e-9 {
+				return false
+			}
+		}
+		if a <= b && a > 0 && b > 0 && ca > cb+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

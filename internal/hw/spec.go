@@ -1,0 +1,136 @@
+// Package hw models the compute-node hardware that Spread-n-Share
+// manages: CPU cores, the shared last-level cache partitioned in ways via
+// Intel CAT, and the memory subsystem with its bandwidth roofline.
+//
+// The default parameters are calibrated to the paper's testbed: dual Intel
+// Xeon E5-2680 v4 nodes (2 x 14 cores, 2 x 35 MB 20-way LLC, 128 GB DDR4)
+// whose measured STREAM bandwidth is 18.80 GB/s with one core and
+// 118.26 GB/s with all 28 cores, connected by EDR InfiniBand observed at
+// 6.8 GB/s per node.
+package hw
+
+import "fmt"
+
+// NodeSpec describes the hardware of a single compute node. All bandwidth
+// figures are in GB/s. The zero value is not useful; start from
+// DefaultNodeSpec and override fields as needed.
+type NodeSpec struct {
+	// Cores is the number of CPU cores per node.
+	Cores int
+	// FreqGHz is the nominal core clock in GHz; together with a
+	// program's IPC it yields instructions per second per core.
+	FreqGHz float64
+	// LLCWays is the number of last-level-cache ways that CAT can
+	// distribute among jobs. The paper's processors expose 20 ways.
+	LLCWays int
+	// LLCSizeMB is the total LLC capacity in MB (both sockets).
+	LLCSizeMB float64
+	// PeakBandwidth is the aggregate STREAM bandwidth with all cores
+	// active (B(Cores)).
+	PeakBandwidth float64
+	// SingleCoreBandwidth is the STREAM bandwidth a single sequential
+	// reader achieves (B(1)).
+	SingleCoreBandwidth float64
+	// NICBandwidth is the per-node network bandwidth.
+	NICBandwidth float64
+	// IOBandwidth is the per-node bandwidth to the shared parallel
+	// file system in GB/s (supercomputers have no node-local disks;
+	// Section 3.3). It is the third manageable resource dimension the
+	// paper's extensibility claim names.
+	IOBandwidth float64
+	// NICLatencyUS is the one-way network latency in microseconds.
+	NICLatencyUS float64
+	// MemoryGB is the main-memory capacity.
+	MemoryGB float64
+	// MaxCLOS is the number of CAT classes of service, bounding how
+	// many disjoint LLC partitions one node supports (16 on the
+	// paper's testbed).
+	MaxCLOS int
+	// MinWaysPerJob is the smallest LLC allocation the scheduler will
+	// hand out; the paper uses 2 because a single way loses almost all
+	// associativity.
+	MinWaysPerJob int
+	// HasMBA reports whether the processor supports Intel Memory
+	// Bandwidth Allocation. The paper's 2018 testbed lacked it and
+	// had to rely on profile-estimated bandwidth accounting (Section
+	// 4.4); newer nodes can enforce the reservation in hardware.
+	HasMBA bool
+	// MBAGranularityPct is the MBA throttle step as a percentage of
+	// peak bandwidth (Intel exposes ~10% steps).
+	MBAGranularityPct int
+}
+
+// DefaultNodeSpec returns the paper's testbed node: a dual-socket Xeon
+// E5-2680 v4 server.
+func DefaultNodeSpec() NodeSpec {
+	return NodeSpec{
+		Cores:               28,
+		FreqGHz:             2.4,
+		LLCWays:             20,
+		LLCSizeMB:           70,
+		PeakBandwidth:       118.26,
+		SingleCoreBandwidth: 18.80,
+		NICBandwidth:        6.8,
+		NICLatencyUS:        1.5,
+		IOBandwidth:         2.0,
+		MemoryGB:            128,
+		MaxCLOS:             16,
+		MinWaysPerJob:       2,
+		HasMBA:              false,
+		MBAGranularityPct:   10,
+	}
+}
+
+// MBANodeSpec returns the default node upgraded with Memory Bandwidth
+// Allocation support — the hardware the paper anticipates in Section 5.2.
+func MBANodeSpec() NodeSpec {
+	s := DefaultNodeSpec()
+	s.HasMBA = true
+	return s
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s NodeSpec) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("hw: node must have at least one core, got %d", s.Cores)
+	case s.FreqGHz <= 0:
+		return fmt.Errorf("hw: frequency must be positive, got %g", s.FreqGHz)
+	case s.LLCWays <= 0:
+		return fmt.Errorf("hw: LLC must have at least one way, got %d", s.LLCWays)
+	case s.PeakBandwidth < s.SingleCoreBandwidth:
+		return fmt.Errorf("hw: peak bandwidth %g below single-core bandwidth %g",
+			s.PeakBandwidth, s.SingleCoreBandwidth)
+	case s.SingleCoreBandwidth <= 0:
+		return fmt.Errorf("hw: single-core bandwidth must be positive, got %g", s.SingleCoreBandwidth)
+	case s.NICBandwidth <= 0:
+		return fmt.Errorf("hw: NIC bandwidth must be positive, got %g", s.NICBandwidth)
+	case s.IOBandwidth <= 0:
+		return fmt.Errorf("hw: I/O bandwidth must be positive, got %g", s.IOBandwidth)
+	case s.MinWaysPerJob < 1 || s.MinWaysPerJob > s.LLCWays:
+		return fmt.Errorf("hw: MinWaysPerJob %d out of range 1..%d", s.MinWaysPerJob, s.LLCWays)
+	}
+	return nil
+}
+
+// ClusterSpec describes a homogeneous cluster of nodes.
+type ClusterSpec struct {
+	Nodes int
+	Node  NodeSpec
+}
+
+// DefaultClusterSpec returns the paper's 8-node test cluster.
+func DefaultClusterSpec() ClusterSpec {
+	return ClusterSpec{Nodes: 8, Node: DefaultNodeSpec()}
+}
+
+// Validate reports whether the cluster spec is usable.
+func (c ClusterSpec) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("hw: cluster must have at least one node, got %d", c.Nodes)
+	}
+	return c.Node.Validate()
+}
+
+// TotalCores returns the core count of the whole cluster.
+func (c ClusterSpec) TotalCores() int { return c.Nodes * c.Node.Cores }

@@ -1,0 +1,34 @@
+// Package interconnect models the cluster network: per-node NIC
+// bandwidth and the slowdown communicating jobs impose on each other when
+// they share a node's link. The paper's testbed is EDR InfiniBand with
+// 6.8 GB/s observed per-node bandwidth — far below intra-node memory
+// bandwidth, which is why spreading carries a communication cost, and why
+// that cost stays small for programs whose communication intensity is low
+// (Figure 7).
+package interconnect
+
+// Model describes one network.
+type Model struct {
+	// BandwidthGB is per-node NIC bandwidth in GB/s.
+	BandwidthGB float64
+	// LatencyUS is one-way latency in microseconds.
+	LatencyUS float64
+}
+
+// Inflation returns the factor by which communication time stretches when
+// jobs with the given NIC-utilization fractions share one node's link.
+// Utilization is the fraction of wall time a job keeps the NIC busy; while
+// the link is undersubscribed (sum <= 1) communication proceeds at full
+// speed, beyond that all communicators slow proportionally.
+func Inflation(utils []float64) float64 {
+	total := 0.0
+	for _, u := range utils {
+		if u > 0 {
+			total += u
+		}
+	}
+	if total <= 1 {
+		return 1
+	}
+	return total
+}

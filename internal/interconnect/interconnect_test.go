@@ -1,0 +1,55 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInflationUndersubscribed(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0.2},
+		{0.3, 0.3, 0.3},
+		{0, -0.5, 0.9},
+	}
+	for _, utils := range cases {
+		if got := Inflation(utils); got != 1 {
+			t.Errorf("Inflation(%v) = %g, want 1", utils, got)
+		}
+	}
+}
+
+func TestInflationSaturated(t *testing.T) {
+	if got := Inflation([]float64{0.8, 0.8}); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("Inflation = %g, want 1.6", got)
+	}
+	if got := Inflation([]float64{0.5, 0.5, 0.5}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Inflation = %g, want 1.5", got)
+	}
+	// Negative utilizations don't offset real demand.
+	if got := Inflation([]float64{1.5, -0.5}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Inflation = %g, want 1.5 (negatives ignored)", got)
+	}
+}
+
+// Property: inflation is never below 1, and adding a communicator never
+// reduces it.
+func TestInflationMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, extra float64) bool {
+		utils := make([]float64, len(raw))
+		for i, r := range raw {
+			utils[i] = math.Mod(math.Abs(r), 1)
+		}
+		base := Inflation(utils)
+		if base < 1 {
+			return false
+		}
+		grown := Inflation(append(utils, math.Mod(math.Abs(extra), 1)))
+		return grown >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

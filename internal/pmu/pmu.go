@@ -1,0 +1,105 @@
+// Package pmu defines the simulated performance-monitoring-unit readings
+// the execution engine produces and the Kunafa profiler consumes. The
+// quantities mirror the hardware events Uberun samples on real nodes:
+// Instructions Retired and Unhalted Core Cycles for IPC, and Home-Agent
+// REQUESTS for memory bandwidth (Section 5.1 of the paper).
+package pmu
+
+// Counters accumulate over a job's lifetime (or a sampling window, by
+// differencing two snapshots). Instruction and cycle counts are in units
+// of 1e9 (giga); traffic is in GB.
+type Counters struct {
+	// Instructions retired across all the job's cores.
+	Instructions float64
+	// Cycles elapsed across all the job's cores (cores stall but keep
+	// cycling while memory-throttled, exactly as real counters read).
+	Cycles float64
+	// TrafficGB is memory traffic attributed to the job, summed over
+	// nodes.
+	TrafficGB float64
+	// CommSeconds is wall time attributed to inter-node communication.
+	CommSeconds float64
+	// Elapsed is wall-clock seconds the job has been running.
+	Elapsed float64
+}
+
+// Sub returns the window c - prev, for differencing two snapshots.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Instructions: c.Instructions - prev.Instructions,
+		Cycles:       c.Cycles - prev.Cycles,
+		TrafficGB:    c.TrafficGB - prev.TrafficGB,
+		CommSeconds:  c.CommSeconds - prev.CommSeconds,
+		Elapsed:      c.Elapsed - prev.Elapsed,
+	}
+}
+
+// IPC returns instructions per cycle over the window, zero if no cycles.
+func (c Counters) IPC() float64 {
+	if c.Cycles <= 0 {
+		return 0
+	}
+	return c.Instructions / c.Cycles
+}
+
+// Bandwidth returns the average memory bandwidth over the window in GB/s.
+func (c Counters) Bandwidth() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return c.TrafficGB / c.Elapsed
+}
+
+// Metrics is an instantaneous reading of one running job, the quantity a
+// 5-second fixed-allocation profiling episode observes.
+type Metrics struct {
+	// IPC is per-core instructions per cycle, including throttling
+	// stalls.
+	IPC float64
+	// BWPerNode is achieved memory bandwidth per occupied node, GB/s.
+	BWPerNode float64
+	// BWTotal is achieved bandwidth summed over the job's nodes.
+	BWTotal float64
+	// IOPerNode is achieved parallel-file-system bandwidth per node,
+	// GB/s.
+	IOPerNode float64
+	// MissPct is the LLC miss rate in percent.
+	MissPct float64
+	// ComputeFrac is the fraction of wall time in computation (the
+	// rest is inter-node communication), as an mpiP-style breakdown.
+	ComputeFrac float64
+	// EffectiveWays is the cache allocation driving the reading, in
+	// reference-concurrency terms (exposed for tests; real PMUs do
+	// not report it).
+	EffectiveWays float64
+}
+
+// NodeSample records one node's utilization during a monitoring episode
+// (the cells of the paper's Figure 17 heat map).
+type NodeSample struct {
+	Time        float64
+	Node        int
+	BandwidthGB float64
+	ActiveCores int
+}
+
+// Recorder accumulates periodic node samples.
+type Recorder struct {
+	Interval float64
+	Samples  []NodeSample
+}
+
+// Record appends one sample.
+func (r *Recorder) Record(s NodeSample) { r.Samples = append(r.Samples, s) }
+
+// ByNode groups samples into per-node series ordered by time, for nodes
+// 0..n-1.
+func (r *Recorder) ByNode(n int) [][]NodeSample {
+	out := make([][]NodeSample, n)
+	for _, s := range r.Samples {
+		if s.Node >= 0 && s.Node < n {
+			out[s.Node] = append(out[s.Node], s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountersDerived(t *testing.T) {
+	c := Counters{Instructions: 200, Cycles: 100, TrafficGB: 50, Elapsed: 10}
+	if got := c.IPC(); got != 2 {
+		t.Errorf("IPC = %g, want 2", got)
+	}
+	if got := c.Bandwidth(); got != 5 {
+		t.Errorf("Bandwidth = %g, want 5", got)
+	}
+	zero := Counters{}
+	if zero.IPC() != 0 || zero.Bandwidth() != 0 {
+		t.Error("zero counters should derive zeros")
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{Instructions: 10, Cycles: 20, TrafficGB: 30, CommSeconds: 1, Elapsed: 5}
+	b := Counters{Instructions: 25, Cycles: 60, TrafficGB: 90, CommSeconds: 4, Elapsed: 15}
+	w := b.Sub(a)
+	if w.Instructions != 15 || w.Cycles != 40 || w.TrafficGB != 60 ||
+		w.CommSeconds != 3 || w.Elapsed != 10 {
+		t.Errorf("Sub = %+v", w)
+	}
+	// Windowed IPC differs from cumulative when rates change.
+	if got := w.IPC(); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("window IPC = %g, want 0.375", got)
+	}
+}
+
+func TestRecorderByNode(t *testing.T) {
+	r := &Recorder{Interval: 30}
+	r.Record(NodeSample{Time: 0, Node: 0, BandwidthGB: 10})
+	r.Record(NodeSample{Time: 0, Node: 1, BandwidthGB: 20})
+	r.Record(NodeSample{Time: 30, Node: 0, BandwidthGB: 30})
+	r.Record(NodeSample{Time: 30, Node: 7, BandwidthGB: 5})
+	r.Record(NodeSample{Time: 30, Node: 99, BandwidthGB: 1}) // out of range
+
+	series := r.ByNode(8)
+	if len(series) != 8 {
+		t.Fatalf("ByNode returned %d rows, want 8", len(series))
+	}
+	if len(series[0]) != 2 || series[0][1].BandwidthGB != 30 {
+		t.Errorf("node 0 series = %+v", series[0])
+	}
+	if len(series[1]) != 1 || len(series[7]) != 1 {
+		t.Error("nodes 1/7 series wrong")
+	}
+	if len(series[2]) != 0 {
+		t.Error("idle node has samples")
+	}
+	total := 0
+	for _, s := range series {
+		total += len(s)
+	}
+	if total != 4 {
+		t.Errorf("in-range sample total %d, want 4 (out-of-range dropped)", total)
+	}
+}

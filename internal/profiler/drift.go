@@ -1,0 +1,137 @@
+package profiler
+
+import (
+	"math"
+	"sort"
+)
+
+// Reading is one lightweight monitoring observation of a running program:
+// the three key metrics Section 5.2 proposes watching on production
+// platforms to decide when a program has changed enough to invalidate its
+// profile — IPC, memory bandwidth, and LLC miss rate.
+type Reading struct {
+	IPC       float64
+	BWPerNode float64
+	MissPct   float64
+}
+
+// DriftMonitor accumulates recent exclusive-run readings per profiled
+// program and reports when their distribution has drifted from the
+// profile, triggering re-profiling. Observations are expected from
+// full-allocation exclusive episodes (the conditions the profile's
+// full-way point was measured under); production schedulers get these for
+// free whenever a job happens to run alone.
+type DriftMonitor struct {
+	// Tolerance is the relative deviation of the windowed median from
+	// the profiled value that triggers re-profiling.
+	Tolerance float64
+	// MinSamples readings must accumulate before a verdict (guards
+	// against warm-up noise).
+	MinSamples int
+	// Window bounds how many recent readings are kept per program.
+	Window int
+
+	readings map[string][]Reading
+}
+
+// NewDriftMonitor returns a monitor with the given tolerance (e.g. 0.2
+// for 20%).
+func NewDriftMonitor(tolerance float64) *DriftMonitor {
+	return &DriftMonitor{
+		Tolerance:  tolerance,
+		MinSamples: 5,
+		Window:     64,
+		readings:   make(map[string][]Reading),
+	}
+}
+
+// Observe records one reading for a program/procs pair.
+func (m *DriftMonitor) Observe(program string, procs int, r Reading) {
+	key := Key(program, procs)
+	rs := append(m.readings[key], r)
+	if len(rs) > m.Window {
+		rs = rs[len(rs)-m.Window:]
+	}
+	m.readings[key] = rs
+}
+
+// Samples returns how many readings are buffered for a pair.
+func (m *DriftMonitor) Samples(program string, procs int) int {
+	return len(m.readings[Key(program, procs)])
+}
+
+// median of a metric extracted from readings.
+func median(rs []Reading, get func(Reading) float64) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = get(r)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// relDev is |observed-expected| / expected, treating tiny expectations as
+// absolute comparisons so near-zero bandwidths don't divide to infinity.
+func relDev(observed, expected float64) float64 {
+	if math.Abs(expected) < 1e-3 {
+		return math.Abs(observed - expected)
+	}
+	return math.Abs(observed-expected) / math.Abs(expected)
+}
+
+// NeedsReprofile compares the windowed medians against the profile's
+// compact full-allocation point and reports whether any key metric has
+// drifted beyond the tolerance. It returns false while fewer than
+// MinSamples readings are buffered.
+func (m *DriftMonitor) NeedsReprofile(p *Profile) bool {
+	rs := m.readings[Key(p.Program, p.Procs)]
+	if len(rs) < m.MinSamples {
+		return false
+	}
+	base, ok := p.AtK(1)
+	if !ok || base.FullWays() < 1 {
+		return false
+	}
+	full := base.FullWays()
+	if relDev(median(rs, func(r Reading) float64 { return r.IPC }), base.IPCAt(full)) > m.Tolerance {
+		return true
+	}
+	if relDev(median(rs, func(r Reading) float64 { return r.BWPerNode }), base.BWAt(full)) > m.Tolerance {
+		return true
+	}
+	if relDev(median(rs, func(r Reading) float64 { return r.MissPct }), base.MissByWay[full]) > m.Tolerance {
+		return true
+	}
+	return false
+}
+
+// Drifted scans a database and returns the profiles whose buffered
+// readings indicate drift, in stable key order.
+func (m *DriftMonitor) Drifted(db *DB) []*Profile {
+	keys := make([]string, 0, len(db.Profiles))
+	for k := range db.Profiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []*Profile
+	for _, k := range keys {
+		p := db.Profiles[k]
+		if m.NeedsReprofile(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Reset clears the buffered readings for a pair (called after
+// re-profiling).
+func (m *DriftMonitor) Reset(program string, procs int) {
+	delete(m.readings, Key(program, procs))
+}

@@ -1,0 +1,267 @@
+package profiler
+
+import (
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+)
+
+// steadyReading returns the reading a stable program produces at full
+// allocation, straight from its profile.
+func steadyReading(p *Profile) Reading {
+	base, _ := p.AtK(1)
+	full := base.FullWays()
+	return Reading{
+		IPC:       base.IPCAt(full),
+		BWPerNode: base.BWAt(full),
+		MissPct:   base.MissByWay[full],
+	}
+}
+
+func TestDriftStableProgramQuiet(t *testing.T) {
+	k, cat := testProfiler(t)
+	cg, _ := cat.Lookup("CG")
+	p, err := k.ProfileProgram(cg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDriftMonitor(0.2)
+	r := steadyReading(p)
+	for i := 0; i < 10; i++ {
+		m.Observe("CG", 16, r)
+	}
+	if m.NeedsReprofile(p) {
+		t.Error("stable readings triggered re-profiling")
+	}
+}
+
+func TestDriftBelowMinSamples(t *testing.T) {
+	k, cat := testProfiler(t)
+	cg, _ := cat.Lookup("CG")
+	p, err := k.ProfileProgram(cg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDriftMonitor(0.2)
+	// Wildly different readings, but too few of them.
+	for i := 0; i < m.MinSamples-1; i++ {
+		m.Observe("CG", 16, Reading{IPC: 99, BWPerNode: 99, MissPct: 99})
+	}
+	if m.NeedsReprofile(p) {
+		t.Error("verdict issued below MinSamples")
+	}
+	if got := m.Samples("CG", 16); got != m.MinSamples-1 {
+		t.Errorf("Samples = %d", got)
+	}
+}
+
+func TestDriftDetectsChangedProgram(t *testing.T) {
+	// Profile CG, then simulate a code change: a variant whose IPC and
+	// bandwidth behavior differ. Running the variant and observing its
+	// real metrics must trigger re-profiling.
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(spec)
+	cg, _ := cat.Lookup("CG")
+	p, err := k.ProfileProgram(cg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "updated" CG: same name to users, different innards.
+	changed := *cg
+	changed.IPCMax = cg.IPCMax * 0.55
+	changed.BWPerCoreRef = cg.BWPerCoreRef * 2
+	if err := changed.Calibrate(spec.Node); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewDriftMonitor(0.2)
+	for i := 0; i < 6; i++ {
+		_, _, metrics, err := exec.RunSoloStats(spec, &changed, 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Observe("CG", 16, Reading{
+			IPC: metrics.IPC, BWPerNode: metrics.BWPerNode, MissPct: metrics.MissPct,
+		})
+	}
+	if !m.NeedsReprofile(p) {
+		t.Error("changed program did not trigger re-profiling")
+	}
+	m.Reset("CG", 16)
+	if m.NeedsReprofile(p) {
+		t.Error("Reset did not clear readings")
+	}
+}
+
+func TestDriftSingleMetricSufficient(t *testing.T) {
+	k, cat := testProfiler(t)
+	cg, _ := cat.Lookup("CG")
+	p, err := k.ProfileProgram(cg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := steadyReading(p)
+	for name, mutate := range map[string]func(Reading) Reading{
+		"ipc":  func(r Reading) Reading { r.IPC *= 0.5; return r },
+		"bw":   func(r Reading) Reading { r.BWPerNode *= 2; return r },
+		"miss": func(r Reading) Reading { r.MissPct *= 1.5; return r },
+	} {
+		m := NewDriftMonitor(0.2)
+		for i := 0; i < 8; i++ {
+			m.Observe("CG", 16, mutate(base))
+		}
+		if !m.NeedsReprofile(p) {
+			t.Errorf("%s drift alone not detected", name)
+		}
+	}
+}
+
+func TestDriftWindowBounds(t *testing.T) {
+	m := NewDriftMonitor(0.2)
+	m.Window = 4
+	for i := 0; i < 10; i++ {
+		m.Observe("X", 16, Reading{IPC: float64(i)})
+	}
+	if got := m.Samples("X", 16); got != 4 {
+		t.Errorf("window kept %d samples, want 4", got)
+	}
+}
+
+func TestDriftedScansDatabase(t *testing.T) {
+	k, cat := testProfiler(t)
+	db := NewDB()
+	if err := k.ProfileAll(cat, []string{"CG", "EP"}, 16, db); err != nil {
+		t.Fatal(err)
+	}
+	m := NewDriftMonitor(0.2)
+	cgProf, _ := db.Get("CG", 16)
+	// CG drifts, EP stays quiet.
+	bad := steadyReading(cgProf)
+	bad.IPC *= 0.3
+	for i := 0; i < 8; i++ {
+		m.Observe("CG", 16, bad)
+	}
+	epProf, _ := db.Get("EP", 16)
+	for i := 0; i < 8; i++ {
+		m.Observe("EP", 16, steadyReading(epProf))
+	}
+	drifted := m.Drifted(db)
+	if len(drifted) != 1 || drifted[0].Program != "CG" {
+		t.Errorf("Drifted = %v, want only CG", names(drifted))
+	}
+}
+
+func names(ps []*Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Program
+	}
+	return out
+}
+
+func TestMedianHelper(t *testing.T) {
+	rs := []Reading{{IPC: 3}, {IPC: 1}, {IPC: 2}}
+	if got := median(rs, func(r Reading) float64 { return r.IPC }); got != 2 {
+		t.Errorf("median = %g, want 2", got)
+	}
+	rs = append(rs, Reading{IPC: 4})
+	if got := median(rs, func(r Reading) float64 { return r.IPC }); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+	if got := median(nil, func(r Reading) float64 { return r.IPC }); got != 0 {
+		t.Errorf("empty median = %g, want 0", got)
+	}
+}
+
+func TestRelDev(t *testing.T) {
+	if got := relDev(110, 100); got != 0.1 {
+		t.Errorf("relDev = %g, want 0.1", got)
+	}
+	// Near-zero expectations compare absolutely.
+	if got := relDev(0.5, 0.0001); got >= 1 {
+		t.Errorf("near-zero relDev = %g, want absolute ~0.5", got)
+	}
+}
+
+func TestExplorerStateMachine(t *testing.T) {
+	e := NewExplorer()
+	// Full happy-path exploration: 1, 2, 4, 8 with improving times.
+	times := map[int]float64{1: 100, 2: 80, 4: 70, 8: 65}
+	for {
+		k, ok := e.NextTrial("P", 16)
+		if !ok {
+			break
+		}
+		if err := e.RecordTrial("P", 16, ScaleProfile{K: k, TimeSec: times[k]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Done("P", 16) {
+		t.Fatal("exploration not done after all candidates")
+	}
+	p, err := e.Finish("P", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != Scaling || p.IdealK() != 8 || len(p.Scales) != 4 {
+		t.Errorf("profile = class %v ideal %d scales %d", p.Class, p.IdealK(), len(p.Scales))
+	}
+}
+
+func TestExplorerSkipAndNeutral(t *testing.T) {
+	e := NewExplorer()
+	k, _ := e.NextTrial("Q", 16)
+	if err := e.RecordTrial("Q", 16, ScaleProfile{K: k, TimeSec: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining scales infeasible: skip them all.
+	for i := 0; i < 3; i++ {
+		e.SkipTrial("Q", 16)
+	}
+	if !e.Done("Q", 16) {
+		t.Fatal("not done after skipping all scales")
+	}
+	p, err := e.Finish("Q", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != Neutral {
+		t.Errorf("single-scale profile class %v, want neutral", p.Class)
+	}
+	// SkipTrial on a fresh pair initializes state.
+	e.SkipTrial("R", 16)
+	if k, ok := e.NextTrial("R", 16); !ok || k != 2 {
+		t.Errorf("after initial skip, next trial = %d, %v; want 2, true", k, ok)
+	}
+	// Finish with nothing explored fails.
+	if _, err := e.Finish("Z", 16); err == nil {
+		t.Error("Finish with no trials succeeded")
+	}
+}
+
+func TestExplorerNeutralWithinBand(t *testing.T) {
+	e := NewExplorer()
+	// Times within 5%: neutral classification.
+	for _, k := range []int{1, 2, 4, 8} {
+		if kk, ok := e.NextTrial("N", 16); !ok || kk != k {
+			t.Fatalf("trial order wrong at %d", k)
+		}
+		if err := e.RecordTrial("N", 16, ScaleProfile{K: k, TimeSec: 100 - float64(k)*0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := e.Finish("N", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != Neutral {
+		t.Errorf("class %v, want neutral (within 5%% band)", p.Class)
+	}
+}

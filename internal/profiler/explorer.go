@@ -1,0 +1,146 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Explorer implements the paper's piggy-backed profiling workflow
+// (Section 4.2): rather than dedicating profiling runs, a new program's
+// first few production submissions are used as trials — the first runs at
+// scale factor 1 in exclusive mode, the next at 2x, and so on, while the
+// scheduler records each trial's time and curves. Exploration stops when
+// the candidate scales are exhausted or spreading saturates, after which
+// the assembled profile enters the database and SNS placement takes over.
+type Explorer struct {
+	// CandidateKs are the scale factors to try, in order.
+	CandidateKs []int
+	// SaturationSlowdown stops exploration early once a scale is this
+	// much slower than the best seen.
+	SaturationSlowdown float64
+	// NeutralBand is the classification band (Section 4.2's 5%).
+	NeutralBand float64
+
+	state map[string]*exploration
+}
+
+// exploration tracks one program/procs pair mid-exploration.
+type exploration struct {
+	next   int // index into CandidateKs
+	scales []ScaleProfile
+	best   float64
+	done   bool
+}
+
+// NewExplorer returns an explorer with the paper's settings.
+func NewExplorer() *Explorer {
+	return &Explorer{
+		CandidateKs:        []int{1, 2, 4, 8},
+		SaturationSlowdown: 0.15,
+		NeutralBand:        0.05,
+		state:              make(map[string]*exploration),
+	}
+}
+
+// NextTrial returns the scale factor the program's next production run
+// should use, and whether exploration is still ongoing. Once exploration
+// completes, ok is false and the caller should consult the profile
+// database instead.
+func (e *Explorer) NextTrial(program string, procs int) (k int, ok bool) {
+	st := e.state[Key(program, procs)]
+	if st == nil {
+		st = &exploration{best: -1}
+		e.state[Key(program, procs)] = st
+	}
+	if st.done || st.next >= len(e.CandidateKs) {
+		return 0, false
+	}
+	return e.CandidateKs[st.next], true
+}
+
+// RecordTrial feeds one completed exclusive trial back: the scale it ran
+// at, its measured time, and its sampled curves (any may be nil when the
+// run was not instrumented; timing alone still advances exploration).
+func (e *Explorer) RecordTrial(program string, procs int, sp ScaleProfile) error {
+	st := e.state[Key(program, procs)]
+	if st == nil || st.done {
+		return fmt.Errorf("profiler: no exploration in progress for %s/%d", program, procs)
+	}
+	if st.next >= len(e.CandidateKs) || sp.K != e.CandidateKs[st.next] {
+		return fmt.Errorf("profiler: %s/%d: trial at k=%d, expected k=%d",
+			program, procs, sp.K, e.CandidateKs[st.next])
+	}
+	st.scales = append(st.scales, sp)
+	st.next++
+	if st.best < 0 || sp.TimeSec < st.best {
+		st.best = sp.TimeSec
+	} else if sp.TimeSec > st.best*(1+e.SaturationSlowdown) {
+		// Spreading has saturated; stop wasting trials.
+		st.done = true
+	}
+	if st.next >= len(e.CandidateKs) {
+		st.done = true
+	}
+	return nil
+}
+
+// SkipTrial advances past a scale the program cannot run at (framework
+// constraints: uneven MPI splits, single-node programs).
+func (e *Explorer) SkipTrial(program string, procs int) {
+	st := e.state[Key(program, procs)]
+	if st == nil {
+		st = &exploration{best: -1}
+		e.state[Key(program, procs)] = st
+	}
+	st.next++
+	if st.next >= len(e.CandidateKs) {
+		st.done = true
+	}
+}
+
+// Done reports whether exploration for the pair has finished.
+func (e *Explorer) Done(program string, procs int) bool {
+	st := e.state[Key(program, procs)]
+	return st != nil && st.done
+}
+
+// Finish assembles the explored trials into a classified profile and
+// clears the exploration state. It fails if no trials were recorded.
+func (e *Explorer) Finish(program string, procs int) (*Profile, error) {
+	st := e.state[Key(program, procs)]
+	if st == nil || len(st.scales) == 0 {
+		return nil, fmt.Errorf("profiler: %s/%d: nothing explored", program, procs)
+	}
+	p := &Profile{Program: program, Procs: procs}
+	p.Scales = append(p.Scales, st.scales...)
+	sort.Slice(p.Scales, func(a, b int) bool { return p.Scales[a].K < p.Scales[b].K })
+	classifyProfile(p, e.NeutralBand)
+	delete(e.state, Key(program, procs))
+	return p, nil
+}
+
+// classifyProfile applies the Section 4.2 classification to an assembled
+// profile (shared with Kunafa's dedicated-run path).
+func classifyProfile(p *Profile, band float64) {
+	base, ok := p.AtK(1)
+	if !ok || len(p.Scales) == 1 {
+		p.Class = Neutral
+		return
+	}
+	best := p.Best()
+	allSlower := true
+	for i := range p.Scales {
+		s := &p.Scales[i]
+		if s.K > 1 && s.TimeSec <= base.TimeSec*(1+band) {
+			allSlower = false
+		}
+	}
+	switch {
+	case best.TimeSec < base.TimeSec*(1-band):
+		p.Class = Scaling
+	case allSlower:
+		p.Class = Compact
+	default:
+		p.Class = Neutral
+	}
+}

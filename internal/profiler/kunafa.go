@@ -1,0 +1,273 @@
+package profiler
+
+import (
+	"fmt"
+	"math"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+)
+
+// Kunafa profiles programs on a simulated cluster the way the paper's
+// monitor profiles them on hardware: per candidate scale factor, one clean
+// exclusive run for timing plus one instrumented run whose LLC allocation
+// is rotated through sample points every few seconds while PMU metrics are
+// recorded.
+type Kunafa struct {
+	// Spec is the cluster profiled on.
+	Spec hw.ClusterSpec
+	// SampleWays are the LLC allocations rotated through; the paper
+	// samples 2, 4, 8 and 20 ways.
+	SampleWays []int
+	// EpisodeSec is the fixed-allocation episode length (paper: 5 s).
+	EpisodeSec float64
+	// CandidateKs are the scale factors explored (paper: 1, 2, 4, 8).
+	CandidateKs []int
+	// SaturationSlowdown stops the scale exploration once a scale is
+	// this much slower than the best seen (paper terminates when
+	// spreading "saturates").
+	SaturationSlowdown float64
+	// NeutralBand is the run-time variation within which a program is
+	// classified Neutral (Section 4.2 uses 5%).
+	NeutralBand float64
+}
+
+// New returns a profiler with the paper's settings.
+func New(spec hw.ClusterSpec) *Kunafa {
+	return &Kunafa{
+		Spec:               spec,
+		SampleWays:         []int{2, 4, 8, spec.Node.LLCWays},
+		EpisodeSec:         5,
+		CandidateKs:        []int{1, 2, 4, 8},
+		SaturationSlowdown: 0.15,
+		NeutralBand:        0.05,
+	}
+}
+
+// footprint computes the node count and max cores per node for a process
+// count at scale factor k on the profiler's node size.
+func (k *Kunafa) footprint(procs, scale int) (nodes, cores int) {
+	minNodes := (procs + k.Spec.Node.Cores - 1) / k.Spec.Node.Cores
+	nodes = scale * minNodes
+	cores = (procs + nodes - 1) / nodes
+	return nodes, cores
+}
+
+// ProfileProgram measures one program at the candidate scales and returns
+// the assembled profile. Scales that the framework cannot run (uneven MPI
+// splits, single-node programs) or the cluster cannot host are skipped.
+func (k *Kunafa) ProfileProgram(prog *app.Model, procs int) (*Profile, error) {
+	p := &Profile{Program: prog.Name, Procs: procs}
+	bestTime := math.Inf(1)
+	for _, scale := range k.CandidateKs {
+		nodes, cores := k.footprint(procs, scale)
+		if nodes > k.Spec.Nodes || nodes > procs {
+			break
+		}
+		sp, err := k.profileScale(prog, procs, scale, nodes, cores)
+		if err != nil {
+			// Framework constraint: this scale is simply not
+			// runnable for the program; move on.
+			continue
+		}
+		p.Scales = append(p.Scales, *sp)
+		if sp.TimeSec < bestTime {
+			bestTime = sp.TimeSec
+		} else if sp.TimeSec > bestTime*(1+k.SaturationSlowdown) {
+			// Spreading has saturated; stop burning profiling runs.
+			break
+		}
+	}
+	if len(p.Scales) == 0 {
+		return nil, fmt.Errorf("profiler: %s/%d: no runnable scale", prog.Name, procs)
+	}
+	k.classify(p)
+	return p, nil
+}
+
+// profileScale measures one (program, scale) point: a clean run for the
+// time, then an instrumented run for the cache-sensitivity curves.
+func (k *Kunafa) profileScale(prog *app.Model, procs, scale, nodes, cores int) (*ScaleProfile, error) {
+	clean, err := exec.RunSolo(k.Spec, prog, procs, nodes)
+	if err != nil {
+		return nil, err
+	}
+	ipcS, bwS, missS, io, err := k.instrumentedRun(prog, procs, nodes)
+	if err != nil {
+		return nil, err
+	}
+	maxW := k.Spec.Node.LLCWays
+	return &ScaleProfile{
+		K:            scale,
+		Nodes:        nodes,
+		CoresPerNode: cores,
+		TimeSec:      clean.RunTime(),
+		IPCByWay:     Interpolate(ipcS, maxW),
+		BWByWay:      Interpolate(bwS, maxW),
+		MissByWay:    Interpolate(missS, maxW),
+		IOPerNode:    io,
+	}, nil
+}
+
+// instrumentedRun executes the job solo while rotating its LLC allocation
+// through SampleWays, sampling the simulated PMUs mid-episode, and
+// averaging the readings per allocation over the whole run (capturing
+// program phases, as the repeated adjustment in the paper does).
+func (k *Kunafa) instrumentedRun(prog *app.Model, procs, nodes int) (ipc, bw, miss map[int]float64, io float64, err error) {
+	e, err := exec.New(k.Spec)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	j, err := exec.PlaceEven(prog, 0, procs, nodes, k.Spec.Nodes)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if err := e.Launch(j); err != nil {
+		return nil, nil, nil, 0, err
+	}
+
+	type acc struct {
+		sum   float64
+		count int
+	}
+	ipcA := make(map[int]*acc)
+	bwA := make(map[int]*acc)
+	missA := make(map[int]*acc)
+	ioSum, ioCount := 0.0, 0
+
+	idx := 0
+	var episode func()
+	episode = func() {
+		if j.State != exec.Running {
+			return
+		}
+		ways := k.SampleWays[idx%len(k.SampleWays)]
+		idx++
+		if err := e.SetJobWays(j.ID, ways); err != nil {
+			return
+		}
+		// Sample mid-episode (conditions are constant within one).
+		e.Queue().At(e.Now()+k.EpisodeSec/2, func() {
+			if j.State != exec.Running {
+				return
+			}
+			m, err := e.JobMetrics(j.ID)
+			if err != nil {
+				return
+			}
+			get := func(mm map[int]*acc) *acc {
+				a := mm[ways]
+				if a == nil {
+					a = &acc{}
+					mm[ways] = a
+				}
+				return a
+			}
+			a := get(ipcA)
+			a.sum += m.IPC
+			a.count++
+			ioSum += m.IOPerNode
+			ioCount++
+			b := get(bwA)
+			b.sum += m.BWPerNode
+			b.count++
+			c := get(missA)
+			c.sum += m.MissPct
+			c.count++
+		})
+		e.Queue().At(e.Now()+k.EpisodeSec, episode)
+	}
+	e.Queue().At(0, episode)
+	e.Run(0)
+	if j.State != exec.Done {
+		return nil, nil, nil, 0, fmt.Errorf("profiler: instrumented run of %s did not finish", prog.Name)
+	}
+
+	avg := func(mm map[int]*acc) map[int]float64 {
+		out := make(map[int]float64, len(mm))
+		for w, a := range mm {
+			if a.count > 0 {
+				out[w] = a.sum / float64(a.count)
+			}
+		}
+		return out
+	}
+	if ioCount > 0 {
+		io = ioSum / float64(ioCount)
+	}
+	return avg(ipcA), avg(bwA), avg(missA), io, nil
+}
+
+// classify assigns the Section 4.2 class and identifies the constraining
+// resource for scaling programs.
+func (k *Kunafa) classify(p *Profile) {
+	base, ok := p.AtK(1)
+	if !ok || len(p.Scales) == 1 {
+		p.Class = Neutral
+		return
+	}
+	best := p.Best()
+	allSlower := true
+	for i := range p.Scales {
+		s := &p.Scales[i]
+		if s.K > 1 && s.TimeSec <= base.TimeSec*(1+k.NeutralBand) {
+			allSlower = false
+		}
+	}
+	switch {
+	case best.TimeSec < base.TimeSec*(1-k.NeutralBand):
+		p.Class = Scaling
+		p.ConstrainedBy = k.constraint(base)
+	case allSlower:
+		p.Class = Compact
+	default:
+		p.Class = Neutral
+	}
+}
+
+// constraint infers the bottleneck from the compact-placement profile: a
+// node draining most of its peak bandwidth is bandwidth-bound; a program
+// needing most of the LLC for 90% performance is cache-bound.
+func (k *Kunafa) constraint(base *ScaleProfile) string {
+	full := base.FullWays()
+	bwBound := base.BWAt(full) > 0.6*k.Spec.Node.PeakBandwidth
+	needed := full
+	for w := 1; w <= full; w++ {
+		if base.IPCAt(w) >= 0.9*base.IPCAt(full) {
+			needed = w
+			break
+		}
+	}
+	llcBound := needed >= full/2
+	switch {
+	case bwBound && llcBound:
+		return "memory-bandwidth+llc"
+	case bwBound:
+		return "memory-bandwidth"
+	case llcBound:
+		return "llc"
+	}
+	return "scale"
+}
+
+// ProfileAll profiles every named program at the given process count into
+// the database, skipping pairs already present (profiles are reused across
+// recurring jobs).
+func (k *Kunafa) ProfileAll(cat *app.Catalog, names []string, procs int, db *DB) error {
+	for _, name := range names {
+		if _, ok := db.Get(name, procs); ok {
+			continue
+		}
+		prog, err := cat.Lookup(name)
+		if err != nil {
+			return err
+		}
+		p, err := k.ProfileProgram(prog, procs)
+		if err != nil {
+			return fmt.Errorf("profiler: %s: %w", name, err)
+		}
+		db.Put(p)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package profiler
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+)
+
+func TestInterpolate(t *testing.T) {
+	samples := map[int]float64{2: 1.0, 4: 2.0, 8: 4.0, 20: 10.0}
+	c := Interpolate(samples, 20)
+	if len(c) != 21 {
+		t.Fatalf("curve length %d, want 21", len(c))
+	}
+	if c[1] != 1.0 {
+		t.Errorf("flat extrapolation below: c[1] = %g, want 1", c[1])
+	}
+	if c[2] != 1.0 || c[4] != 2.0 || c[8] != 4.0 || c[20] != 10.0 {
+		t.Errorf("sample points not preserved: %v", []float64{c[2], c[4], c[8], c[20]})
+	}
+	if math.Abs(c[3]-1.5) > 1e-12 {
+		t.Errorf("c[3] = %g, want 1.5 (linear)", c[3])
+	}
+	if math.Abs(c[14]-7.0) > 1e-12 {
+		t.Errorf("c[14] = %g, want 7.0 (linear between 8 and 20)", c[14])
+	}
+}
+
+func TestInterpolateEdgeCases(t *testing.T) {
+	if c := Interpolate(nil, 20); c[10] != 0 {
+		t.Error("empty samples produced non-zero curve")
+	}
+	c := Interpolate(map[int]float64{5: 3.0}, 20)
+	for w := 1; w <= 20; w++ {
+		if c[w] != 3.0 {
+			t.Fatalf("single sample: c[%d] = %g, want 3.0 everywhere", w, c[w])
+		}
+	}
+	// Out-of-range sample indices are ignored.
+	c = Interpolate(map[int]float64{0: 9, 25: 9}, 20)
+	if c[10] != 0 {
+		t.Error("out-of-range samples leaked into curve")
+	}
+}
+
+// Property: interpolation of a monotone sample set stays monotone and
+// within the sample range.
+func TestInterpolateMonotoneProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		vals := []float64{math.Abs(a), math.Abs(b), math.Abs(c), math.Abs(d)}
+		for i := 1; i < 4; i++ {
+			vals[i] = vals[i-1] + math.Mod(vals[i], 10)
+		}
+		curve := Interpolate(map[int]float64{2: vals[0], 4: vals[1], 8: vals[2], 20: vals[3]}, 20)
+		prev := curve[1]
+		for w := 2; w <= 20; w++ {
+			if curve[w] < prev-1e-9 {
+				return false
+			}
+			prev = curve[w]
+		}
+		return curve[1] >= vals[0]-1e-9 && curve[20] <= vals[3]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testProfiler(t *testing.T) (*Kunafa, *app.Catalog) {
+	t.Helper()
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(spec), cat
+}
+
+func TestProfileClassification(t *testing.T) {
+	k, cat := testProfiler(t)
+	want := map[string]Class{
+		"MG": Scaling, "LU": Scaling, "BW": Scaling, "TS": Scaling, "CG": Scaling,
+		"BFS": Compact,
+		"EP":  Neutral, "HC": Neutral, "WC": Neutral, "NW": Neutral,
+	}
+	for name, class := range want {
+		prog, err := cat.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := k.ProfileProgram(prog, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Class != class {
+			t.Errorf("%s classified %v, want %v (times: %v)", name, p.Class, class, times(p))
+		}
+	}
+}
+
+func times(p *Profile) []float64 {
+	out := make([]float64, len(p.Scales))
+	for i, s := range p.Scales {
+		out[i] = s.TimeSec
+	}
+	return out
+}
+
+func TestProfileSingleNodePrograms(t *testing.T) {
+	k, cat := testProfiler(t)
+	gan, _ := cat.Lookup("GAN")
+	p, err := k.ProfileProgram(gan, 16)
+	if err != nil {
+		t.Fatalf("GAN: %v", err)
+	}
+	if len(p.Scales) != 1 || p.Scales[0].K != 1 {
+		t.Errorf("GAN profiled at %d scales, want only k=1", len(p.Scales))
+	}
+	if p.Class != Neutral {
+		t.Errorf("GAN class %v, want neutral (cannot scale)", p.Class)
+	}
+}
+
+func TestProfileCurveShapes(t *testing.T) {
+	k, cat := testProfiler(t)
+	cg, _ := cat.Lookup("CG")
+	p, err := k.ProfileProgram(cg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := p.AtK(1)
+	if !ok {
+		t.Fatal("no k=1 profile")
+	}
+	// IPC-LLC must be nondecreasing after interpolation.
+	for w := 2; w <= base.FullWays(); w++ {
+		if base.IPCAt(w) < base.IPCAt(w-1)-1e-9 {
+			t.Fatalf("IPC curve decreasing at %d ways: %g < %g",
+				w, base.IPCAt(w), base.IPCAt(w-1))
+		}
+	}
+	if base.IPCAt(2) >= base.IPCAt(20) {
+		t.Error("CG IPC with 2 ways not below full-way IPC")
+	}
+	// Miss rate must decrease with ways.
+	if base.MissByWay[2] <= base.MissByWay[20] {
+		t.Error("CG miss rate with 2 ways not above full-way miss rate")
+	}
+}
+
+func TestProfileMGBandwidthBound(t *testing.T) {
+	k, cat := testProfiler(t)
+	mg, _ := cat.Lookup("MG")
+	p, err := k.ProfileProgram(mg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != Scaling {
+		t.Fatalf("MG class %v, want scaling", p.Class)
+	}
+	if p.ConstrainedBy != "memory-bandwidth" {
+		t.Errorf("MG constrained by %q, want memory-bandwidth", p.ConstrainedBy)
+	}
+	base, _ := p.AtK(1)
+	if bw := base.BWAt(20); bw < 90 {
+		t.Errorf("MG profiled 1-node bandwidth %g GB/s, want near peak", bw)
+	}
+	if p.IdealK() < 2 {
+		t.Errorf("MG ideal scale %d, want >= 2", p.IdealK())
+	}
+}
+
+func TestByPerformanceOrder(t *testing.T) {
+	k, cat := testProfiler(t)
+	bw, _ := cat.Lookup("BW")
+	p, err := k.ProfileProgram(bw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := p.ByPerformance()
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].TimeSec < ordered[i-1].TimeSec {
+			t.Fatal("ByPerformance not sorted by ascending time")
+		}
+	}
+	if ordered[0].K != p.IdealK() {
+		t.Errorf("fastest scale %d != IdealK %d", ordered[0].K, p.IdealK())
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	k, cat := testProfiler(t)
+	db := NewDB()
+	if err := k.ProfileAll(cat, []string{"MG", "EP"}, 16, db); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Profiles) != 2 {
+		t.Fatalf("db has %d profiles, want 2", len(db.Profiles))
+	}
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	if err := db.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	orig, _ := db.Get("MG", 16)
+	got, ok := loaded.Get("MG", 16)
+	if !ok {
+		t.Fatal("MG profile lost in round trip")
+	}
+	if got.Class != orig.Class || len(got.Scales) != len(orig.Scales) {
+		t.Errorf("round trip changed profile: %+v vs %+v", got.Class, orig.Class)
+	}
+	if math.Abs(got.Scales[0].TimeSec-orig.Scales[0].TimeSec) > 1e-9 {
+		t.Error("round trip changed timing")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}
+
+func TestProfileAllSkipsExisting(t *testing.T) {
+	k, cat := testProfiler(t)
+	db := NewDB()
+	sentinel := &Profile{Program: "MG", Procs: 16, Class: Compact}
+	db.Put(sentinel)
+	if err := k.ProfileAll(cat, []string{"MG"}, 16, db); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Get("MG", 16)
+	if got != sentinel {
+		t.Error("ProfileAll re-profiled an existing entry")
+	}
+	if err := k.ProfileAll(cat, []string{"NOPE"}, 16, db); err == nil {
+		t.Error("ProfileAll accepted unknown program")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Scaling.String() != "scaling" || Compact.String() != "compact" ||
+		Neutral.String() != "neutral" || Class(7).String() != "Class(7)" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestScaleProfileCurveClamping(t *testing.T) {
+	s := &ScaleProfile{IPCByWay: []float64{0, 1, 2, 3}}
+	if s.IPCAt(0) != 1 {
+		t.Errorf("IPCAt(0) = %g, want clamp to way 1", s.IPCAt(0))
+	}
+	if s.IPCAt(99) != 3 {
+		t.Errorf("IPCAt(99) = %g, want clamp to top way", s.IPCAt(99))
+	}
+	empty := &ScaleProfile{}
+	if empty.IPCAt(5) != 0 || empty.BWAt(5) != 0 {
+		t.Error("empty curves should read 0")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	k, _ := testProfiler(t)
+	for _, c := range []struct {
+		procs, scale, nodes, cores int
+	}{
+		{16, 1, 1, 16},
+		{16, 2, 2, 8},
+		{16, 8, 8, 2},
+		{28, 1, 1, 28},
+		{28, 2, 2, 14},
+		{32, 1, 2, 16},
+		{32, 2, 4, 8},
+	} {
+		n, cr := k.footprint(c.procs, c.scale)
+		if n != c.nodes || cr != c.cores {
+			t.Errorf("footprint(%d, %d) = (%d, %d), want (%d, %d)",
+				c.procs, c.scale, n, cr, c.nodes, c.cores)
+		}
+	}
+}

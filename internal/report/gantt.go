@@ -1,0 +1,113 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spreadnshare/internal/exec"
+)
+
+// Gantt renders finished jobs as a per-node ASCII timeline, the visual
+// form of the paper's Figure 1 schedule layouts. Each node shows one lane
+// per concurrently-resident job; a job's span is filled with its program
+// name. Width is the number of character columns the makespan maps onto.
+func Gantt(jobs []*exec.Job, nodes, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	makespan := 0.0
+	for _, j := range jobs {
+		if j.Finish > makespan {
+			makespan = j.Finish
+		}
+	}
+	if makespan <= 0 || nodes <= 0 {
+		return ""
+	}
+	col := func(t float64) int {
+		c := int(t / makespan * float64(width))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	type span struct {
+		job        *exec.Job
+		start, end int // columns
+	}
+	perNode := make([][]span, nodes)
+	for _, j := range jobs {
+		s, e := col(j.Start), col(j.Finish)
+		if e <= s {
+			e = s + 1
+		}
+		for _, n := range j.Nodes {
+			if n >= 0 && n < nodes {
+				perNode[n] = append(perNode[n], span{j, s, e})
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.1f s\n", strings.Repeat("-", width-10), makespan)
+	for n := 0; n < nodes; n++ {
+		spans := perNode[n]
+		sort.Slice(spans, func(a, c int) bool {
+			if spans[a].start != spans[c].start {
+				return spans[a].start < spans[c].start
+			}
+			return spans[a].job.ID < spans[c].job.ID
+		})
+		// Assign each span to the first lane free at its start.
+		var laneEnd []int
+		lanes := make([][]span, 0, 2)
+		for _, sp := range spans {
+			placed := false
+			for l := range lanes {
+				if laneEnd[l] <= sp.start {
+					lanes[l] = append(lanes[l], sp)
+					laneEnd[l] = sp.end
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				lanes = append(lanes, []span{sp})
+				laneEnd = append(laneEnd, sp.end)
+			}
+		}
+		if len(lanes) == 0 {
+			fmt.Fprintf(&b, "N%-2d %s\n", n, strings.Repeat(".", width))
+			continue
+		}
+		for l, lane := range lanes {
+			row := make([]byte, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			for _, sp := range lane {
+				label := fmt.Sprintf("%s:%d", sp.job.Prog.Name, sp.job.ID)
+				for i := sp.start; i < sp.end && i < width; i++ {
+					k := i - sp.start
+					if k == 0 {
+						row[i] = '['
+					} else if i == sp.end-1 {
+						row[i] = ']'
+					} else if k-1 < len(label) {
+						row[i] = label[k-1]
+					} else {
+						row[i] = '='
+					}
+				}
+			}
+			tag := fmt.Sprintf("N%d", n)
+			if l > 0 {
+				tag = "  "
+			}
+			fmt.Fprintf(&b, "%-3s %s\n", tag, row)
+		}
+	}
+	return b.String()
+}

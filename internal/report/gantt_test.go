@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+)
+
+func ganttJobs(t *testing.T) []*exec.Job {
+	t.Helper()
+	cat, err := app.NewCatalog(hw.DefaultNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, _ := cat.Lookup("MG")
+	hc, _ := cat.Lookup("HC")
+	a := &exec.Job{ID: 0, Prog: mg, Procs: 16, Nodes: []int{0, 1}, CoresByNode: []int{8, 8},
+		Start: 0, Finish: 100, State: exec.Done}
+	b := &exec.Job{ID: 1, Prog: hc, Procs: 8, Nodes: []int{0}, CoresByNode: []int{8},
+		Start: 0, Finish: 200, State: exec.Done}
+	c := &exec.Job{ID: 2, Prog: hc, Procs: 8, Nodes: []int{1}, CoresByNode: []int{8},
+		Start: 120, Finish: 200, State: exec.Done}
+	return []*exec.Job{a, b, c}
+}
+
+func TestGanttLayout(t *testing.T) {
+	out := Gantt(ganttJobs(t), 2, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + node 0 (two lanes: MG and HC overlap) + node 1 (one
+	// lane: MG then HC are disjoint in time).
+	if len(lines) != 4 {
+		t.Fatalf("gantt has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "time 0") || !strings.Contains(lines[0], "200.0 s") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(out, "MG:0") {
+		t.Error("MG span not labeled")
+	}
+	if !strings.Contains(out, "HC:1") || !strings.Contains(out, "HC:2") {
+		t.Error("HC spans not labeled")
+	}
+	// Node 0 needs two lanes (concurrent jobs); node 1 only one.
+	n0lanes := 0
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "N0") || (n0lanes > 0 && strings.HasPrefix(l, "  ")) {
+			n0lanes++
+		} else if strings.HasPrefix(l, "N1") {
+			break
+		}
+	}
+	if n0lanes != 2 {
+		t.Errorf("node 0 rendered %d lanes, want 2:\n%s", n0lanes, out)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	if Gantt(nil, 4, 40) != "" {
+		t.Error("empty job list should render nothing")
+	}
+	jobs := ganttJobs(t)
+	if Gantt(jobs, 0, 40) != "" {
+		t.Error("zero nodes should render nothing")
+	}
+	// A node with no jobs renders an idle row.
+	out := Gantt(jobs[:1], 3, 40)
+	if !strings.Contains(out, "N2  "+strings.Repeat(".", 40)) {
+		t.Errorf("idle node not rendered:\n%s", out)
+	}
+	// Tiny width clamps without panicking.
+	if Gantt(jobs, 2, 1) == "" {
+		t.Error("tiny width rendered nothing")
+	}
+}

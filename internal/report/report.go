@@ -1,0 +1,111 @@
+// Package report renders scheduling results and experiment tables in
+// machine-readable forms (CSV, JSON) so the CLIs compose with plotting
+// and analysis pipelines.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/pmu"
+	"spreadnshare/internal/stats"
+)
+
+// WriteCSV writes experiment rows (first row = header) as CSV.
+func WriteCSV(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JobRecord is the JSON form of one finished job.
+type JobRecord struct {
+	ID         int     `json:"id"`
+	Program    string  `json:"program"`
+	Procs      int     `json:"procs"`
+	Nodes      []int   `json:"nodes"`
+	Cores      []int   `json:"coresPerNode"`
+	Ways       int     `json:"llcWays"`
+	BWCap      float64 `json:"bwCapGB,omitempty"`
+	Exclusive  bool    `json:"exclusive"`
+	State      string  `json:"state"`
+	Submit     float64 `json:"submitSec"`
+	Start      float64 `json:"startSec"`
+	Finish     float64 `json:"finishSec"`
+	Wait       float64 `json:"waitSec"`
+	Run        float64 `json:"runSec"`
+	Turnaround float64 `json:"turnaroundSec"`
+}
+
+// RunReport is the JSON form of one scheduling run.
+type RunReport struct {
+	Policy          string      `json:"policy"`
+	ClusterNodes    int         `json:"clusterNodes"`
+	Jobs            []JobRecord `json:"jobs"`
+	MeanTurnaround  float64     `json:"meanTurnaroundSec"`
+	ThroughputJobsS float64     `json:"throughputJobsPerSec"`
+	MakespanSec     float64     `json:"makespanSec"`
+}
+
+// FromJobs assembles a run report from finished jobs.
+func FromJobs(policy string, clusterNodes int, jobs []*exec.Job) *RunReport {
+	r := &RunReport{Policy: policy, ClusterNodes: clusterNodes}
+	var turns []float64
+	for _, j := range jobs {
+		turns = append(turns, j.Turnaround())
+		if j.Finish > r.MakespanSec {
+			r.MakespanSec = j.Finish
+		}
+		r.Jobs = append(r.Jobs, JobRecord{
+			ID:      j.ID,
+			Program: j.Prog.Name,
+			Procs:   j.Procs,
+			Nodes:   j.Nodes,
+			Cores:   j.CoresByNode,
+			Ways:    j.Ways,
+			BWCap:   j.BWCap,
+
+			Exclusive:  j.Exclusive,
+			State:      j.State.String(),
+			Submit:     j.Submit,
+			Start:      j.Start,
+			Finish:     j.Finish,
+			Wait:       j.WaitTime(),
+			Run:        j.RunTime(),
+			Turnaround: j.Turnaround(),
+		})
+	}
+	r.MeanTurnaround = stats.Mean(turns)
+	r.ThroughputJobsS = stats.Throughput(turns)
+	return r
+}
+
+// WriteJSON writes the report with indentation.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// Utilization summarizes core occupancy from monitoring samples: the mean
+// fraction of cluster cores busy across all recorded episodes — the
+// "idle cores" waste CE suffers from and node sharing recovers.
+func Utilization(samples []pmu.NodeSample, coresPerNode int) float64 {
+	if len(samples) == 0 || coresPerNode <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range samples {
+		total += float64(s.ActiveCores) / float64(coresPerNode)
+	}
+	return total / float64(len(samples))
+}

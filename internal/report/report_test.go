@@ -1,0 +1,80 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/pmu"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]string{{"a", "b"}, {"1", "with,comma"}}
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"with,comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, _ := cat.Lookup("MG")
+	j, err := exec.RunSolo(spec, mg, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromJobs("SNS", 8, []*exec.Job{j})
+	if r.MeanTurnaround != j.Turnaround() || r.MakespanSec != j.Finish {
+		t.Errorf("aggregates wrong: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed RunReport
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.Jobs) != 1 || parsed.Jobs[0].Program != "MG" ||
+		parsed.Jobs[0].State != "done" || len(parsed.Jobs[0].Nodes) != 2 {
+		t.Errorf("parsed report = %+v", parsed.Jobs)
+	}
+	if !strings.Contains(buf.String(), "\"turnaroundSec\"") {
+		t.Error("JSON missing expected field name")
+	}
+}
+
+func TestFromJobsEmpty(t *testing.T) {
+	r := FromJobs("CE", 8, nil)
+	if r.MeanTurnaround != 0 || r.ThroughputJobsS != 0 || len(r.Jobs) != 0 {
+		t.Errorf("empty report = %+v", r)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	samples := []pmu.NodeSample{
+		{Node: 0, ActiveCores: 28},
+		{Node: 1, ActiveCores: 14},
+		{Node: 2, ActiveCores: 0},
+	}
+	got := Utilization(samples, 28)
+	want := (1.0 + 0.5 + 0.0) / 3
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Utilization = %g, want %g", got, want)
+	}
+	if Utilization(nil, 28) != 0 || Utilization(samples, 0) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}

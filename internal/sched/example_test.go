@@ -1,0 +1,45 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/sched"
+)
+
+// A complete SNS scheduling run: profile, submit, run, inspect. The
+// bandwidth-bound MG spreads out while the neutral HC stays compact.
+func Example() {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := profiler.NewDB()
+	if err := profiler.New(spec).ProfileAll(cat, []string{"MG", "HC"}, 16, db); err != nil {
+		log.Fatal(err)
+	}
+	s, err := sched.New(spec, cat, db, sched.DefaultConfig(sched.SNS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Submit(sched.JobSpec{Program: "MG", Procs: 16}); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Submit(sched.JobSpec{Program: "HC", Procs: 16}); err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range jobs {
+		fmt.Printf("%s: %d node(s), %d LLC ways\n", j.Prog.Name, j.SpanNodes(), j.Ways)
+	}
+	// Output:
+	// MG: 8 node(s), 2 LLC ways
+	// HC: 1 node(s), 2 LLC ways
+}

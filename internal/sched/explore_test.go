@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"testing"
+
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/profiler"
+)
+
+// TestPiggybackProfilingEndToEnd: submit an unprofiled program repeatedly;
+// its first runs double as exploration trials (exclusive, at growing
+// scale), after which a classified profile lands in the database and SNS
+// placement takes over.
+func TestPiggybackProfilingEndToEnd(t *testing.T) {
+	spec, cat, _ := testSetup(t)
+	db := profiler.NewDB() // empty: nothing pre-profiled
+	s, err := New(spec, cat, db, DefaultConfig(SNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachExplorer(profiler.NewExplorer(), nil, 0)
+
+	// Six recurring submissions of the bandwidth-bound BW program,
+	// back to back (each submitted when the previous finishes, like a
+	// production recurring job).
+	const runs = 6
+	count := 1
+	s.Engine().OnFinish(func(j *exec.Job) {
+		if count < runs {
+			count++
+			if err := s.Submit(JobSpec{Program: "BW", Procs: 16, Submit: s.Engine().Now()}); err != nil {
+				t.Errorf("resubmit: %v", err)
+			}
+		}
+	})
+	if err := s.Submit(JobSpec{Program: "BW", Procs: 16}); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != runs {
+		t.Fatalf("finished %d runs, want %d", len(jobs), runs)
+	}
+
+	// The trials must have explored growing scales: 1, 2, 4, 8.
+	wantScale := []int{1, 2, 4, 8}
+	for i, j := range jobs {
+		if i < len(wantScale) {
+			if j.SpanNodes() != wantScale[i] {
+				t.Errorf("trial %d ran on %d nodes, want %d", i, j.SpanNodes(), wantScale[i])
+			}
+			if !j.Exclusive {
+				t.Errorf("trial %d not exclusive", i)
+			}
+		}
+	}
+
+	// After the four trials, the profile exists and classifies BW as
+	// scaling with sensible curves.
+	p, ok := db.Get("BW", 16)
+	if !ok {
+		t.Fatal("no profile assembled after exploration")
+	}
+	if p.Class != profiler.Scaling {
+		t.Errorf("BW classified %v, want scaling", p.Class)
+	}
+	if len(p.Scales) != 4 {
+		t.Errorf("profile has %d scales, want 4", len(p.Scales))
+	}
+	base, _ := p.AtK(1)
+	if base.IPCAt(20) <= 0 || base.BWAt(20) <= 0 {
+		t.Error("assembled curves empty")
+	}
+	// Post-exploration runs use the profile: non-exclusive SNS
+	// placement with a CAT allocation.
+	last := jobs[len(jobs)-1]
+	if last.Exclusive {
+		t.Error("post-exploration run still exclusive")
+	}
+	if last.Ways == 0 {
+		t.Error("post-exploration run has no CAT allocation")
+	}
+}
+
+// TestExplorerSkipsInfeasibleScales: a single-node program explores only
+// k=1 and still gets a profile.
+func TestExplorerSkipsInfeasibleScales(t *testing.T) {
+	spec, cat, _ := testSetup(t)
+	db := profiler.NewDB()
+	s, err := New(spec, cat, db, DefaultConfig(SNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachExplorer(profiler.NewExplorer(), nil, 0)
+	if err := s.Submit(JobSpec{Program: "GAN", Procs: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := db.Get("GAN", 16)
+	if !ok {
+		t.Fatal("single-node program never profiled")
+	}
+	if len(p.Scales) != 1 || p.Scales[0].K != 1 {
+		t.Errorf("GAN profile scales = %d, want only k=1", len(p.Scales))
+	}
+	if p.Class != profiler.Neutral {
+		t.Errorf("GAN class %v, want neutral", p.Class)
+	}
+}
+
+// TestExplorerAPI covers the state machine directly.
+func TestExplorerAPI(t *testing.T) {
+	e := profiler.NewExplorer()
+	k, ok := e.NextTrial("X", 16)
+	if !ok || k != 1 {
+		t.Fatalf("first trial = %d, %v; want 1, true", k, ok)
+	}
+	if err := e.RecordTrial("X", 16, profiler.ScaleProfile{K: 2, TimeSec: 100}); err == nil {
+		t.Error("out-of-order trial accepted")
+	}
+	if err := e.RecordTrial("X", 16, profiler.ScaleProfile{K: 1, TimeSec: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Saturation: 2x much slower than 1x stops exploration.
+	k, ok = e.NextTrial("X", 16)
+	if !ok || k != 2 {
+		t.Fatalf("second trial = %d, %v", k, ok)
+	}
+	if err := e.RecordTrial("X", 16, profiler.ScaleProfile{K: 2, TimeSec: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Done("X", 16) {
+		t.Error("saturated exploration not done")
+	}
+	p, err := e.Finish("X", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != profiler.Compact {
+		t.Errorf("class %v, want compact (2x was 2x slower)", p.Class)
+	}
+	// Finishing again fails (state cleared).
+	if _, err := e.Finish("X", 16); err == nil {
+		t.Error("double Finish succeeded")
+	}
+	if err := e.RecordTrial("Y", 16, profiler.ScaleProfile{K: 1}); err == nil {
+		t.Error("RecordTrial without exploration succeeded")
+	}
+}

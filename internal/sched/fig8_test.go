@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/profiler"
+)
+
+// TestFig08PolicyLayouts recreates the paper's Figure 8: a 32-process job
+// A on 28-core nodes under the alternative policies.
+//
+//	CE  (1x, E): 2 nodes, 16 cores each, exclusive -> 24 cores idle.
+//	CS  (1x, S): same footprint, but other jobs fill the idle cores.
+//	SNS (2x, S): A spreads to 4 nodes x 8 cores and shares them.
+func TestFig08PolicyLayouts(t *testing.T) {
+	spec, cat, db := testSetup(t)
+
+	submitA := func(s *Scheduler) {
+		t.Helper()
+		// WC is flexible (non-power-of-2, multi-node) like the
+		// figure's job A.
+		if err := s.Submit(JobSpec{Program: "WC", Procs: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fillers := func(s *Scheduler, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := s.Submit(JobSpec{Program: "EP", Procs: 8}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func(p Policy) (*exec.Job, []*exec.Job) {
+		t.Helper()
+		s, err := New(spec, cat, db, DefaultConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitA(s)
+		fillers(s, 3)
+		jobs, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a *exec.Job
+		var rest []*exec.Job
+		for _, j := range jobs {
+			if j.Procs == 32 {
+				a = j
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		if a == nil {
+			t.Fatal("job A missing")
+		}
+		return a, rest
+	}
+
+	// CE: minimum footprint, exclusive; fillers cannot share A's nodes.
+	a, rest := run(CE)
+	if a.SpanNodes() != 2 || !a.Exclusive {
+		t.Errorf("CE layout: A on %d nodes exclusive=%v, want 2 nodes exclusive", a.SpanNodes(), a.Exclusive)
+	}
+	for _, f := range rest {
+		for _, fn := range f.Nodes {
+			for _, an := range a.Nodes {
+				if fn == an && f.Start < a.Finish && a.Start < f.Finish {
+					t.Errorf("CE: filler %d shares node %d with exclusive A", f.ID, fn)
+				}
+			}
+		}
+	}
+
+	// CS: same compact footprint but shared; with 8 idle nodes the
+	// fillers start immediately.
+	a, _ = run(CS)
+	if a.SpanNodes() != 2 || a.Exclusive {
+		t.Errorf("CS layout: A on %d nodes exclusive=%v, want 2 shared nodes", a.SpanNodes(), a.Exclusive)
+	}
+
+	// SNS: A is neutral-classed WC, so it stays compact unless
+	// resources force otherwise — Figure 8's "2x,S" arises for scaling
+	// programs. Use TS (scaling, flexible) as a scaling job A.
+	k := profiler.New(spec)
+	if err := k.ProfileAll(cat, []string{"TS"}, 32, db); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(spec, cat, db, DefaultConfig(SNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(JobSpec{Program: "TS", Procs: 32}); err != nil {
+		t.Fatal(err)
+	}
+	fillers(s, 3)
+	jobs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts *exec.Job
+	for _, j := range jobs {
+		if j.Procs == 32 {
+			ts = j
+		}
+	}
+	if ts.SpanNodes() < 4 {
+		t.Errorf("SNS layout: scaling job A on %d nodes, want spread (>= 4)", ts.SpanNodes())
+	}
+	if ts.Exclusive {
+		t.Error("SNS layout: A exclusive, want shared")
+	}
+}

@@ -1,0 +1,533 @@
+// Package sched implements Uberun, the prototype batch scheduler, with the
+// three placement strategies the paper compares:
+//
+//   - CE (Compact-n-Exclusive): minimum node footprint, dedicated nodes —
+//     the policy of SLURM/LSF/PBS and all top-10 supercomputers.
+//   - CS (Compact-n-Share): node sharing by free cores, preferring the
+//     lowest scale factor currently possible.
+//   - SNS (Spread-n-Share): profile-guided automatic scaling plus
+//     resource-compatible co-location with CAT way partitioning and
+//     bandwidth accounting.
+//
+// All three share the same age-based priority queue with an anti-starvation
+// age limit, so measured differences come from the placement strategy
+// alone — exactly the paper's experimental methodology (Section 6.2).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/cluster"
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/daemon"
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+// Policy selects the placement strategy.
+type Policy int
+
+const (
+	// CE is Compact-n-Exclusive.
+	CE Policy = iota
+	// CS is Compact-n-Share.
+	CS
+	// SNS is Spread-n-Share.
+	SNS
+	// TwoSlot is the related-work baseline (ClavisMO / Poncos style):
+	// static half-node slots, at most one shared-resource-intensive
+	// job per node, no scaling and no cache partitioning.
+	TwoSlot
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case CE:
+		return "CE"
+	case CS:
+		return "CS"
+	case SNS:
+		return "SNS"
+	case TwoSlot:
+		return "TwoSlot"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// Policy is the placement strategy.
+	Policy Policy
+	// Beta weighs LLC occupancy in SNS node selection (default 2).
+	Beta float64
+	// DefaultAlpha is used for jobs submitted without a slowdown
+	// threshold (the paper's default is 0.9).
+	DefaultAlpha float64
+	// AgeLimitSec is the wait beyond which a job blocks younger jobs
+	// from overtaking it, preventing starvation of resource-hungry
+	// jobs.
+	AgeLimitSec float64
+	// AgingPeriodSec is the wait that promotes a job by one priority
+	// level, so long-delayed submissions climb past fresher
+	// higher-priority ones (the paper's age-based priority ranking).
+	AgingPeriodSec float64
+	// MaxScale bounds the scale-factor search (default 8).
+	MaxScale int
+	// UseMBA enforces each SNS job's estimated bandwidth reservation
+	// with Intel MBA throttling (requires node support). The paper's
+	// testbed lacked MBA and saw jobs temporarily exceed their
+	// "bandwidth allocation", one source of slowdown-threshold
+	// violations (Section 6.2).
+	UseMBA bool
+	// ExclusiveSpread is an ablation switch: SNS still scales jobs to
+	// their profiled best footprint but keeps nodes dedicated — the
+	// "spread" half of Spread-n-Share without the "share" half. It
+	// isolates how much of SNS's gain comes from each mechanism.
+	ExclusiveSpread bool
+	// NoGrouping is an ablation switch disabling the idle-core node
+	// grouping of Section 4.4; placement scores feasible nodes across
+	// the whole cluster directly.
+	NoGrouping bool
+	// PhasedExecution enables bandwidth-phase simulation in the
+	// engine: programs burst above their profiled average demand,
+	// stressing the scheduler's average-based accounting exactly as
+	// the paper's Section 6.2 discussion describes.
+	PhasedExecution bool
+	// NoBackfill makes the queue strictly FIFO: a scheduling pass
+	// stops at the first job it cannot place instead of letting
+	// younger jobs slip past. An ablation of the queue discipline the
+	// paper's age-limit mechanism relaxes.
+	NoBackfill bool
+}
+
+// DefaultConfig returns the paper's settings for a policy.
+func DefaultConfig(p Policy) Config {
+	return Config{
+		Policy:         p,
+		Beta:           core.DefaultBeta,
+		DefaultAlpha:   0.9,
+		AgeLimitSec:    600,
+		AgingPeriodSec: 120,
+		MaxScale:       8,
+	}
+}
+
+// JobSpec is one submission.
+type JobSpec struct {
+	// Program is the catalog name.
+	Program string
+	// Procs is the requested process count.
+	Procs int
+	// Alpha is the optional slowdown threshold; 0 means the default.
+	Alpha float64
+	// Submit is the submission time in seconds.
+	Submit float64
+	// Priority ranks the job in the queue (higher first; default 0).
+	// Aging promotes waiting jobs by one level per AgingPeriodSec.
+	Priority int
+}
+
+// Scheduler drives one simulated scheduling run.
+type Scheduler struct {
+	cfg  Config
+	spec hw.ClusterSpec
+	cat  *app.Catalog
+	db   *profiler.DB
+	eng  *exec.Engine
+	cl   *cluster.State
+
+	pending  []*exec.Job
+	order    map[int]int // job id -> submission index
+	priority map[int]int // job id -> base priority
+	done     []*exec.Job
+	nextID   int
+	drift    *profiler.DriftMonitor
+	explore  *explorerState
+	daemons  []*daemon.Daemon
+	plans    []daemon.LaunchPlan
+}
+
+// LaunchPlans returns every node-local actuation issued so far: cpuset
+// bindings, CAT masks, MBA caps, and framework launch commands, in issue
+// order.
+func (s *Scheduler) LaunchPlans() []daemon.LaunchPlan { return s.plans }
+
+// AttachDriftMonitor enables sustained lightweight monitoring (Section
+// 5.2): whenever a job happens to run exclusively — the conditions its
+// profile was measured under — its final PMU reading is fed to the
+// monitor, which can later flag the program for re-profiling.
+func (s *Scheduler) AttachDriftMonitor(m *profiler.DriftMonitor) { s.drift = m }
+
+// observeDrift records an exclusive job's metrics into the drift monitor.
+func (s *Scheduler) observeDrift(j *exec.Job) {
+	if s.drift == nil || !j.Exclusive || j.SpanNodes() != s.minFootprint(j.Procs) {
+		return
+	}
+	m, err := s.eng.JobMetrics(j.ID)
+	if err != nil {
+		return
+	}
+	s.drift.Observe(j.Prog.Name, j.Procs, profiler.Reading{
+		IPC: m.IPC, BWPerNode: m.BWPerNode, MissPct: m.MissPct,
+	})
+}
+
+// New builds a scheduler over a fresh cluster. The profile database may be
+// nil for CE/CS, which do not consult profiles.
+func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*Scheduler, error) {
+	if cfg.Policy == SNS && db == nil {
+		return nil, fmt.Errorf("sched: SNS requires a profile database")
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = core.DefaultBeta
+	}
+	if cfg.DefaultAlpha == 0 {
+		cfg.DefaultAlpha = 0.9
+	}
+	if cfg.MaxScale == 0 {
+		cfg.MaxScale = 8
+	}
+	if cfg.AgeLimitSec == 0 {
+		cfg.AgeLimitSec = 600
+	}
+	eng, err := exec.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng.PhasesOn = cfg.PhasedExecution
+	cl, err := cluster.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AgingPeriodSec == 0 {
+		cfg.AgingPeriodSec = 120
+	}
+	s := &Scheduler{
+		cfg: cfg, spec: spec, cat: cat, db: db, eng: eng, cl: cl,
+		order:    make(map[int]int),
+		priority: make(map[int]int),
+		daemons:  make([]*daemon.Daemon, spec.Nodes),
+	}
+	for i := range s.daemons {
+		s.daemons[i] = daemon.New(i, spec.Node)
+	}
+	eng.OnFinish(func(j *exec.Job) {
+		if j.State == exec.Done {
+			// Cancelled runs yield no usable measurements.
+			if s.explore != nil {
+				s.finishTrial(j)
+			}
+			s.observeDrift(j)
+		} else if s.explore != nil {
+			// A cancelled trial is abandoned; the next submission
+			// retries the same scale.
+			delete(s.explore.trials, j.ID)
+		}
+		s.cl.Release(j.ID)
+		for _, n := range j.Nodes {
+			if err := s.daemons[n].Release(j.ID); err != nil {
+				panic(fmt.Sprintf("sched: daemon release: %v", err))
+			}
+		}
+		s.done = append(s.done, j)
+		s.schedule()
+	})
+	return s, nil
+}
+
+// Engine exposes the underlying execution engine (for monitoring hooks).
+func (s *Scheduler) Engine() *exec.Engine { return s.eng }
+
+// Cluster exposes the resource bookkeeping (read-only use intended).
+func (s *Scheduler) Cluster() *cluster.State { return s.cl }
+
+// Submit registers a job arriving at spec.Submit.
+func (s *Scheduler) Submit(js JobSpec) error {
+	prog, err := s.cat.Lookup(js.Program)
+	if err != nil {
+		return err
+	}
+	if js.Procs <= 0 {
+		return fmt.Errorf("sched: job needs processes, got %d", js.Procs)
+	}
+	if !prog.MultiNode && js.Procs > s.spec.Node.Cores {
+		return fmt.Errorf("sched: %s is single-node but wants %d processes", js.Program, js.Procs)
+	}
+	if js.Procs > s.spec.TotalCores() {
+		return fmt.Errorf("sched: %d processes exceed cluster capacity %d", js.Procs, s.spec.TotalCores())
+	}
+	alpha := js.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = s.cfg.DefaultAlpha
+	}
+	id := s.nextID
+	s.nextID++
+	j := &exec.Job{
+		ID:     id,
+		Prog:   prog,
+		Procs:  js.Procs,
+		Alpha:  alpha,
+		Submit: js.Submit,
+	}
+	s.order[id] = id
+	s.priority[id] = js.Priority
+	s.eng.Queue().At(js.Submit, func() {
+		s.pending = append(s.pending, j)
+		s.schedule()
+	})
+	return nil
+}
+
+// Run drives the simulation to completion and returns every finished job
+// in completion order. It fails if jobs remain unplaceable when the
+// cluster drains (which indicates an impossible request).
+func (s *Scheduler) Run() ([]*exec.Job, error) {
+	s.eng.Run(0)
+	if len(s.pending) > 0 {
+		return s.done, fmt.Errorf("sched: %d jobs never placed (first: %s/%d procs)",
+			len(s.pending), s.pending[0].Prog.Name, s.pending[0].Procs)
+	}
+	return s.done, nil
+}
+
+// schedule is the scheduling pass run at every scheduling point: job
+// arrival and job completion. Jobs are scanned in age-based priority
+// order; a job past the age limit blocks younger jobs from overtaking it.
+func (s *Scheduler) schedule() {
+	now := s.eng.Now()
+	// Effective rank: base priority plus one level per aging period
+	// waited; ties broken by submission order (FIFO).
+	rank := func(j *exec.Job) float64 {
+		return float64(s.priority[j.ID]) + (now-j.Submit)/s.cfg.AgingPeriodSec
+	}
+	sort.SliceStable(s.pending, func(a, b int) bool {
+		ra, rb := rank(s.pending[a]), rank(s.pending[b])
+		if ra != rb {
+			return ra > rb
+		}
+		return s.order[s.pending[a].ID] < s.order[s.pending[b].ID]
+	})
+	var remaining []*exec.Job
+	blocked := false
+	for _, j := range s.pending {
+		if blocked {
+			remaining = append(remaining, j)
+			continue
+		}
+		if s.tryPlace(j) {
+			continue
+		}
+		remaining = append(remaining, j)
+		if s.cfg.NoBackfill || now-j.Submit > s.cfg.AgeLimitSec {
+			// Strict FIFO, or anti-starvation: nothing younger may
+			// overtake.
+			blocked = true
+		}
+	}
+	s.pending = remaining
+}
+
+// tryPlace attempts to place and launch one job under the configured
+// policy.
+func (s *Scheduler) tryPlace(j *exec.Job) bool {
+	var pl *placement
+	switch s.cfg.Policy {
+	case CE:
+		pl = s.placeCE(j)
+	case CS:
+		pl = s.placeCS(j)
+	case SNS:
+		pl = s.placeSNS(j)
+	case TwoSlot:
+		pl = s.placeTwoSlot(j)
+	}
+	if pl == nil {
+		return false
+	}
+	nodeAllocs := make([]cluster.NodeAlloc, len(pl.nodes))
+	for i, n := range pl.nodes {
+		nodeAllocs[i] = cluster.NodeAlloc{
+			Node:  n,
+			Cores: pl.cores[i],
+			MemGB: float64(pl.cores[i]) * j.Prog.MemGBPerProc,
+		}
+	}
+	if err := s.cl.AllocateIO(j.ID, nodeAllocs, pl.ways, pl.bw, pl.ioBW, pl.exclusive); err != nil {
+		// Placement search and bookkeeping disagree: a programming
+		// error worth failing loudly on.
+		panic(fmt.Sprintf("sched: placement rejected by bookkeeping: %v", err))
+	}
+	j.Nodes = pl.nodes
+	j.CoresByNode = pl.cores
+	j.Ways = pl.ways
+	j.BWCap = pl.bwCap
+	j.Exclusive = pl.exclusive
+	// Per-node actuation: bind cores, program CAT and MBA, build the
+	// framework launch line. The daemons double as an independent
+	// consistency check on the placement search.
+	for i, n := range pl.nodes {
+		plan, err := s.daemons[n].Actuate(j.ID, j.Prog, pl.cores[i], pl.ways, pl.bwCap)
+		if err != nil {
+			panic(fmt.Sprintf("sched: daemon rejected placement: %v", err))
+		}
+		s.plans = append(s.plans, *plan)
+	}
+	if err := s.eng.Launch(j); err != nil {
+		panic(fmt.Sprintf("sched: engine rejected placement: %v", err))
+	}
+	if pl.trialK > 0 && s.explore != nil {
+		s.startTrialInstrumentation(j, pl.trialK)
+	}
+	return true
+}
+
+// placement is a policy's decision.
+type placement struct {
+	nodes     []int
+	cores     []int
+	ways      int
+	bw        float64
+	ioBW      float64
+	bwCap     float64
+	exclusive bool
+	// trialK marks a piggy-backed profiling trial at that scale.
+	trialK int
+}
+
+// minFootprint returns the CE node count for a process count.
+func (s *Scheduler) minFootprint(procs int) int {
+	return (procs + s.spec.Node.Cores - 1) / s.spec.Node.Cores
+}
+
+// scaleRunnable reports whether the program can run spread over n nodes.
+func scaleRunnable(prog *app.Model, procs, n int) bool {
+	if n > procs {
+		return false
+	}
+	if !prog.MultiNode && n > 1 {
+		return false
+	}
+	if prog.PowerOf2 && procs%n != 0 {
+		return false
+	}
+	return true
+}
+
+// placeCE packs the job onto the minimum number of fully idle nodes and
+// dedicates them.
+func (s *Scheduler) placeCE(j *exec.Job) *placement {
+	n := s.minFootprint(j.Procs)
+	idle := s.cl.IdleNodes()
+	if len(idle) < n {
+		return nil
+	}
+	nodes := idle[:n]
+	return &placement{nodes: nodes, cores: exec.EvenSplit(j.Procs, n), exclusive: true}
+}
+
+// placeCS shares nodes by free cores, trying the lowest scale factor
+// first and growing the footprint only when compact placement is
+// impossible.
+func (s *Scheduler) placeCS(j *exec.Job) *placement {
+	minN := s.minFootprint(j.Procs)
+	for k := 1; k <= s.cfg.MaxScale; k++ {
+		n := k * minN
+		if n > s.spec.Nodes {
+			break
+		}
+		if !scaleRunnable(j.Prog, j.Procs, n) {
+			continue
+		}
+		cores := exec.EvenSplit(j.Procs, n)
+		// Need n nodes with at least cores[0] (the max) free, with
+		// memory for that many processes.
+		mem := float64(cores[0]) * j.Prog.MemGBPerProc
+		var fits []int
+		for _, node := range s.cl.Nodes {
+			if node.FreeCores() >= cores[0] && node.FreeMem() >= mem {
+				fits = append(fits, node.ID)
+			}
+		}
+		if len(fits) < n {
+			continue
+		}
+		// Fill the fullest nodes first to keep placement compact.
+		sort.Slice(fits, func(a, b int) bool {
+			fa, fb := s.cl.Nodes[fits[a]].FreeCores(), s.cl.Nodes[fits[b]].FreeCores()
+			if fa != fb {
+				return fa < fb
+			}
+			return fits[a] < fits[b]
+		})
+		return &placement{nodes: fits[:n], cores: cores}
+	}
+	return nil
+}
+
+// placeSNS implements the Figure 11 process: walk the profiled scale
+// factors in descending exclusive performance; for each, estimate (c, w,
+// b) under the job's alpha and search for nodes; dispatch on the first
+// fit. Jobs without a profile fall back to CS-style placement (their
+// first runs double as profiling runs in a production deployment).
+func (s *Scheduler) placeSNS(j *exec.Job) *placement {
+	prof, ok := s.db.Get(j.Prog.Name, j.Procs)
+	if !ok {
+		// Unprofiled program: with piggy-backed profiling attached,
+		// this run doubles as the next exploration trial; otherwise
+		// schedule it CS-style.
+		if s.explore != nil {
+			if pl, trial := s.placeTrial(j); trial {
+				return pl
+			}
+		}
+		return s.placeCS(j)
+	}
+	minN := s.minFootprint(j.Procs)
+	// Scaling-class programs chase their fastest profiled footprint;
+	// neutral and compact programs are spread only passively — they
+	// stay at their minimum footprint unless resources force a larger
+	// one (Section 6.1: neutral jobs are "fillers").
+	scales := prof.ByPerformance()
+	if prof.Class != profiler.Scaling {
+		scales = append([]*profiler.ScaleProfile(nil), scales...)
+		sort.Slice(scales, func(a, b int) bool { return scales[a].K < scales[b].K })
+	}
+	for _, sp := range scales {
+		if sp.K > s.cfg.MaxScale {
+			continue
+		}
+		n := sp.K * minN
+		if n > s.spec.Nodes || !scaleRunnable(j.Prog, j.Procs, n) {
+			continue
+		}
+		cores := exec.EvenSplit(j.Procs, n)
+		if s.cfg.ExclusiveSpread {
+			idle := s.cl.IdleNodes()
+			if len(idle) < n {
+				continue
+			}
+			return &placement{nodes: idle[:n], cores: cores, exclusive: true}
+		}
+		d := core.EstimateDemand(sp, j.Alpha, s.spec.Node)
+		d.Cores = cores[0]
+		d.MemGB = float64(cores[0]) * j.Prog.MemGBPerProc
+		find := core.FindNodes
+		if s.cfg.NoGrouping {
+			find = core.FindNodesUngrouped
+		}
+		nodes := find(s.cl, n, d, s.cfg.Beta)
+		if nodes == nil {
+			continue
+		}
+		pl := &placement{nodes: nodes, cores: cores, ways: d.Ways, bw: d.BW, ioBW: d.IOBW}
+		if s.cfg.UseMBA {
+			pl.bwCap = s.spec.Node.MBACap(d.BW)
+		}
+		return pl
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/workload"
+)
+
+// TestStressAllPolicies runs randomized workloads through every policy
+// with invariant checking: no job starting before submission, all jobs
+// finishing, the cluster fully drained, and determinism across repeated
+// runs.
+func TestStressAllPolicies(t *testing.T) {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profiler.NewDB()
+	k := profiler.New(spec)
+	if err := k.ProfileAll(cat, app.ProgramNames, 16, db); err != nil {
+		t.Fatal(err)
+	}
+	var flexible []string
+	for _, name := range app.ProgramNames {
+		m, _ := cat.Lookup(name)
+		if !m.PowerOf2 {
+			flexible = append(flexible, name)
+		}
+	}
+	if err := k.ProfileAll(cat, flexible, 28, db); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range []sched.Policy{sched.CE, sched.CS, sched.TwoSlot, sched.SNS} {
+		for seed := int64(0); seed < 5; seed++ {
+			run := func() []float64 {
+				s, err := sched.New(spec, cat, db, sched.DefaultConfig(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), cat, 15)
+				for _, js := range seq {
+					if err := s.Submit(js); err != nil {
+						t.Fatal(err)
+					}
+				}
+				jobs, err := s.Run()
+				if err != nil {
+					t.Fatalf("%v seed %d: %v", p, seed, err)
+				}
+				if len(jobs) != 15 {
+					t.Fatalf("%v seed %d: %d jobs finished, want 15", p, seed, len(jobs))
+				}
+				var finishes []float64
+				for _, j := range jobs {
+					if j.Start < j.Submit {
+						t.Fatalf("%v: job started before submit", p)
+					}
+					if j.RunTime() <= 0 {
+						t.Fatalf("%v: non-positive run time", p)
+					}
+					finishes = append(finishes, j.Finish)
+				}
+				for _, n := range s.Cluster().Nodes {
+					if !n.Idle() {
+						t.Fatalf("%v seed %d: node %d not idle after drain", p, seed, n.ID)
+					}
+				}
+				return finishes
+			}
+			a, b := run(), run()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v seed %d: non-deterministic schedule", p, seed)
+				}
+			}
+		}
+	}
+}

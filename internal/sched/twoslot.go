@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"spreadnshare/internal/cluster"
+	"spreadnshare/internal/exec"
+)
+
+// The TwoSlot policy reimplements the co-scheduling approach of the
+// paper's closest related work (ClavisMO, Poncos — Section 7): each
+// physical node is statically divided into two half-node slots; jobs are
+// classified into shared-resource *intensive* and *non-intensive* groups,
+// and a node may host at most one intensive job, pairing it with a
+// non-intensive one to dampen contention. Unlike SNS it neither scales
+// jobs nor partitions the cache, and its two-slot granularity is rigid —
+// which is exactly the contrast the paper draws.
+
+// bwIntensive classifies a job from its profile: a job whose compact-run
+// bandwidth drains more than a third of the node's peak (or, without a
+// profile, whose model says so) is shared-resource intensive.
+func (s *Scheduler) bwIntensive(j *exec.Job) bool {
+	if s.db != nil {
+		if p, ok := s.db.Get(j.Prog.Name, j.Procs); ok {
+			if base, ok := p.AtK(1); ok {
+				return base.BWAt(base.FullWays()) > s.spec.Node.PeakBandwidth/3
+			}
+		}
+	}
+	return j.Prog.BWPerCoreRef*float64(minInt(j.Procs, s.spec.Node.Cores)) >
+		s.spec.Node.PeakBandwidth/3
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// placeTwoSlot places a job into half-node slots: the job takes
+// ceil(procs/halfCores) slots, at most one intensive job per node.
+func (s *Scheduler) placeTwoSlot(j *exec.Job) *placement {
+	half := s.spec.Node.Cores / 2
+	slots := (j.Procs + half - 1) / half
+	intensive := s.bwIntensive(j)
+
+	// A node can contribute a slot if it has a free half (by cores and
+	// memory) and, for intensive jobs, hosts no intensive job yet.
+	memPerSlot := float64(half) * j.Prog.MemGBPerProc
+	var candidates []int
+	for _, node := range s.cl.Nodes {
+		if node.FreeCores() < half || node.FreeMem() < memPerSlot {
+			continue
+		}
+		if intensive && s.nodeHasIntensive(node) {
+			continue
+		}
+		// A node offers one or two slots; count it once per free half.
+		free := node.FreeCores() / half
+		if memPerSlot > 0 {
+			if byMem := int(node.FreeMem() / memPerSlot); byMem < free {
+				free = byMem
+			}
+		}
+		if intensive && free > 0 {
+			free = 1 // at most one intensive slot per node
+		}
+		for k := 0; k < free && len(candidates) < slots; k++ {
+			candidates = append(candidates, node.ID)
+		}
+		if len(candidates) == slots {
+			break
+		}
+	}
+	if len(candidates) < slots {
+		return nil
+	}
+	// Merge repeated node ids into per-node core counts.
+	perNode := map[int]int{}
+	var order []int
+	for _, id := range candidates {
+		if perNode[id] == 0 {
+			order = append(order, id)
+		}
+		perNode[id] += half
+	}
+	nodes := make([]int, 0, len(order))
+	cores := make([]int, 0, len(order))
+	remaining := j.Procs
+	for _, id := range order {
+		take := perNode[id]
+		if take > remaining {
+			take = remaining
+		}
+		nodes = append(nodes, id)
+		cores = append(cores, take)
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil
+	}
+	if !scaleRunnable(j.Prog, j.Procs, len(nodes)) {
+		return nil
+	}
+	return &placement{nodes: nodes, cores: cores}
+}
+
+// nodeHasIntensive reports whether any job on the node is classified
+// intensive.
+func (s *Scheduler) nodeHasIntensive(node *cluster.Node) bool {
+	for _, id := range node.Jobs() {
+		if j, ok := s.eng.Job(id); ok && s.bwIntensive(j) {
+			return true
+		}
+	}
+	return false
+}

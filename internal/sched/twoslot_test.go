@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"testing"
+
+	"spreadnshare/internal/exec"
+	"spreadnshare/internal/stats"
+)
+
+func TestTwoSlotClassification(t *testing.T) {
+	spec, cat, db := testSetup(t)
+	s, err := New(spec, cat, db, DefaultConfig(TwoSlot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *exec.Job {
+		m, err := cat.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &exec.Job{Prog: m, Procs: 16}
+	}
+	for _, name := range []string{"MG", "BW", "LU"} {
+		if !s.bwIntensive(mk(name)) {
+			t.Errorf("%s not classified intensive", name)
+		}
+	}
+	for _, name := range []string{"EP", "HC", "WC"} {
+		if s.bwIntensive(mk(name)) {
+			t.Errorf("%s classified intensive", name)
+		}
+	}
+}
+
+func TestTwoSlotOneIntensivePerNode(t *testing.T) {
+	spec, cat, db := testSetup(t)
+	s, err := New(spec, cat, db, DefaultConfig(TwoSlot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two intensive 14-proc jobs and two fillers on a 2-node cluster.
+	small := spec
+	small.Nodes = 2
+	s, err = New(small, cat, db, DefaultConfig(TwoSlot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range []JobSpec{
+		{Program: "BW", Procs: 14}, {Program: "BW", Procs: 14},
+		{Program: "HC", Procs: 14}, {Program: "HC", Procs: 14},
+	} {
+		if err := s.Submit(js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At any instant, no node may have hosted two intensive jobs
+	// concurrently: the two BW jobs must be on different nodes (both
+	// start at t=0 since slots exist).
+	var bwNodes []int
+	for _, j := range jobs {
+		if j.Prog.Name == "BW" {
+			if j.WaitTime() != 0 {
+				t.Errorf("BW waited %.1f s with free slots elsewhere", j.WaitTime())
+			}
+			bwNodes = append(bwNodes, j.Nodes...)
+		}
+	}
+	if len(bwNodes) == 2 && bwNodes[0] == bwNodes[1] {
+		t.Error("two intensive jobs shared one node")
+	}
+}
+
+func TestTwoSlotVersusSNS(t *testing.T) {
+	// On a mixed workload, SNS should beat the rigid two-slot baseline
+	// on throughput (it scales jobs and partitions the cache).
+	seq := []JobSpec{
+		{Program: "MG", Procs: 16}, {Program: "HC", Procs: 16},
+		{Program: "BW", Procs: 16}, {Program: "EP", Procs: 16},
+		{Program: "LU", Procs: 16}, {Program: "WC", Procs: 16},
+		{Program: "TS", Procs: 16}, {Program: "HC", Procs: 16},
+		{Program: "MG", Procs: 16}, {Program: "EP", Procs: 16},
+	}
+	twoslot := stats.Throughput(turnarounds(runPolicy(t, TwoSlot, seq)))
+	sns := stats.Throughput(turnarounds(runPolicy(t, SNS, seq)))
+	ce := stats.Throughput(turnarounds(runPolicy(t, CE, seq)))
+	if twoslot <= ce {
+		t.Errorf("TwoSlot throughput %.6f not above CE %.6f (it shares nodes)", twoslot, ce)
+	}
+	if sns <= twoslot {
+		t.Errorf("SNS throughput %.6f not above TwoSlot %.6f", sns, twoslot)
+	}
+}
+
+func TestTwoSlotPolicyName(t *testing.T) {
+	if TwoSlot.String() != "TwoSlot" {
+		t.Error("policy name wrong")
+	}
+}

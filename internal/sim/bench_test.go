@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// BenchmarkQueueThroughput measures raw event scheduling + dispatch rate,
+// the budget every simulation second is paid from.
+func BenchmarkQueueThroughput(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now()+1, fn)
+		q.Step()
+	}
+}
+
+// BenchmarkQueueDeepHeap measures scheduling into a heap with thousands of
+// pending events (a stampeded large-cluster replay).
+func BenchmarkQueueDeepHeap(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 10000; i++ {
+		q.At(float64(i+1000000), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.At(float64(i%100000)+500000, fn)
+		q.Cancel(e)
+	}
+}

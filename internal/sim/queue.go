@@ -1,0 +1,126 @@
+// Package sim provides the discrete-event backbone of the cluster
+// simulator: a time-ordered event queue with deterministic FIFO
+// tie-breaking and cancellation, plus a driver loop.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are compared by time, then by
+// insertion order, so simultaneous events fire deterministically.
+type Event struct {
+	Time float64
+	Fn   func()
+
+	seq       int64
+	index     int
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic discrete-event queue. The zero value is ready
+// to use.
+type Queue struct {
+	h   eventHeap
+	seq int64
+	now float64
+}
+
+// Now returns the simulation clock: the time of the last event popped.
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events still in the heap are not counted.
+func (q *Queue) Len() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn at time t. Scheduling in the past (before Now) is a
+// programming error and panics, as it would corrupt causality.
+func (q *Queue) At(t float64, fn func()) *Event {
+	if t < q.now {
+		panic("sim: event scheduled in the past")
+	}
+	e := &Event{Time: t, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel marks an event so it will be skipped when reached.
+func (q *Queue) Cancel(e *Event) {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Step pops and runs the next pending event, returning false when the
+// queue is empty.
+func (q *Queue) Step() bool {
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.cancelled {
+			continue
+		}
+		q.now = e.Time
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run drives the queue until empty or until the clock passes horizon
+// (horizon <= 0 means no limit). It returns the number of events fired.
+func (q *Queue) Run(horizon float64) int {
+	fired := 0
+	for len(q.h) > 0 {
+		if horizon > 0 {
+			// Peek: skip cancelled heads without firing.
+			for len(q.h) > 0 && q.h[0].cancelled {
+				heap.Pop(&q.h)
+			}
+			if len(q.h) == 0 || q.h[0].Time > horizon {
+				break
+			}
+		}
+		if q.Step() {
+			fired++
+		}
+	}
+	return fired
+}

@@ -1,0 +1,125 @@
+// Package stats provides the summary statistics the paper's evaluation
+// uses: arithmetic means for times, geometric means for speedups and
+// normalized times (following the benchmarking convention the paper cites),
+// plus histograms and the peak-normalized variance of Figure 17.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, 0 for empty
+// input. Non-positive values are skipped (they would be measurement
+// errors for times and ratios).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// MinMax returns the extremes, (0, 0) for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// PeakNormVariance is the paper's load-balance metric for Figure 17:
+// standard deviation divided by the peak value (0 if the peak is 0).
+func PeakNormVariance(xs []float64) float64 {
+	_, peak := MinMax(xs)
+	if peak == 0 {
+		return 0
+	}
+	return StdDev(xs) / peak
+}
+
+// Median returns the median, 0 for empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Histogram counts values into equal-width bins over [lo, hi); values
+// outside the range clamp into the edge bins (Figure 18's episode counts).
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	counts := make([]int, bins)
+	if bins <= 0 || hi <= lo {
+		return counts
+	}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Throughput is the paper's system-throughput metric: the reciprocal of
+// the mean submit-to-finish (turnaround) time, 0 for empty input.
+func Throughput(turnarounds []float64) float64 {
+	m := Mean(turnarounds)
+	if m <= 0 {
+		return 0
+	}
+	return 1 / m
+}

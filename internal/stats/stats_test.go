@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("GeoMean wrong")
+	}
+	if !almost(GeoMean([]float64{2, 0, 8}), 4) {
+		t.Error("GeoMean should skip non-positive values")
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Error("GeoMean empty cases wrong")
+	}
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 0 && v < 1e6 {
+				xs = append(xs, v+0.001)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g, %g", min, max)
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Error("MinMax(nil) wrong")
+	}
+}
+
+func TestStdDevAndVariance(t *testing.T) {
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("StdDev of constants != 0")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Error("StdDev([1,3]) != 1")
+	}
+	if !almost(PeakNormVariance([]float64{1, 3}), 1.0/3.0) {
+		t.Error("PeakNormVariance wrong")
+	}
+	if PeakNormVariance([]float64{0, 0}) != 0 {
+		t.Error("PeakNormVariance of zeros != 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) != 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median wrong")
+	}
+	if !almost(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 5, 10, 15, 25, -3, 120}, 0, 100, 10)
+	// Bin width 10: 0->0, 5->0, -3 clamps to 0; 10,15->1; 25->2; 120 clamps to 9.
+	if h[0] != 3 {
+		t.Errorf("bin0 = %d, want 3 values (0, 5, -3): %v", h[0], h)
+	}
+	if h[1] != 2 || h[2] != 1 || h[9] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 7 {
+		t.Errorf("histogram total = %d, want 7", total)
+	}
+	if h := Histogram([]float64{1}, 5, 5, 3); h[0] != 0 {
+		t.Error("degenerate range should count nothing")
+	}
+	if h := Histogram([]float64{1}, 0, 10, 0); len(h) != 0 {
+		t.Error("zero bins should return empty")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if !almost(Throughput([]float64{100, 300}), 1.0/200) {
+		t.Error("Throughput wrong")
+	}
+	if Throughput(nil) != 0 {
+		t.Error("Throughput(nil) != 0")
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+// BenchmarkReplay1K measures large-cluster replay throughput: 1,000 jobs
+// on a 1,024-node cluster under SNS.
+func BenchmarkReplay1K(b *testing.B) {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := profiler.NewDB()
+	k := profiler.New(spec)
+	if err := k.ProfileAll(cat, []string{"MG", "BW", "HC", "EP"}, 16, db); err != nil {
+		b.Fatal(err)
+	}
+	jobs := Synthesize(3, GenConfig{Jobs: 1000, SpanHours: 200, MaxNodes: 256})
+	MapPrograms(3, jobs, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(jobs, db, spec.Node, DefaultSimConfig(1024, SNS)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesize measures trace generation.
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := GenConfig{Jobs: 7044, SpanHours: 1900, MaxNodes: 4096}
+	for i := 0; i < b.N; i++ {
+		_ = Synthesize(int64(i), cfg)
+	}
+}

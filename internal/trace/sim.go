@@ -1,0 +1,333 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/sim"
+	"spreadnshare/internal/stats"
+)
+
+// Policy selects the strategy replayed by the trace simulator. Figure 20
+// compares CE against SNS.
+type Policy int
+
+const (
+	// CE replays jobs at their trace footprint on dedicated nodes.
+	CE Policy = iota
+	// SNS scales jobs per their program profile and co-locates them
+	// under (c, w, b) accounting.
+	SNS
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if p == CE {
+		return "CE"
+	}
+	return "SNS"
+}
+
+// SimConfig tunes a replay.
+type SimConfig struct {
+	// ClusterNodes is the simulated cluster size (paper: 4K-32K).
+	ClusterNodes int
+	// Policy is CE or SNS.
+	Policy Policy
+	// CoresPerJobNode is the per-node process count of trace jobs at
+	// scale 1; the paper re-sizes Trinity jobs to 16-core node slices
+	// so its testbed profiles remain valid.
+	CoresPerJobNode int
+	// Alpha is the slowdown threshold for SNS demand estimation.
+	Alpha float64
+	// MaxScale bounds the scale-factor search.
+	MaxScale int
+	// ScanDepth bounds how many pending jobs one scheduling pass may
+	// try beyond the queue head (backfill depth).
+	ScanDepth int
+}
+
+// DefaultSimConfig returns the paper's settings for a cluster size.
+func DefaultSimConfig(nodes int, p Policy) SimConfig {
+	return SimConfig{
+		ClusterNodes:    nodes,
+		Policy:          p,
+		CoresPerJobNode: 16,
+		Alpha:           0.9,
+		MaxScale:        8,
+		ScanDepth:       32,
+	}
+}
+
+// SimJob is the outcome of one replayed job.
+type SimJob struct {
+	Trace         Job
+	Start, Finish float64
+	Scale         int
+	NodesUsed     int
+}
+
+// Wait returns submit-to-start.
+func (j *SimJob) Wait() float64 { return j.Start - j.Trace.SubmitSec }
+
+// Run returns start-to-finish.
+func (j *SimJob) Run() float64 { return j.Finish - j.Start }
+
+// Turnaround returns submit-to-finish.
+func (j *SimJob) Turnaround() float64 { return j.Finish - j.Trace.SubmitSec }
+
+// Result summarizes a replay.
+type Result struct {
+	Policy     Policy
+	Jobs       []*SimJob
+	AvgWait    float64
+	AvgRun     float64
+	AvgTurn    float64
+	Throughput float64
+	Makespan   float64
+	// Wait-time distribution percentiles, for queueing analysis.
+	WaitP50, WaitP90, WaitP99 float64
+}
+
+// simNode is the lightweight per-node state of the large-scale simulator.
+type simNode struct {
+	freeCores int
+	freeWays  int
+	freeBW    float64
+}
+
+// simulator replays a trace under one policy.
+type simulator struct {
+	cfg     SimConfig
+	spec    hw.NodeSpec
+	db      *profiler.DB
+	q       *sim.Queue
+	nodes   []simNode
+	byFree  [][]int // free-core count -> node ids (bucket index)
+	bucketP []int   // node id -> position within its bucket
+	pending []*simJob
+}
+
+type simJob struct {
+	out   *SimJob
+	nodes []int
+	cores int
+	ways  int
+	bw    float64
+	excl  bool
+}
+
+// Simulate replays a mapped trace on a cluster of the given node type.
+// Every job's program must be mapped and profiled in db at the configured
+// per-node process count.
+func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Result, error) {
+	if cfg.ClusterNodes <= 0 {
+		return nil, fmt.Errorf("trace: cluster needs nodes, got %d", cfg.ClusterNodes)
+	}
+	if cfg.CoresPerJobNode <= 0 || cfg.CoresPerJobNode > node.Cores {
+		return nil, fmt.Errorf("trace: bad CoresPerJobNode %d", cfg.CoresPerJobNode)
+	}
+	s := &simulator{
+		cfg:     cfg,
+		spec:    node,
+		db:      db,
+		q:       &sim.Queue{},
+		nodes:   make([]simNode, cfg.ClusterNodes),
+		byFree:  make([][]int, node.Cores+1),
+		bucketP: make([]int, cfg.ClusterNodes),
+	}
+	for i := range s.nodes {
+		s.nodes[i] = simNode{freeCores: node.Cores, freeWays: node.LLCWays, freeBW: node.PeakBandwidth}
+		s.byFree[node.Cores] = append(s.byFree[node.Cores], i)
+		s.bucketP[i] = i
+	}
+	res := &Result{Policy: cfg.Policy}
+	for i := range jobs {
+		tj := jobs[i]
+		if tj.Nodes > cfg.ClusterNodes {
+			return nil, fmt.Errorf("trace: job %d needs %d nodes on a %d-node cluster",
+				tj.ID, tj.Nodes, cfg.ClusterNodes)
+		}
+		if cfg.Policy == SNS {
+			if _, ok := db.Get(tj.Program, cfg.CoresPerJobNode); !ok {
+				return nil, fmt.Errorf("trace: job %d program %q unprofiled", tj.ID, tj.Program)
+			}
+		}
+		out := &SimJob{Trace: tj}
+		res.Jobs = append(res.Jobs, out)
+		sj := &simJob{out: out}
+		s.q.At(tj.SubmitSec, func() {
+			s.pending = append(s.pending, sj)
+			s.schedule()
+		})
+	}
+	s.q.Run(0)
+	if len(s.pending) > 0 {
+		return nil, fmt.Errorf("trace: %d jobs never placed", len(s.pending))
+	}
+	// Summaries.
+	waits := make([]float64, len(res.Jobs))
+	runs := make([]float64, len(res.Jobs))
+	turns := make([]float64, len(res.Jobs))
+	for i, j := range res.Jobs {
+		waits[i], runs[i], turns[i] = j.Wait(), j.Run(), j.Turnaround()
+		if j.Finish > res.Makespan {
+			res.Makespan = j.Finish
+		}
+	}
+	res.AvgWait = stats.Mean(waits)
+	res.AvgRun = stats.Mean(runs)
+	res.AvgTurn = stats.Mean(turns)
+	res.Throughput = stats.Throughput(turns)
+	sorted := append([]float64(nil), waits...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return sorted[int(p*float64(len(sorted)-1))]
+	}
+	res.WaitP50, res.WaitP90, res.WaitP99 = pct(0.5), pct(0.9), pct(0.99)
+	return res, nil
+}
+
+// moveBucket updates the free-core index after a node's free count changes.
+func (s *simulator) moveBucket(id, oldFree, newFree int) {
+	if oldFree == newFree {
+		return
+	}
+	b := s.byFree[oldFree]
+	pos := s.bucketP[id]
+	last := len(b) - 1
+	b[pos] = b[last]
+	s.bucketP[b[pos]] = pos
+	s.byFree[oldFree] = b[:last]
+	s.byFree[newFree] = append(s.byFree[newFree], id)
+	s.bucketP[id] = len(s.byFree[newFree]) - 1
+}
+
+// take reserves resources on a node.
+func (s *simulator) take(id, cores, ways int, bw float64) {
+	n := &s.nodes[id]
+	old := n.freeCores
+	n.freeCores -= cores
+	n.freeWays -= ways
+	n.freeBW -= bw
+	s.moveBucket(id, old, n.freeCores)
+}
+
+// release returns resources.
+func (s *simulator) release(id, cores, ways int, bw float64) {
+	n := &s.nodes[id]
+	old := n.freeCores
+	n.freeCores += cores
+	n.freeWays += ways
+	n.freeBW += bw
+	s.moveBucket(id, old, n.freeCores)
+}
+
+// schedule scans the pending queue in FIFO order up to ScanDepth attempts.
+func (s *simulator) schedule() {
+	attempts := 0
+	i := 0
+	for i < len(s.pending) && attempts < s.cfg.ScanDepth {
+		sj := s.pending[i]
+		if s.tryPlace(sj) {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			continue
+		}
+		attempts++
+		i++
+	}
+}
+
+// tryPlace attempts one job under the policy, launching it on success.
+func (s *simulator) tryPlace(sj *simJob) bool {
+	tj := sj.out.Trace
+	switch s.cfg.Policy {
+	case CE:
+		nodes := s.findNodes(tj.Nodes, s.spec.Cores, 0, 0)
+		if nodes == nil {
+			return false
+		}
+		// CE dedicates whole nodes: account all cores.
+		s.launch(sj, nodes, s.spec.Cores, 0, 0, tj.RuntimeSec, 1)
+		return true
+	case SNS:
+		prof, _ := s.db.Get(tj.Program, s.cfg.CoresPerJobNode)
+		base, ok := prof.AtK(1)
+		if !ok {
+			base = &prof.Scales[0]
+		}
+		for _, sp := range prof.ByPerformance() {
+			if sp.K > s.cfg.MaxScale {
+				continue
+			}
+			n := sp.K * tj.Nodes
+			if n > s.cfg.ClusterNodes {
+				continue
+			}
+			d := core.EstimateDemand(sp, s.cfg.Alpha, s.spec)
+			nodes := s.findNodes(n, d.Cores, d.Ways, d.BW)
+			if nodes == nil {
+				continue
+			}
+			// The trace runtime is the CE runtime; the profiled
+			// exclusive times give the speedup of this scale.
+			rt := tj.RuntimeSec * sp.TimeSec / base.TimeSec
+			s.launch(sj, nodes, d.Cores, d.Ways, d.BW, rt, sp.K)
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// findNodes collects n nodes with the per-node demand using the free-core
+// bucket index, visiting the emptiest buckets first (idlest-first, the
+// cheap large-cluster analogue of the testbed scheduler's scoring).
+func (s *simulator) findNodes(n, cores, ways int, bw float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	found := make([]int, 0, n)
+	for free := s.spec.Cores; free >= cores; free-- {
+		for _, id := range s.byFree[free] {
+			node := &s.nodes[id]
+			if ways > 0 && node.freeWays < ways {
+				continue
+			}
+			if bw > 0 && node.freeBW < bw {
+				continue
+			}
+			found = append(found, id)
+			if len(found) == n {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+// launch reserves resources and schedules completion.
+func (s *simulator) launch(sj *simJob, nodes []int, cores, ways int, bw float64, runtime float64, scale int) {
+	sj.nodes = nodes
+	sj.cores, sj.ways, sj.bw = cores, ways, bw
+	for _, id := range nodes {
+		s.take(id, cores, ways, bw)
+	}
+	now := s.q.Now()
+	sj.out.Start = now
+	sj.out.Finish = now + runtime
+	sj.out.Scale = scale
+	sj.out.NodesUsed = len(nodes)
+	s.q.At(sj.out.Finish, func() {
+		for _, id := range sj.nodes {
+			s.release(id, sj.cores, sj.ways, sj.bw)
+		}
+		s.schedule()
+	})
+}

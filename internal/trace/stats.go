@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a trace's shape: the quantities one checks against the
+// published Trinity characterization before trusting a synthetic stand-in.
+type Stats struct {
+	Jobs      int
+	SpanHours float64
+	// Node-count distribution.
+	NodeP50, NodeP90, NodeMax int
+	// Runtime distribution in seconds.
+	RuntimeP50, RuntimeP90 float64
+	// TotalNodeHours is the aggregate CE resource demand.
+	TotalNodeHours float64
+	// PowerOfTwoFrac is the fraction of jobs requesting a
+	// power-of-two node count.
+	PowerOfTwoFrac float64
+}
+
+// Summarize computes trace statistics.
+func Summarize(jobs []Job) Stats {
+	var s Stats
+	s.Jobs = len(jobs)
+	if len(jobs) == 0 {
+		return s
+	}
+	nodes := make([]int, len(jobs))
+	runtimes := make([]float64, len(jobs))
+	pow2 := 0
+	for i, j := range jobs {
+		nodes[i] = j.Nodes
+		runtimes[i] = j.RuntimeSec
+		s.TotalNodeHours += float64(j.Nodes) * j.RuntimeSec / 3600
+		if j.Nodes&(j.Nodes-1) == 0 {
+			pow2++
+		}
+		if end := j.SubmitSec / 3600; end > s.SpanHours {
+			s.SpanHours = end
+		}
+	}
+	sort.Ints(nodes)
+	sort.Float64s(runtimes)
+	pct := func(p float64) int { return int(p * float64(len(jobs)-1)) }
+	s.NodeP50 = nodes[pct(0.5)]
+	s.NodeP90 = nodes[pct(0.9)]
+	s.NodeMax = nodes[len(nodes)-1]
+	s.RuntimeP50 = runtimes[pct(0.5)]
+	s.RuntimeP90 = runtimes[pct(0.9)]
+	s.PowerOfTwoFrac = float64(pow2) / float64(len(jobs))
+	return s
+}
+
+// String renders the summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs: %d over %.0f h, %.0f node-hours total\n",
+		s.Jobs, s.SpanHours, s.TotalNodeHours)
+	fmt.Fprintf(&b, "nodes: p50=%d p90=%d max=%d, %.0f%% power-of-two\n",
+		s.NodeP50, s.NodeP90, s.NodeMax, 100*s.PowerOfTwoFrac)
+	fmt.Fprintf(&b, "runtime: p50=%.0f s p90=%.0f s\n", s.RuntimeP50, s.RuntimeP90)
+	return b.String()
+}

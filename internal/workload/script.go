@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spreadnshare/internal/sched"
+)
+
+// ParseScript reads a batch submission script in an sbatch-like directive
+// syntax, one job per directive line:
+//
+//	#UBERUN --program=MG --ntasks=16
+//	#UBERUN --program=TS --ntasks=28 --alpha=0.85 --priority=2 --at=120
+//
+// Other lines (shell commands, comments, blanks) are ignored, so a real
+// launcher script can double as the submission file. Recognized options:
+// --program (required), --ntasks (required), --alpha, --priority, --at
+// (submission time in seconds).
+func ParseScript(r io.Reader) ([]sched.JobSpec, error) {
+	sc := bufio.NewScanner(r)
+	var seq []sched.JobSpec
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "#UBERUN") {
+			continue
+		}
+		js, err := parseDirective(strings.TrimSpace(strings.TrimPrefix(line, "#UBERUN")))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		seq = append(seq, js)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("workload: no #UBERUN directives found")
+	}
+	return seq, nil
+}
+
+// parseDirective parses one directive's options.
+func parseDirective(s string) (sched.JobSpec, error) {
+	var js sched.JobSpec
+	for _, field := range strings.Fields(s) {
+		if !strings.HasPrefix(field, "--") {
+			return js, fmt.Errorf("bad option %q", field)
+		}
+		kv := strings.SplitN(strings.TrimPrefix(field, "--"), "=", 2)
+		if len(kv) != 2 || kv[1] == "" {
+			return js, fmt.Errorf("option %q needs =value", field)
+		}
+		key, val := kv[0], kv[1]
+		switch key {
+		case "program":
+			js.Program = val
+		case "ntasks":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return js, fmt.Errorf("bad ntasks %q: %v", val, err)
+			}
+			js.Procs = n
+		case "alpha":
+			a, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return js, fmt.Errorf("bad alpha %q: %v", val, err)
+			}
+			js.Alpha = a
+		case "priority":
+			p, err := strconv.Atoi(val)
+			if err != nil {
+				return js, fmt.Errorf("bad priority %q: %v", val, err)
+			}
+			js.Priority = p
+		case "at":
+			t, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return js, fmt.Errorf("bad at %q: %v", val, err)
+			}
+			js.Submit = t
+		default:
+			return js, fmt.Errorf("unknown option --%s", key)
+		}
+	}
+	if js.Program == "" {
+		return js, fmt.Errorf("missing --program")
+	}
+	if js.Procs <= 0 {
+		return js, fmt.Errorf("missing or invalid --ntasks")
+	}
+	return js, nil
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+func TestRandomSequenceShape(t *testing.T) {
+	cat := app.MustCatalog()
+	rng := rand.New(rand.NewSource(7))
+	seq := RandomSequence(rng, cat, 20)
+	if len(seq) != 20 {
+		t.Fatalf("sequence length %d, want 20", len(seq))
+	}
+	for _, js := range seq {
+		if js.Procs != 16 && js.Procs != 28 {
+			t.Errorf("job procs %d, want 16 or 28", js.Procs)
+		}
+		prog, err := cat.Lookup(js.Program)
+		if err != nil {
+			t.Fatalf("unknown program %q in sequence", js.Program)
+		}
+		if prog.PowerOf2 && js.Procs != 16 {
+			t.Errorf("MPI program %s got %d procs, want 16", js.Program, js.Procs)
+		}
+		if js.Submit != 0 {
+			t.Errorf("job submitted at %g, want 0 (time-segment methodology)", js.Submit)
+		}
+	}
+}
+
+func TestRandomSequenceDeterministic(t *testing.T) {
+	cat := app.MustCatalog()
+	a := RandomSequence(rand.New(rand.NewSource(3)), cat, 20)
+	b := RandomSequence(rand.New(rand.NewSource(3)), cat, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestRatioMixHitsTarget(t *testing.T) {
+	for _, target := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		seq := RatioMix(rand.New(rand.NewSource(1)), target, 30)
+		if len(seq) != 30 {
+			t.Fatalf("mix length %d, want 30", len(seq))
+		}
+		bwHours, total := 0.0, 0.0
+		cat := app.MustCatalog()
+		for _, js := range seq {
+			m, _ := cat.Lookup(js.Program)
+			h := m.TargetSoloSec
+			total += h
+			if js.Program == "BW" {
+				bwHours += h
+			}
+			if js.Procs != 28 {
+				t.Errorf("mix job procs %d, want 28 (full node)", js.Procs)
+			}
+		}
+		got := bwHours / total
+		if math.Abs(got-target) > 0.05 {
+			t.Errorf("target ratio %.2f, achieved %.3f", target, got)
+		}
+	}
+}
+
+func TestCERunTimesCaching(t *testing.T) {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := NewCERunTimes(spec, cat)
+	t1, err := ce.Of("MG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ce.Of("MG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("cached run time differs")
+	}
+	mg, _ := cat.Lookup("MG")
+	if math.Abs(t1-mg.TargetSoloSec) > 1e-6 {
+		t.Errorf("CE run time %g, want calibrated %g", t1, mg.TargetSoloSec)
+	}
+	if _, err := ce.Of("NOPE", 16); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestScalingRatio(t *testing.T) {
+	spec := hw.DefaultClusterSpec()
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profiler.NewDB()
+	k := profiler.New(spec)
+	if err := k.ProfileAll(cat, []string{"BW", "HC"}, 28, db); err != nil {
+		t.Fatal(err)
+	}
+	ce := NewCERunTimes(spec, cat)
+
+	// Pure neutral mix: ratio 0. Pure scaling mix: ratio 1.
+	allHC := RatioMix(rand.New(rand.NewSource(1)), 0, 10)
+	r, err := ScalingRatio(allHC, db, ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("all-HC ratio = %g, want 0", r)
+	}
+	allBW := RatioMix(rand.New(rand.NewSource(1)), 1, 10)
+	r, err = ScalingRatio(allBW, db, ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("all-BW ratio = %g, want 1", r)
+	}
+	// Half mix lands in between.
+	half := RatioMix(rand.New(rand.NewSource(1)), 0.5, 10)
+	r, err = ScalingRatio(half, db, ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.3 || r > 0.7 {
+		t.Errorf("half-mix ratio = %g, want near 0.5", r)
+	}
+	if r2, _ := ScalingRatio(nil, db, ce); r2 != 0 {
+		t.Error("empty sequence ratio not 0")
+	}
+}
+
+func TestParseJobList(t *testing.T) {
+	seq, err := ParseJobList(" MG:16, HC : 28 ,,TS:16 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 {
+		t.Fatalf("parsed %d jobs, want 3", len(seq))
+	}
+	if seq[0].Program != "MG" || seq[0].Procs != 16 {
+		t.Errorf("first job = %+v", seq[0])
+	}
+	if seq[1].Program != "HC" || seq[1].Procs != 28 {
+		t.Errorf("second job = %+v", seq[1])
+	}
+	for _, bad := range []string{"", "MG", "MG:x", "MG:16:4", ",,"} {
+		if _, err := ParseJobList(bad); err == nil {
+			t.Errorf("ParseJobList(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	script := `#!/bin/sh
+# regular comment
+#UBERUN --program=MG --ntasks=16
+mpirun ./mg   # launcher line, ignored
+#UBERUN --program=TS --ntasks=28 --alpha=0.85 --priority=2 --at=120
+`
+	seq, err := ParseScript(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 {
+		t.Fatalf("parsed %d jobs, want 2", len(seq))
+	}
+	if seq[0].Program != "MG" || seq[0].Procs != 16 || seq[0].Alpha != 0 {
+		t.Errorf("first job = %+v", seq[0])
+	}
+	if seq[1].Program != "TS" || seq[1].Procs != 28 || seq[1].Alpha != 0.85 ||
+		seq[1].Priority != 2 || seq[1].Submit != 120 {
+		t.Errorf("second job = %+v", seq[1])
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []string{
+		"",                                // no directives
+		"#UBERUN --ntasks=16",             // missing program
+		"#UBERUN --program=MG",            // missing ntasks
+		"#UBERUN --program=MG --ntasks=x", // bad int
+		"#UBERUN --program=MG --ntasks=16 badopt", // not --key=value
+		"#UBERUN --program=MG --ntasks=16 --alpha=x",
+		"#UBERUN --program=MG --ntasks=16 --priority=x",
+		"#UBERUN --program=MG --ntasks=16 --at=x",
+		"#UBERUN --program=MG --ntasks=16 --mystery=1",
+		"#UBERUN --program=",
+	}
+	for _, c := range cases {
+		if _, err := ParseScript(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseScript(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestPoissonSequence(t *testing.T) {
+	cat := app.MustCatalog()
+	rng := rand.New(rand.NewSource(5))
+	seq := PoissonSequence(rng, cat, 200, 60)
+	prev := -1.0
+	sum := 0.0
+	for i, js := range seq {
+		if js.Submit <= prev {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+		if i > 0 {
+			sum += js.Submit - prev
+		}
+		prev = js.Submit
+	}
+	mean := sum / float64(len(seq)-1)
+	if mean < 40 || mean > 80 {
+		t.Errorf("mean inter-arrival %.1f, want ~60", mean)
+	}
+}
