@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race check bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: everything must compile, pass vet, and pass
+# the full test suite under the race detector.
+check: build vet race
+
+# bench reruns the hot-path benchmark set and rewrites BENCH_PR1.json.
+bench:
+	scripts/bench.sh
+
+# figures regenerates every paper figure as tables on stdout.
+figures:
+	$(GO) run ./cmd/snsbench -fig all

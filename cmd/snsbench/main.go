@@ -8,6 +8,15 @@
 //	snsbench -fig fig14 -seqs 36 -jobs 20
 //	snsbench -fig fig20 -trace-jobs 7044
 //
+// Any figure can be profiled with the standard pprof flags, e.g.
+//
+//	snsbench -fig fig14 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
+//
+// The CPU profile covers the whole figure run; the heap profile is a
+// post-run live-object snapshot (allocation sites need -sample_index
+// alloc_objects, or use the benchmark harness with -benchmem).
+//
 // Figure ids: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig12 fig13 fig14 fig15
 // fig16 fig17 fig19 fig20 (fig18's histogram is part of fig17's output),
 // plus the design-choice ablations: abl-mech abl-alpha abl-beta
@@ -18,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spreadnshare/internal/experiments"
@@ -32,7 +43,34 @@ func main() {
 	traceSpan := flag.Float64("trace-span", 1900, "trace span in hours for fig20")
 	seed := flag.Int64("seed", 42, "base seed for fig17/fig20")
 	format := flag.String("format", "table", "output format: table or csv")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the figure run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the figure run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	env, err := experiments.SharedEnv()
 	if err != nil {

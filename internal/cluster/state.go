@@ -35,47 +35,85 @@ type Alloc struct {
 }
 
 // Node is the bookkeeping state of one compute node.
+//
+// Allocations are kept in a job-ID-sorted slice and the integer
+// aggregates (cores, ways, exclusivity) are cached incrementally, so
+// the placement search's feasibility probes — called once per node per
+// scale factor per scheduling pass — are O(1) field reads instead of
+// map iterations. Float aggregates are summed over the sorted slice on
+// demand: the reservations per node are few, and summing in job-ID
+// order keeps the readings bit-reproducible across runs.
 type Node struct {
-	ID     int
-	spec   hw.NodeSpec
-	allocs map[int]*Alloc
+	ID   int
+	spec hw.NodeSpec
+
+	allocs    []Alloc // sorted by JobID
+	usedCores int
+	allocWays int
+	exclusive int // reservations with Exclusive set
+}
+
+// find returns the index of job id in allocs, or -1.
+func (n *Node) find(id int) int {
+	for i := range n.allocs {
+		if n.allocs[i].JobID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert adds a into allocs, keeping job-ID order.
+func (n *Node) insert(a Alloc) {
+	i := len(n.allocs)
+	for i > 0 && n.allocs[i-1].JobID > a.JobID {
+		i--
+	}
+	n.allocs = append(n.allocs, Alloc{})
+	copy(n.allocs[i+1:], n.allocs[i:])
+	n.allocs[i] = a
+	n.usedCores += a.Cores
+	n.allocWays += a.Ways
+	if a.Exclusive {
+		n.exclusive++
+	}
+}
+
+// removeAt deletes the i-th reservation with a shift.
+func (n *Node) removeAt(i int) {
+	a := n.allocs[i]
+	n.usedCores -= a.Cores
+	n.allocWays -= a.Ways
+	if a.Exclusive {
+		n.exclusive--
+	}
+	copy(n.allocs[i:], n.allocs[i+1:])
+	n.allocs = n.allocs[:len(n.allocs)-1]
 }
 
 // UsedCores returns the number of reserved cores.
-func (n *Node) UsedCores() int {
-	c := 0
-	for _, a := range n.allocs {
-		c += a.Cores
-	}
-	return c
-}
+func (n *Node) UsedCores() int { return n.usedCores }
 
 // FreeCores returns cores available for new reservations; an exclusively
 // held node has none.
 func (n *Node) FreeCores() int {
-	if n.Exclusive() {
+	if n.exclusive > 0 {
 		return 0
 	}
-	return n.spec.Cores - n.UsedCores()
+	return n.spec.Cores - n.usedCores
 }
 
 // AllocWays returns the total CAT-allocated ways.
-func (n *Node) AllocWays() int {
-	w := 0
-	for _, a := range n.allocs {
-		w += a.Ways
-	}
-	return w
-}
+func (n *Node) AllocWays() int { return n.allocWays }
 
 // FreeWays returns unallocated LLC ways.
-func (n *Node) FreeWays() int { return n.spec.LLCWays - n.AllocWays() }
+func (n *Node) FreeWays() int { return n.spec.LLCWays - n.allocWays }
 
 // AllocMem returns the total reserved memory in GB.
 func (n *Node) AllocMem() float64 {
 	m := 0.0
-	for _, a := range n.allocs {
-		m += a.MemGB
+	for i := range n.allocs {
+		m += n.allocs[i].MemGB
 	}
 	return m
 }
@@ -86,8 +124,8 @@ func (n *Node) FreeMem() float64 { return n.spec.MemoryGB - n.AllocMem() }
 // AllocBW returns the total reserved bandwidth in GB/s.
 func (n *Node) AllocBW() float64 {
 	b := 0.0
-	for _, a := range n.allocs {
-		b += a.BW
+	for i := range n.allocs {
+		b += n.allocs[i].BW
 	}
 	return b
 }
@@ -98,8 +136,8 @@ func (n *Node) FreeBW() float64 { return n.spec.PeakBandwidth - n.AllocBW() }
 // AllocIO returns the total reserved file-system bandwidth in GB/s.
 func (n *Node) AllocIO() float64 {
 	b := 0.0
-	for _, a := range n.allocs {
-		b += a.IOBW
+	for i := range n.allocs {
+		b += n.allocs[i].IOBW
 	}
 	return b
 }
@@ -111,41 +149,32 @@ func (n *Node) FreeIO() float64 { return n.spec.IOBandwidth - n.AllocIO() }
 func (n *Node) Idle() bool { return len(n.allocs) == 0 }
 
 // Exclusive reports whether some job holds the node exclusively.
-func (n *Node) Exclusive() bool {
-	for _, a := range n.allocs {
-		if a.Exclusive {
-			return true
-		}
-	}
-	return false
-}
+func (n *Node) Exclusive() bool { return n.exclusive > 0 }
 
 // Jobs returns the ids of jobs with reservations on this node, sorted.
 func (n *Node) Jobs() []int {
-	ids := make([]int, 0, len(n.allocs))
-	for id := range n.allocs {
-		ids = append(ids, id)
+	ids := make([]int, len(n.allocs))
+	for i := range n.allocs {
+		ids[i] = n.allocs[i].JobID
 	}
-	sort.Ints(ids)
 	return ids
 }
 
 // Alloc returns job id's reservation on this node, if any.
 func (n *Node) Alloc(id int) (Alloc, bool) {
-	a, ok := n.allocs[id]
-	if !ok {
-		return Alloc{}, false
+	if i := n.find(id); i >= 0 {
+		return n.allocs[i], true
 	}
-	return *a, true
+	return Alloc{}, false
 }
 
 // Score is the SNS node-selection metric Co + Bo + beta*Wo, built from the
 // occupied fractions of cores, bandwidth, and LLC ways. Lower is idler.
 // The paper weighs ways with beta = 2 because LLC interference dominates.
 func (n *Node) Score(beta float64) float64 {
-	co := float64(n.UsedCores()) / float64(n.spec.Cores)
+	co := float64(n.usedCores) / float64(n.spec.Cores)
 	bo := n.AllocBW() / n.spec.PeakBandwidth
-	wo := float64(n.AllocWays()) / float64(n.spec.LLCWays)
+	wo := float64(n.allocWays) / float64(n.spec.LLCWays)
 	return co + bo + beta*wo
 }
 
@@ -162,7 +191,7 @@ func New(spec hw.ClusterSpec) (*State, error) {
 	}
 	s := &State{Spec: spec, Nodes: make([]*Node, spec.Nodes)}
 	for i := range s.Nodes {
-		s.Nodes[i] = &Node{ID: i, spec: spec.Node, allocs: make(map[int]*Alloc)}
+		s.Nodes[i] = &Node{ID: i, spec: spec.Node}
 	}
 	return s, nil
 }
@@ -188,17 +217,17 @@ func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways int, bw, ioBW floa
 	if len(nodes) == 0 {
 		return fmt.Errorf("cluster: job %d: empty placement", jobID)
 	}
-	seen := make(map[int]bool, len(nodes))
-	for _, na := range nodes {
+	for k, na := range nodes {
 		if na.Node < 0 || na.Node >= len(s.Nodes) {
 			return fmt.Errorf("cluster: job %d: node %d out of range", jobID, na.Node)
 		}
-		if seen[na.Node] {
-			return fmt.Errorf("cluster: job %d: node %d listed twice", jobID, na.Node)
+		for _, prev := range nodes[:k] {
+			if prev.Node == na.Node {
+				return fmt.Errorf("cluster: job %d: node %d listed twice", jobID, na.Node)
+			}
 		}
-		seen[na.Node] = true
 		n := s.Nodes[na.Node]
-		if _, ok := n.allocs[jobID]; ok {
+		if n.find(jobID) >= 0 {
 			return fmt.Errorf("cluster: job %d already on node %d", jobID, na.Node)
 		}
 		if na.Cores <= 0 || na.Cores > n.FreeCores() {
@@ -226,10 +255,10 @@ func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways int, bw, ioBW floa
 		}
 	}
 	for _, na := range nodes {
-		s.Nodes[na.Node].allocs[jobID] = &Alloc{
+		s.Nodes[na.Node].insert(Alloc{
 			JobID: jobID, Cores: na.Cores, Ways: ways, BW: bw, MemGB: na.MemGB,
 			IOBW: ioBW, Exclusive: exclusive,
-		}
+		})
 	}
 	return nil
 }
@@ -239,8 +268,8 @@ func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways int, bw, ioBW floa
 func (s *State) Release(jobID int) []int {
 	var freed []int
 	for _, n := range s.Nodes {
-		if _, ok := n.allocs[jobID]; ok {
-			delete(n.allocs, jobID)
+		if i := n.find(jobID); i >= 0 {
+			n.removeAt(i)
 			freed = append(freed, n.ID)
 		}
 	}
@@ -303,7 +332,7 @@ func (s *State) SelectIdlest(candidates []int, n int, beta float64) []int {
 func (s *State) TotalUsedCores() int {
 	c := 0
 	for _, n := range s.Nodes {
-		c += n.UsedCores()
+		c += n.usedCores
 	}
 	return c
 }

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+)
+
+// steadyStateEngine builds an engine with a contended node population and
+// warms every scratch buffer and the event-queue free list, so subsequent
+// recompute passes exercise the steady-state hot path only.
+func steadyStateEngine(t testing.TB) (*Engine, *Job) {
+	t.Helper()
+	cat, err := app.NewCatalog(hw.DefaultNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := hw.DefaultClusterSpec()
+	e, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"MG", "CG", "EP", "HC", "BW"}
+	var last *Job
+	for id, name := range names {
+		m, err := cat.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := &Job{ID: id, Prog: m, Procs: 4, Nodes: []int{0, 1}, CoresByNode: []int{2, 2}}
+		if err := e.Launch(j); err != nil {
+			t.Fatal(err)
+		}
+		last = j
+	}
+	// Warm up: drive recomputes until the scratch buffers and the event
+	// free list have reached their working-set sizes.
+	for i := 0; i < 64; i++ {
+		if err := e.SetJobWays(last.ID, 1+i%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.SetJobWays(last.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	return e, last
+}
+
+// TestRecomputeZeroAllocs pins the engine's full per-event path —
+// markDirty, recompute, resolveNode, refreshJob, and the finish-event
+// reschedule through the queue — at zero steady-state heap allocations.
+func TestRecomputeZeroAllocs(t *testing.T) {
+	e, j := steadyStateEngine(t)
+	ways := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		ways = ways%4 + 1
+		if err := e.SetJobWays(j.ID, ways); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("recompute path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestResolveNodeZeroAllocs pins contention resolution alone.
+func TestResolveNodeZeroAllocs(t *testing.T) {
+	e, _ := steadyStateEngine(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.resolveNode(0)
+		e.resolveNode(1)
+	})
+	if allocs != 0 {
+		t.Errorf("resolveNode allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRefreshJobZeroAllocs pins rate refresh plus the queue reschedule.
+func TestRefreshJobZeroAllocs(t *testing.T) {
+	e, j := steadyStateEngine(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.refreshJob(j)
+	})
+	if allocs != 0 {
+		t.Errorf("refreshJob allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPhaseFlipZeroAllocs pins the bandwidth-phase flip path: the flip
+// closure is created once at launch, so steady-state phase simulation
+// must not allocate.
+func TestPhaseFlipZeroAllocs(t *testing.T) {
+	cat, err := app.NewCatalog(hw.DefaultNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phased *app.Model
+	for _, name := range app.ProgramNames {
+		m, err := cat.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.PhaseAmp > 0 && m.PhasePeriodSec > 0 && !m.PowerOf2 {
+			phased = m
+			break
+		}
+	}
+	if phased == nil {
+		t.Skip("catalog has no phase-capable program")
+	}
+	e, err := New(hw.DefaultClusterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PhasesOn = true
+	j := &Job{ID: 1, Prog: phased, Procs: 1, Nodes: []int{0}, CoresByNode: []int{1}}
+	if err := e.Launch(j); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the simulation period by period so flips fire through the
+	// queue and their events recycle. Topping j.remaining back up each
+	// step keeps the job running for arbitrarily many flips without
+	// relaunching (a launch would allocate by design).
+	horizon := 0.0
+	step := phased.PhasePeriodSec
+	tick := func() {
+		j.remaining = 1
+		horizon += step
+		e.Run(horizon)
+	}
+	for i := 0; i < 128; i++ { // warm past the first heap compaction
+		tick()
+	}
+	if j.State != Running {
+		t.Fatalf("phased job finished during warmup")
+	}
+	allocs := testing.AllocsPerRun(100, tick)
+	if j.State != Running {
+		t.Fatalf("phased job finished during measurement")
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state phase flipping allocates %.1f objects/op, want 0", allocs)
+	}
+}

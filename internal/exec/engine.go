@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/interconnect"
@@ -10,14 +9,38 @@ import (
 	"spreadnshare/internal/sim"
 )
 
+// resident is one job's presence on one node: the job plus its cached
+// core count there and the index of that node in the job's placement
+// (so per-node results can be written straight into job.shares without
+// any lookup).
+type resident struct {
+	job   *Job
+	cores int // cores the job holds on this node
+	slot  int // index into job.Nodes / job.shares for this node
+}
+
 // Engine executes jobs on a simulated cluster.
+//
+// The engine is single-goroutine: one simulation drives one engine, and
+// all scratch state below is reused across events under that invariant.
+// Cross-sequence parallelism lives a level up (one engine per sequence,
+// as in experiments.RunSequences).
 type Engine struct {
 	spec     hw.ClusterSpec
 	net      interconnect.Model
 	q        *sim.Queue
-	nodes    []map[int]*Job // node id -> jobs running there
+	nodes    [][]resident // per node, residents sorted by job ID
 	jobs     map[int]*Job
 	onFinish []func(*Job)
+
+	// Scratch buffers, reused by every recompute so the steady-state
+	// event loop performs no heap allocations. Each is reset (not
+	// reallocated) at the start of the pass that uses it.
+	dirtyMark []bool  // per-node membership flag for dirtyList
+	dirtyList []int   // nodes whose population or allocation changed
+	affected  []*Job  // jobs touching a dirty node, sorted by ID
+	epoch     uint64  // recompute stamp for affected-job dedup
+	scratch   resolveScratch
 
 	// PhasesOn enables program bandwidth-phase simulation: jobs whose
 	// model declares a PhaseAmp alternate between high- and
@@ -27,20 +50,34 @@ type Engine struct {
 	PhasesOn bool
 }
 
+// resolveScratch holds resolveNode's and commInflation's per-call
+// working arrays, sized to the largest resident population seen.
+type resolveScratch struct {
+	ways       []float64
+	demands    []float64
+	rawDemands []float64
+	effWays    []float64
+	ioDemands  []float64
+	grants     []float64
+	ioGrants   []float64
+	order      []int // water-fill index scratch
+	unmanaged  []int // resident indices without a CAT partition
+	giveaway   []int // resident indices eligible for free-pool shares
+	utils      []float64
+}
+
 // New creates an engine for the given cluster.
 func New(spec hw.ClusterSpec) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		spec:  spec,
-		net:   interconnect.Model{BandwidthGB: spec.Node.NICBandwidth, LatencyUS: spec.Node.NICLatencyUS},
-		q:     &sim.Queue{},
-		nodes: make([]map[int]*Job, spec.Nodes),
-		jobs:  make(map[int]*Job),
-	}
-	for i := range e.nodes {
-		e.nodes[i] = make(map[int]*Job)
+		spec:      spec,
+		net:       interconnect.Model{BandwidthGB: spec.Node.NICBandwidth, LatencyUS: spec.Node.NICLatencyUS},
+		q:         &sim.Queue{},
+		nodes:     make([][]resident, spec.Nodes),
+		jobs:      make(map[int]*Job),
+		dirtyMark: make([]bool, spec.Nodes),
 	}
 	return e, nil
 }
@@ -63,6 +100,42 @@ func (e *Engine) OnFinish(fn func(*Job)) { e.onFinish = append(e.onFinish, fn) }
 func (e *Engine) Job(id int) (*Job, bool) {
 	j, ok := e.jobs[id]
 	return j, ok
+}
+
+// insertResident places r into node n's resident list, keeping it
+// sorted by job ID.
+func (e *Engine) insertResident(n int, r resident) {
+	s := e.nodes[n]
+	i := len(s)
+	for i > 0 && s[i-1].job.ID > r.job.ID {
+		i--
+	}
+	s = append(s, resident{})
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	e.nodes[n] = s
+}
+
+// removeResident deletes job id from node n's resident list with a
+// shift, preserving order.
+func (e *Engine) removeResident(n, id int) {
+	s := e.nodes[n]
+	for i := range s {
+		if s[i].job.ID == id {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = resident{}
+			e.nodes[n] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// markDirty adds node n to the pending recompute set.
+func (e *Engine) markDirty(n int) {
+	if !e.dirtyMark[n] {
+		e.dirtyMark[n] = true
+		e.dirtyList = append(e.dirtyList, n)
+	}
 }
 
 // Launch starts a job at the current time with the placement recorded in
@@ -97,9 +170,9 @@ func (e *Engine) Launch(j *Job) error {
 		}
 		used := j.CoresByNode[i]
 		ways := j.Ways
-		for _, other := range e.nodes[n] {
-			used += other.coresOn(n)
-			ways += other.Ways
+		for _, r := range e.nodes[n] {
+			used += r.cores
+			ways += r.job.Ways
 		}
 		if used > e.spec.Node.Cores {
 			return fmt.Errorf("exec: node %d oversubscribed: %d cores > %d", n, used, e.spec.Node.Cores)
@@ -112,50 +185,40 @@ func (e *Engine) Launch(j *Job) error {
 	j.Start = e.q.Now()
 	j.lastT = j.Start
 	j.remaining = 1
-	j.shares = make(map[int]nodeShare, len(j.Nodes))
+	j.shares = make([]nodeShare, len(j.Nodes))
+	j.finishFn = func() { e.finish(j) }
 	e.jobs[j.ID] = j
 	j.phaseMul = 1
-	dirty := make(map[int]bool, len(j.Nodes))
-	for _, n := range j.Nodes {
-		e.nodes[n][j.ID] = j
-		dirty[n] = true
+	for i, n := range j.Nodes {
+		e.insertResident(n, resident{job: j, cores: j.CoresByNode[i], slot: i})
+		e.markDirty(n)
 	}
 	if e.PhasesOn && j.Prog.PhaseAmp > 0 && j.Prog.PhasePeriodSec > 0 {
 		j.phaseMul = 1 + j.Prog.PhaseAmp
-		e.schedulePhaseFlip(j)
+		j.flipFn = func() { e.flipPhase(j) }
+		e.q.At(e.q.Now()+j.Prog.PhasePeriodSec, j.flipFn)
 	}
-	e.recompute(dirty)
+	e.recompute()
 	return nil
 }
 
-// schedulePhaseFlip arranges the job's next bandwidth-phase transition.
-func (e *Engine) schedulePhaseFlip(j *Job) {
-	e.q.At(e.q.Now()+j.Prog.PhasePeriodSec, func() {
-		if j.State != Running {
-			return
-		}
-		if j.phaseMul > 1 {
-			j.phaseMul = 1 - j.Prog.PhaseAmp
-		} else {
-			j.phaseMul = 1 + j.Prog.PhaseAmp
-		}
-		dirty := make(map[int]bool, len(j.Nodes))
-		for _, n := range j.Nodes {
-			dirty[n] = true
-		}
-		e.recompute(dirty)
-		e.schedulePhaseFlip(j)
-	})
-}
-
-// coresOn returns the job's core count on node n (0 if not placed there).
-func (j *Job) coresOn(n int) int {
-	for i, id := range j.Nodes {
-		if id == n {
-			return j.CoresByNode[i]
-		}
+// flipPhase toggles the job between its high- and low-bandwidth phases
+// and arranges the next transition. The flip closure is created once at
+// launch, so steady-state phase simulation allocates nothing.
+func (e *Engine) flipPhase(j *Job) {
+	if j.State != Running {
+		return
 	}
-	return 0
+	if j.phaseMul > 1 {
+		j.phaseMul = 1 - j.Prog.PhaseAmp
+	} else {
+		j.phaseMul = 1 + j.Prog.PhaseAmp
+	}
+	for _, n := range j.Nodes {
+		e.markDirty(n)
+	}
+	e.recompute()
+	e.q.At(e.q.Now()+j.Prog.PhasePeriodSec, j.flipFn)
 }
 
 // SetJobWays forces the node-level LLC allocation of a running job — the
@@ -169,11 +232,10 @@ func (e *Engine) SetJobWays(id, ways int) error {
 		return fmt.Errorf("exec: way override %d out of range", ways)
 	}
 	j.wayOverride = ways
-	dirty := make(map[int]bool, len(j.Nodes))
 	for _, n := range j.Nodes {
-		dirty[n] = true
+		e.markDirty(n)
 	}
-	e.recompute(dirty)
+	e.recompute()
 	return nil
 }
 
@@ -200,13 +262,12 @@ func (e *Engine) JobCounters(id int) (pmu.Counters, error) {
 
 // NodeBandwidth returns the instantaneous achieved memory bandwidth on a
 // node in GB/s (traffic actually flowing, weighted by each job's compute
-// fraction).
+// fraction). Residents are summed in job-ID order, so the reading is
+// bit-reproducible across runs.
 func (e *Engine) NodeBandwidth(n int) float64 {
 	bw := 0.0
-	for _, j := range e.nodes[n] {
-		if sh, ok := j.shares[n]; ok {
-			bw += sh.grant * j.computeFrac
-		}
+	for _, r := range e.nodes[n] {
+		bw += r.job.shares[r.slot].grant * r.job.computeFrac
 	}
 	return bw
 }
@@ -214,8 +275,8 @@ func (e *Engine) NodeBandwidth(n int) float64 {
 // NodeActiveCores returns the number of occupied cores on a node.
 func (e *Engine) NodeActiveCores(n int) int {
 	c := 0
-	for _, j := range e.nodes[n] {
-		c += j.coresOn(n)
+	for _, r := range e.nodes[n] {
+		c += r.cores
 	}
 	return c
 }
@@ -265,63 +326,92 @@ func (e *Engine) advance(j *Job) {
 	j.counters.Instructions += j.perCoreRate * j.computeFrac * cores * dt
 	j.counters.CommSeconds += (1 - j.computeFrac) * dt
 	traffic := 0.0
-	for _, sh := range j.shares {
-		traffic += sh.grant
+	for i := range j.shares {
+		traffic += j.shares[i].grant
 	}
 	j.counters.TrafficGB += traffic * j.computeFrac * dt
 	j.lastT = now
 }
 
-// recompute resolves contention on the dirty nodes and refreshes the
-// rates and finish events of every job touching them.
-func (e *Engine) recompute(dirty map[int]bool) {
-	affected := make(map[int]*Job)
-	for n := range dirty {
-		for id, j := range e.nodes[n] {
-			affected[id] = j
+// insertionSortInts sorts s ascending. The inputs here (dirty nodes,
+// typically 1-2 entries) are tiny, and unlike sort.Ints this never
+// escapes to an interface value.
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k-1] > s[k]; k-- {
+			s[k-1], s[k] = s[k], s[k-1]
 		}
-	}
-	// Advance all affected jobs under their previous rates first.
-	ids := make([]int, 0, len(affected))
-	for id := range affected {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		e.advance(affected[id])
-	}
-	// Resolve each dirty node.
-	nodeIDs := make([]int, 0, len(dirty))
-	for n := range dirty {
-		nodeIDs = append(nodeIDs, n)
-	}
-	sort.Ints(nodeIDs)
-	for _, n := range nodeIDs {
-		e.resolveNode(n)
-	}
-	// Refresh job-level rates and finish events.
-	for _, id := range ids {
-		e.refreshJob(affected[id])
 	}
 }
 
+// insertionSortJobs sorts jobs by ID. The affected list is assembled
+// from per-node lists that are already ID-sorted, so it arrives nearly
+// sorted and insertion sort runs in close to linear time.
+func insertionSortJobs(s []*Job) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k-1].ID > s[k].ID; k-- {
+			s[k-1], s[k] = s[k], s[k-1]
+		}
+	}
+}
+
+// recompute resolves contention on the marked-dirty nodes and refreshes
+// the rates and finish events of every job touching them. Jobs are
+// advanced and refreshed in ascending ID order and nodes resolved in
+// ascending node order — the same deterministic order the event queue's
+// tie-breaking depends on.
+func (e *Engine) recompute() {
+	e.epoch++
+	e.affected = e.affected[:0]
+	insertionSortInts(e.dirtyList)
+	for _, n := range e.dirtyList {
+		for _, r := range e.nodes[n] {
+			if r.job.seen != e.epoch {
+				r.job.seen = e.epoch
+				e.affected = append(e.affected, r.job)
+			}
+		}
+	}
+	insertionSortJobs(e.affected)
+	// Advance all affected jobs under their previous rates first.
+	for _, j := range e.affected {
+		e.advance(j)
+	}
+	// Resolve each dirty node.
+	for _, n := range e.dirtyList {
+		e.resolveNode(n)
+	}
+	for _, n := range e.dirtyList {
+		e.dirtyMark[n] = false
+	}
+	e.dirtyList = e.dirtyList[:0]
+	// Refresh job-level rates and finish events.
+	for _, j := range e.affected {
+		e.refreshJob(j)
+	}
+}
+
+// growFloats returns s resized to n, reusing capacity.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // resolveNode computes every resident job's share of the node's LLC and
-// memory bandwidth.
+// memory bandwidth. Residents are visited in job-ID order.
 func (e *Engine) resolveNode(n int) {
-	node := e.nodes[n]
-	if len(node) == 0 {
+	res := e.nodes[n]
+	if len(res) == 0 {
 		return
 	}
-	ids := make([]int, 0, len(node))
-	for id := range node {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
+	sc := &e.scratch
 
 	spec := e.spec.Node
 	totalCores := 0
-	for _, id := range ids {
-		totalCores += node[id].coresOn(n)
+	for _, r := range res {
+		totalCores += r.cores
 	}
 
 	// LLC ways: CAT-managed jobs keep their partitions; the remainder
@@ -332,104 +422,106 @@ func (e *Engine) resolveNode(n int) {
 	// pool in proportion to their core-weighted miss traffic: in an
 	// uncontrolled shared cache, occupancy follows eviction pressure,
 	// so a streaming thrasher squeezes out a reuse-friendly neighbor.
-	ways := make(map[int]float64, len(ids))
+	sc.ways = growFloats(sc.ways, len(res))
+	sc.unmanaged = sc.unmanaged[:0]
+	sc.giveaway = sc.giveaway[:0]
 	managedTotal := 0.0
-	var unmanaged, giveaway []int
-	for _, id := range ids {
-		j := node[id]
+	for i, r := range res {
+		j := r.job
 		w := j.Ways
 		if j.wayOverride > 0 {
 			w = j.wayOverride
 		}
 		if w > 0 {
-			ways[id] = float64(w)
+			sc.ways[i] = float64(w)
 			managedTotal += float64(w)
 			if j.wayOverride == 0 {
-				giveaway = append(giveaway, id)
+				sc.giveaway = append(sc.giveaway, i)
 			}
 		} else {
-			unmanaged = append(unmanaged, id)
+			sc.ways[i] = 0
+			sc.unmanaged = append(sc.unmanaged, i)
 		}
 	}
 	pool := float64(spec.LLCWays) - managedTotal
 	if pool < 0 {
 		pool = 0
 	}
-	if len(unmanaged) > 0 {
+	if len(sc.unmanaged) > 0 {
 		weight := 0.0
-		pressure := func(j *Job) float64 {
-			return float64(j.coresOn(n)) * (0.05 + j.Prog.BWPerCoreRef)
+		for _, i := range sc.unmanaged {
+			weight += float64(res[i].cores) * (0.05 + res[i].job.Prog.BWPerCoreRef)
 		}
-		for _, id := range unmanaged {
-			weight += pressure(node[id])
+		for _, i := range sc.unmanaged {
+			pressure := float64(res[i].cores) * (0.05 + res[i].job.Prog.BWPerCoreRef)
+			sc.ways[i] = pool * pressure / weight
 		}
-		for _, id := range unmanaged {
-			ways[id] = pool * pressure(node[id]) / weight
-		}
-	} else if pool > 0 && len(giveaway) > 0 {
-		share := pool / float64(len(giveaway))
-		for _, id := range giveaway {
-			ways[id] += share
+	} else if pool > 0 && len(sc.giveaway) > 0 {
+		share := pool / float64(len(sc.giveaway))
+		for _, i := range sc.giveaway {
+			sc.ways[i] += share
 		}
 	}
 
 	// Memory bandwidth: demands are water-filled against the roofline
 	// for the node's active core count.
-	demands := make([]float64, len(ids))
-	rawDemands := make([]float64, len(ids))
-	effWays := make([]float64, len(ids))
-	for i, id := range ids {
-		j := node[id]
-		cores := j.coresOn(n)
-		eff := j.Prog.EffectiveWays(ways[id], cores)
-		effWays[i] = eff
+	sc.demands = growFloats(sc.demands, len(res))
+	sc.rawDemands = growFloats(sc.rawDemands, len(res))
+	sc.effWays = growFloats(sc.effWays, len(res))
+	for i, r := range res {
+		j := r.job
+		eff := j.Prog.EffectiveWays(sc.ways[i], r.cores)
+		sc.effWays[i] = eff
 		spread := j.SpanNodes() > 1
-		d := float64(cores) * j.Prog.BWDemandPerCore(eff, totalCores, spec.Cores, spread)
+		d := float64(r.cores) * j.Prog.BWDemandPerCore(eff, totalCores, spec.Cores, spread)
 		if j.phaseMul > 0 {
 			d *= j.phaseMul
 		}
-		rawDemands[i] = d
+		sc.rawDemands[i] = d
 		// MBA throttling caps what the job may request; the slowdown
 		// from running under the cap shows up through the throttle
 		// ratio against the raw (unthrottled) demand below.
 		if j.BWCap > 0 && d > j.BWCap {
 			d = j.BWCap
 		}
-		demands[i] = d
+		sc.demands[i] = d
 	}
-	grants := hw.WaterFill(spec.StreamBandwidth(totalCores), demands)
+	sc.grants = growFloats(sc.grants, len(res))
+	if cap(sc.order) < len(res) {
+		sc.order = make([]int, len(res))
+	}
+	hw.WaterFillInto(sc.grants, spec.StreamBandwidth(totalCores), sc.demands, sc.order[:len(res)])
 
 	// I/O bandwidth to the shared file system is a third contended
 	// resource, water-filled against the node's injection limit.
-	ioDemands := make([]float64, len(ids))
-	for i, id := range ids {
-		j := node[id]
-		ioDemands[i] = float64(j.coresOn(n)) * j.Prog.IOBWPerCore
+	sc.ioDemands = growFloats(sc.ioDemands, len(res))
+	for i, r := range res {
+		sc.ioDemands[i] = float64(r.cores) * r.job.Prog.IOBWPerCore
 	}
-	ioGrants := hw.WaterFill(spec.IOBandwidth, ioDemands)
+	sc.ioGrants = growFloats(sc.ioGrants, len(res))
+	hw.WaterFillInto(sc.ioGrants, spec.IOBandwidth, sc.ioDemands, sc.order[:len(res)])
 
-	for i, id := range ids {
-		j := node[id]
-		cores := j.coresOn(n)
+	for i, r := range res {
+		j := r.job
 		spread := j.SpanNodes() > 1
 		throttle := 1.0
-		if rawDemands[i] > 0 && grants[i] < rawDemands[i] {
-			throttle = grants[i] / rawDemands[i]
+		if sc.rawDemands[i] > 0 && sc.grants[i] < sc.rawDemands[i] {
+			throttle = sc.grants[i] / sc.rawDemands[i]
 		}
-		if ioDemands[i] > 0 && ioGrants[i] < ioDemands[i] {
-			if t := ioGrants[i] / ioDemands[i]; t < throttle {
+		if sc.ioDemands[i] > 0 && sc.ioGrants[i] < sc.ioDemands[i] {
+			if t := sc.ioGrants[i] / sc.ioDemands[i]; t < throttle {
 				throttle = t
 			}
 		}
-		ipc := j.Prog.IPC(effWays[i], totalCores, spec.Cores)
-		j.shares[n] = nodeShare{
+		ipc := j.Prog.IPC(sc.effWays[i], totalCores, spec.Cores)
+		j.shares[r.slot] = nodeShare{
 			rate:    ipc * spec.FreqGHz * throttle,
-			grant:   grants[i],
-			demand:  rawDemands[i],
-			ioGrant: ioGrants[i],
-			missPct: j.Prog.MissPct(effWays[i], spread),
-			effWays: effWays[i],
-			cores:   cores,
+			grant:   sc.grants[i],
+			demand:  sc.rawDemands[i],
+			ioGrant: sc.ioGrants[i],
+			missPct: j.Prog.MissPct(sc.effWays[i], spread),
+			effWays: sc.effWays[i],
+			cores:   r.cores,
 		}
 	}
 }
@@ -443,8 +535,8 @@ func (e *Engine) refreshJob(j *Job) {
 	// Gating rate: the slowest node limits lock-step parallel progress.
 	minRate := -1.0
 	missSum, grantSum, ioSum, wayseffSum := 0.0, 0.0, 0.0, 0.0
-	for _, n := range j.Nodes {
-		sh := j.shares[n]
+	for i := range j.Nodes {
+		sh := &j.shares[i]
 		if minRate < 0 || sh.rate < minRate {
 			minRate = sh.rate
 		}
@@ -487,7 +579,7 @@ func (e *Engine) refreshJob(j *Job) {
 	j.finishEv = nil
 	if j.rate > 0 {
 		at := e.q.Now() + j.remaining/j.rate
-		j.finishEv = e.q.At(at, func() { e.finish(j) })
+		j.finishEv = e.q.At(at, j.finishFn)
 	}
 }
 
@@ -500,20 +592,22 @@ func (e *Engine) commInflation(j *Job) float64 {
 	}
 	worst := 1.0
 	for _, n := range j.Nodes {
-		var utils []float64
-		for _, other := range e.nodes[n] {
+		utils := e.scratch.utils[:0]
+		for _, r := range e.nodes[n] {
+			other := r.job
 			if other.SpanNodes() <= 1 {
 				continue
 			}
 			w := other.Prog.WorkPerProcess(other.SpanNodes())
 			c := other.Prog.CommSeconds(other.SpanNodes())
-			r := other.perCoreRate
-			if r <= 0 {
+			rr := other.perCoreRate
+			if rr <= 0 {
 				// Not yet rated (fresh launch): use solo rate.
-				r = other.Prog.IPCMax * e.spec.Node.FreqGHz
+				rr = other.Prog.IPCMax * e.spec.Node.FreqGHz
 			}
-			utils = append(utils, c/(w/r+c))
+			utils = append(utils, c/(w/rr+c))
 		}
+		e.scratch.utils = utils
 		if f := interconnect.Inflation(utils); f > worst {
 			worst = f
 		}
@@ -535,12 +629,11 @@ func (e *Engine) Cancel(id int) error {
 	j.rate = 0
 	e.q.Cancel(j.finishEv)
 	j.finishEv = nil
-	dirty := make(map[int]bool, len(j.Nodes))
 	for _, n := range j.Nodes {
-		delete(e.nodes[n], j.ID)
-		dirty[n] = true
+		e.removeResident(n, j.ID)
+		e.markDirty(n)
 	}
-	e.recompute(dirty)
+	e.recompute()
 	for _, fn := range e.onFinish {
 		fn(j)
 	}
@@ -558,12 +651,11 @@ func (e *Engine) finish(j *Job) {
 	j.rate = 0
 	e.q.Cancel(j.finishEv)
 	j.finishEv = nil
-	dirty := make(map[int]bool, len(j.Nodes))
 	for _, n := range j.Nodes {
-		delete(e.nodes[n], j.ID)
-		dirty[n] = true
+		e.removeResident(n, j.ID)
+		e.markDirty(n)
 	}
-	e.recompute(dirty)
+	e.recompute()
 	for _, fn := range e.onFinish {
 		fn(j)
 	}

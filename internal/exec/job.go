@@ -97,8 +97,9 @@ type Job struct {
 	rate float64
 	// lastT is the time progress was last advanced.
 	lastT float64
-	// shares holds the per-node contention outcome, keyed by node id.
-	shares map[int]nodeShare
+	// shares holds the per-node contention outcome, indexed parallel
+	// to Nodes (shares[i] is the outcome on Nodes[i]).
+	shares []nodeShare
 	// perCoreRate is the gating (minimum) per-core rate in GIPS.
 	perCoreRate float64
 	// computeFrac is the fraction of wall time spent computing.
@@ -117,6 +118,15 @@ type Job struct {
 	phaseMul float64
 	// finishEv is the pending completion event.
 	finishEv *sim.Event
+	// finishFn is the completion callback, created once at launch so
+	// finish-event reschedules allocate nothing.
+	finishFn func()
+	// flipFn is the bandwidth-phase toggle callback, created once at
+	// launch when phase simulation is on.
+	flipFn func()
+	// seen is the engine's recompute stamp, used to deduplicate the
+	// affected-job list without a scratch map.
+	seen uint64
 }
 
 // nodeShare is the outcome of contention resolution on one node for one

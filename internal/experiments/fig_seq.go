@@ -252,6 +252,9 @@ type Fig17Result struct {
 	Histogram map[sched.Policy][]int
 	// Matrix[node] is the node's bandwidth time series.
 	Matrix map[sched.Policy][][]float64
+	// PeakBandwidth is the node peak the histogram bins span, carried
+	// so tables label bins from the spec actually used.
+	PeakBandwidth float64
 }
 
 // Fig17LoadBalance runs one random sequence under CE and SNS with the
@@ -259,10 +262,11 @@ type Fig17Result struct {
 func Fig17LoadBalance(env *Env, seed int64) (*Fig17Result, error) {
 	seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), env.Cat, SeqJobs)
 	res := &Fig17Result{
-		Samples:   make(map[sched.Policy][]float64),
-		Variance:  make(map[sched.Policy]float64),
-		Histogram: make(map[sched.Policy][]int),
-		Matrix:    make(map[sched.Policy][][]float64),
+		Samples:       make(map[sched.Policy][]float64),
+		Variance:      make(map[sched.Policy]float64),
+		Histogram:     make(map[sched.Policy][]int),
+		Matrix:        make(map[sched.Policy][][]float64),
+		PeakBandwidth: env.Spec.Node.PeakBandwidth,
 	}
 	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
 		s, err := sched.New(env.Spec, env.Cat, env.DB, sched.DefaultConfig(p))
@@ -305,9 +309,13 @@ func Fig17Table(r *Fig17Result) [][]string {
 	out = append(out, []string{"", "", ""})
 	out = append(out, []string{"policy", "bin (GB/s)", "episodes"})
 	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+		bins := len(r.Histogram[p])
 		for b, c := range r.Histogram[p] {
-			lo := float64(b) * 118.26 / 12
-			out = append(out, []string{p.String(), fmt.Sprintf("%.0f-%.0f", lo, lo+118.26/12), fmt.Sprint(c)})
+			// Bin width follows the node spec the histogram was built
+			// from, so labels stay correct for non-default clusters.
+			width := r.PeakBandwidth / float64(bins)
+			lo := float64(b) * width
+			out = append(out, []string{p.String(), fmt.Sprintf("%.0f-%.0f", lo, lo+width), fmt.Sprint(c)})
 		}
 	}
 	return out

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"spreadnshare/internal/sched"
+)
+
+// goldenSeqDigest is the FNV-1a digest of a seeded 8-sequence/12-job
+// study under all three policies, computed on the engine BEFORE the
+// allocation-free hot-path refactor and verified unchanged after it.
+// The refactor must be bit-identical: event ordering, contention
+// shares, rates, finish times. If this test fails, the engine's numeric
+// behavior changed — that is a correctness regression, not a tolerable
+// drift; figures are seeded and must reproduce exactly across PRs.
+const goldenSeqDigest = "a15fbdca19663889"
+
+// goldenFig17Digest pins the monitored load-balance run (Figures 17/18,
+// seed 42). Before the refactor this pipeline was NOT reproducible:
+// Engine.NodeBandwidth summed job grants over a map range, so the
+// monitor's float readings varied in their low bits with Go's
+// randomized map iteration order. Residents now live in ID-sorted
+// slices, the summation order is canonical, and this digest is stable —
+// TestGoldenLoadBalanceDeterministic guards exactly that.
+const goldenFig17Digest = "1ad87879f0be9331"
+
+// digestFloat folds the exact bit pattern of a float into the hash, so
+// the comparison is bit-identical rather than within-epsilon.
+func digestFloat(h interface{ Write([]byte) (int, error) }, x float64) {
+	bits := math.Float64bits(x)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+func sequenceDigest(t *testing.T, env *Env) string {
+	t.Helper()
+	outs, err := RunSequences(env, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, o := range outs {
+		digestFloat(h, float64(o.Seed))
+		digestFloat(h, o.ScalingRatio)
+		for _, p := range []sched.Policy{sched.CE, sched.CS, sched.SNS} {
+			digestFloat(h, o.Throughput[p])
+			for _, v := range o.NormRun[p] {
+				digestFloat(h, v)
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func fig17Digest(t *testing.T, env *Env) string {
+	t.Helper()
+	r, err := Fig17LoadBalance(env, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
+		for _, v := range r.Samples[p] {
+			digestFloat(h, v)
+		}
+		digestFloat(h, r.Variance[p])
+		for _, c := range r.Histogram[p] {
+			digestFloat(h, float64(c))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestGoldenSequenceDigest proves the seeded sequence study reproduces
+// the pre-refactor engine bit for bit.
+func TestGoldenSequenceDigest(t *testing.T) {
+	env, err := SharedEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sequenceDigest(t, env); got != goldenSeqDigest {
+		t.Fatalf("sequence-study digest = %s, want %s\n"+
+			"the seeded figure pipeline no longer reproduces pre-refactor results bit-for-bit", got, goldenSeqDigest)
+	}
+}
+
+// TestGoldenLoadBalanceDeterministic proves the monitored Fig17/18 run
+// is reproducible — twice in-process and against the pinned digest.
+func TestGoldenLoadBalanceDeterministic(t *testing.T) {
+	env, err := SharedEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fig17Digest(t, env)
+	second := fig17Digest(t, env)
+	if first != second {
+		t.Fatalf("Fig17 digests differ across runs: %s vs %s (monitor sampling is nondeterministic)", first, second)
+	}
+	if first != goldenFig17Digest {
+		t.Fatalf("Fig17 digest = %s, want %s", first, goldenFig17Digest)
+	}
+}

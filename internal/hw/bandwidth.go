@@ -1,9 +1,6 @@
 package hw
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // StreamBandwidth returns the aggregate memory bandwidth B(k) achievable
 // with k cores issuing homogeneous streaming accesses, in GB/s.
@@ -48,8 +45,19 @@ func (s NodeSpec) PerCoreBandwidth(k int) float64 {
 // (MG, BW, LU) share whatever headroom remains.
 func WaterFill(supply float64, demands []float64) []float64 {
 	grants := make([]float64, len(demands))
+	WaterFillInto(grants, supply, demands, make([]int, len(demands)))
+	return grants
+}
+
+// WaterFillInto is WaterFill writing into caller-provided storage so hot
+// paths can reuse buffers: grants receives the result and order is index
+// scratch; both must have len(demands). It performs no allocations.
+func WaterFillInto(grants []float64, supply float64, demands []float64, order []int) {
+	for i := range grants {
+		grants[i] = 0
+	}
 	if supply <= 0 || len(demands) == 0 {
-		return grants
+		return
 	}
 	total := 0.0
 	for _, d := range demands {
@@ -63,15 +71,21 @@ func WaterFill(supply float64, demands []float64) []float64 {
 				grants[i] = d
 			}
 		}
-		return grants
+		return
 	}
 	// Saturated: serve demands in ascending order, giving each the
 	// smaller of its demand and an equal share of what is left.
-	order := make([]int, len(demands))
+	// Insertion sort: the slices here are per-node resident lists, a
+	// handful of entries, and equal demands receive equal grants
+	// regardless of tie order.
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return demands[order[a]] < demands[order[b]] })
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && demands[order[k-1]] > demands[order[k]]; k-- {
+			order[k-1], order[k] = order[k], order[k-1]
+		}
+	}
 	remaining := supply
 	left := 0
 	for _, i := range order {
@@ -90,5 +104,4 @@ func WaterFill(supply float64, demands []float64) []float64 {
 		remaining -= g
 		left--
 	}
-	return grants
 }

@@ -1,0 +1,128 @@
+package sim
+
+import "testing"
+
+// TestQueueSteadyStateZeroAllocs pins the schedule-then-fire cycle at
+// zero allocations: fired events return to the free list and are reused
+// by the next At.
+func TestQueueSteadyStateZeroAllocs(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 16; i++ { // warm the free list
+		q.At(q.Now()+1, fn)
+		q.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.At(q.Now()+1, fn)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestQueueCancelRescheduleZeroAllocs pins the reschedule-heavy pattern
+// the execution engine produces (cancel the pending finish event, push a
+// new one): compaction must feed cancelled events back to the free list
+// fast enough that steady state allocates nothing.
+func TestQueueCancelRescheduleZeroAllocs(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	evs := make([]*Event, 8)
+	for i := range evs {
+		evs[i] = q.At(1e9+float64(i), fn)
+	}
+	reschedule := func() {
+		for i := range evs {
+			q.Cancel(evs[i])
+			evs[i] = q.At(1e9+float64(i), fn)
+		}
+	}
+	for i := 0; i < 200; i++ { // warm free list through several compactions
+		reschedule()
+	}
+	allocs := testing.AllocsPerRun(500, reschedule)
+	if allocs != 0 {
+		t.Errorf("cancel+reschedule allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestQueueLenConstantTime checks Len's live-event accounting through
+// schedule, cancel, fire, and compaction.
+func TestQueueLenConstantTime(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	var evs []*Event
+	for i := 0; i < 300; i++ {
+		evs = append(evs, q.At(float64(i+1), fn))
+	}
+	if q.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", q.Len())
+	}
+	for i := 0; i < 200; i++ {
+		q.Cancel(evs[i])
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len after cancelling 200 = %d, want 100", q.Len())
+	}
+	q.Cancel(evs[10]) // double cancel must not double count
+	if q.Len() != 100 {
+		t.Fatalf("Len after double cancel = %d, want 100", q.Len())
+	}
+	fired := 0
+	for q.Step() {
+		fired++
+	}
+	if fired != 100 {
+		t.Fatalf("fired %d events, want 100", fired)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
+// TestQueueCompactionReclaims shows cancelled events are physically
+// removed from the heap once they exceed half of it, instead of waiting
+// to be popped — the long-running-monitor leak the compaction exists
+// for.
+func TestQueueCompactionReclaims(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	// A far-future population that would never be popped in a shorter
+	// run, cancelled en masse.
+	var evs []*Event
+	for i := 0; i < 256; i++ {
+		evs = append(evs, q.At(1e12+float64(i), fn))
+	}
+	for _, e := range evs {
+		q.Cancel(e)
+	}
+	if got := len(q.h); got >= 128 {
+		t.Errorf("heap holds %d events after cancelling all 256; compaction did not reclaim", got)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if got := len(q.free); got == 0 {
+		t.Error("free list empty after compaction; cancelled events were not recycled")
+	}
+	// Order must survive compaction: interleave live and cancelled.
+	var fired []float64
+	for i := 0; i < 200; i++ {
+		tt := float64(1000 + i)
+		e := q.At(tt, func() { fired = append(fired, tt) })
+		if i%2 == 1 {
+			q.Cancel(e)
+		}
+	}
+	for q.Step() {
+	}
+	if len(fired) != 100 {
+		t.Fatalf("fired %d, want 100", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("events fired out of order: %v before %v", fired[i-1], fired[i])
+		}
+	}
+}

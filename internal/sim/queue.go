@@ -7,12 +7,18 @@ import "container/heap"
 
 // Event is a scheduled callback. Events are compared by time, then by
 // insertion order, so simultaneous events fire deterministically.
+//
+// Event objects are recycled: once an event has fired or has been
+// cancelled and reclaimed, the queue may reuse it for a later At call.
+// Callers must therefore drop their *Event references when the event
+// fires (cancelling the firing event from inside its own callback is
+// safe; cancelling a stale reference later is a programming error).
 type Event struct {
 	Time float64
 	Fn   func()
 
 	seq       int64
-	index     int
+	index     int // heap position, -1 once popped
 	cancelled bool
 }
 
@@ -43,32 +49,36 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }
 
+// compactMin is the heap size below which cancelled events are left in
+// place; compacting tiny heaps is not worth the sift work.
+const compactMin = 64
+
 // Queue is a deterministic discrete-event queue. The zero value is ready
 // to use.
+//
+// Cancellation is lazy — a cancelled event stays in the heap until it is
+// reached or until cancelled events exceed half the heap, at which point
+// the heap is compacted in place. Dead events (fired or reclaimed) are
+// recycled through a free list, so steady-state scheduling performs no
+// heap allocations.
 type Queue struct {
-	h   eventHeap
-	seq int64
-	now float64
+	h    eventHeap
+	seq  int64
+	now  float64
+	dead int      // cancelled events still in the heap
+	free []*Event // recycled events available to At
 }
 
 // Now returns the simulation clock: the time of the last event popped.
 func (q *Queue) Now() float64 { return q.now }
 
-// Len returns the number of pending (non-cancelled) events. Cancelled
-// events still in the heap are not counted.
-func (q *Queue) Len() int {
-	n := 0
-	for _, e := range q.h {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending (non-cancelled) events in O(1).
+func (q *Queue) Len() int { return len(q.h) - q.dead }
 
 // At schedules fn at time t. Scheduling in the past (before Now) is a
 // programming error and panics, as it would corrupt causality.
@@ -76,17 +86,65 @@ func (q *Queue) At(t float64, fn func()) *Event {
 	if t < q.now {
 		panic("sim: event scheduled in the past")
 	}
-	e := &Event{Time: t, Fn: fn, seq: q.seq}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.cancelled = false
+	} else {
+		e = &Event{}
+	}
+	e.Time, e.Fn, e.seq = t, fn, q.seq
 	q.seq++
 	heap.Push(&q.h, e)
 	return e
 }
 
-// Cancel marks an event so it will be skipped when reached.
+// Cancel marks an event so it will be skipped when reached. Cancelling
+// nil, an already-cancelled event, or the currently-firing event is a
+// no-op.
 func (q *Queue) Cancel(e *Event) {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled {
+		return
 	}
+	e.cancelled = true
+	if e.index >= 0 {
+		q.dead++
+		q.maybeCompact()
+	}
+}
+
+// release returns a dead event to the free list.
+func (q *Queue) release(e *Event) {
+	e.Fn = nil
+	q.free = append(q.free, e)
+}
+
+// maybeCompact rebuilds the heap without its cancelled events once they
+// outnumber the live ones, so reschedule-heavy runs (every finish-event
+// reschedule cancels a predecessor) do not accumulate dead weight.
+func (q *Queue) maybeCompact() {
+	if len(q.h) < compactMin || q.dead*2 <= len(q.h) {
+		return
+	}
+	kept := q.h[:0]
+	for _, e := range q.h {
+		if e.cancelled {
+			q.release(e)
+		} else {
+			e.index = len(kept)
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(q.h); i++ {
+		q.h[i] = nil
+	}
+	q.h = kept
+	q.dead = 0
+	// The (time, seq) order is total, so re-heapifying cannot perturb
+	// pop order.
+	heap.Init(&q.h)
 }
 
 // Step pops and runs the next pending event, returning false when the
@@ -95,10 +153,15 @@ func (q *Queue) Step() bool {
 	for len(q.h) > 0 {
 		e := heap.Pop(&q.h).(*Event)
 		if e.cancelled {
+			q.dead--
+			q.release(e)
 			continue
 		}
 		q.now = e.Time
 		e.Fn()
+		// Recycle only after Fn returns: the callback may legally
+		// cancel or inspect the event that invoked it.
+		q.release(e)
 		return true
 	}
 	return false
@@ -112,7 +175,8 @@ func (q *Queue) Run(horizon float64) int {
 		if horizon > 0 {
 			// Peek: skip cancelled heads without firing.
 			for len(q.h) > 0 && q.h[0].cancelled {
-				heap.Pop(&q.h)
+				q.dead--
+				q.release(heap.Pop(&q.h).(*Event))
 			}
 			if len(q.h) == 0 || q.h[0].Time > horizon {
 				break

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR 1 hot-path benchmark set with -benchmem and emit
+# a machine-readable BENCH_PR1.json next to the repo root (or to $1).
+#
+# The figure-level target runs with -benchtime=1x: the 36-sequence study
+# is cached across b.N iterations (see benchSequences in bench_test.go),
+# so only a single-iteration run measures real end-to-end work.
+#
+# The JSON carries two sections:
+#   baseline — numbers recorded on the pre-optimization tree (frozen)
+#   current  — this run, parsed from `go test -bench` output
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Fig14Throughput|Fig17LoadBalance' -benchmem -benchtime=1x . | tee -a "$tmp"
+go test -run '^$' -bench 'SoloRun|ContendedNode' -benchmem ./internal/exec | tee -a "$tmp"
+go test -run '^$' -bench 'QueueThroughput|QueueDeepHeap' -benchmem ./internal/sim | tee -a "$tmp"
+go test -run '^$' -bench 'WaterFill' -benchmem ./internal/hw | tee -a "$tmp"
+
+{
+	cat <<'EOF'
+{
+  "issue": "PR 1: allocation-free hot path for the co-run execution engine and event queue",
+  "note": "baseline recorded at the growth seed (commit 317d902); figure targets use -benchtime=1x (sequence study cached across iterations)",
+  "baseline": [
+    {"name": "BenchmarkFig14Throughput", "iterations": 1, "metrics": {"ns/op": 117170350, "B/op": 17889832, "allocs/op": 560475, "CS-gain-%": 7.874, "SNS-gain-%": 20.22}},
+    {"name": "BenchmarkSoloRun", "metrics": {"ns/op": 4031, "allocs/op": 44}},
+    {"name": "BenchmarkContendedNode", "metrics": {"ns/op": 36470, "allocs/op": 252}},
+    {"name": "BenchmarkQueueThroughput", "metrics": {"ns/op": 59.75, "allocs/op": 1}},
+    {"name": "BenchmarkQueueDeepHeap", "metrics": {"ns/op": 427.0, "allocs/op": 1}}
+  ],
+  "current": [
+EOF
+	awk '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, name, $2
+			msep = ""
+			for (i = 3; i + 1 <= NF; i += 2) {
+				printf "%s\"%s\": %s", msep, $(i + 1), $i
+				msep = ", "
+			}
+			printf "}}"
+			sep = ",\n"
+		}
+		END { print "" }
+	' "$tmp"
+	cat <<'EOF'
+  ]
+}
+EOF
+} >"$out"
+
+echo "wrote $out"
