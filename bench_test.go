@@ -14,6 +14,7 @@ import (
 
 	"spreadnshare/internal/experiments"
 	"spreadnshare/internal/sched"
+	"spreadnshare/internal/trace"
 )
 
 func benchEnv(b *testing.B) *experiments.Env {
@@ -337,6 +338,34 @@ func BenchmarkFig20TraceSim(b *testing.B) {
 				b.ReportMetric(r.SNSTurnImprovePct, "32K-0.9-gain-%")
 			}
 		}
+	}
+}
+
+// BenchmarkTrace32K replays the full Figure 20 trace (7,044 jobs, 1900 h,
+// scaling ratio 0.9) on the largest cluster — 32,768 nodes — once per
+// policy. This is the placement kernel's stress target: the indexed node
+// search must keep each replay's placement passes sub-linear in cluster
+// size (PR 2 gates the index on a >=2x speedup over the linear scan; see
+// BENCH_PR2.json for before/after numbers).
+func BenchmarkTrace32K(b *testing.B) {
+	env := benchEnv(b)
+	cfg := experiments.DefaultFig20Config()
+	jobs := trace.Synthesize(cfg.Seed, trace.GenConfig{
+		Jobs: cfg.Jobs, SpanHours: cfg.Span, MaxNodes: cfg.MaxNodes,
+	})
+	trace.MapPrograms(cfg.Seed, jobs,
+		experiments.TraceScalingPrograms, experiments.TraceOtherPrograms, 0.9)
+	for _, p := range []trace.Policy{trace.CE, trace.CS, trace.SNS, trace.TwoSlot} {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := trace.Simulate(jobs, env.DB, env.Spec.Node,
+					trace.DefaultSimConfig(32768, p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.AvgTurn, "avg-turn-s")
+			}
+		})
 	}
 }
 

@@ -12,10 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 	"spreadnshare/internal/trace"
 )
@@ -33,7 +33,7 @@ func main() {
 	ratio := flag.Float64("ratio", 0.9, "scaling-program sampling bias")
 	out := flag.String("out", "", "write trace CSV here")
 	replay := flag.Int("replay", 0, "replay on a cluster of this many nodes")
-	policyFlag := flag.String("policy", "SNS", "replay policy: CE or SNS")
+	policyFlag := flag.String("policy", "SNS", "replay policy: CE, CS, SNS, or TwoSlot")
 	stats := flag.Bool("stats", false, "print trace shape statistics")
 	swf := flag.String("swf", "", "import a Standard Workload Format trace instead of synthesizing")
 	swfProcs := flag.Int("swf-procs-per-node", 16, "processors per node for SWF conversion")
@@ -77,14 +77,9 @@ func main() {
 	}
 
 	if *replay > 0 {
-		var policy trace.Policy
-		switch strings.ToUpper(*policyFlag) {
-		case "CE":
-			policy = trace.CE
-		case "SNS":
-			policy = trace.SNS
-		default:
-			fatal(fmt.Errorf("unknown policy %q", *policyFlag))
+		policy, err := placement.ParsePolicy(*policyFlag)
+		if err != nil {
+			fatal(err)
 		}
 		spec := hw.DefaultClusterSpec()
 		cat, err := app.NewCatalog(spec.Node)

@@ -6,7 +6,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"spreadnshare/internal/hw"
 )
@@ -168,16 +167,6 @@ func (n *Node) Alloc(id int) (Alloc, bool) {
 	return Alloc{}, false
 }
 
-// Score is the SNS node-selection metric Co + Bo + beta*Wo, built from the
-// occupied fractions of cores, bandwidth, and LLC ways. Lower is idler.
-// The paper weighs ways with beta = 2 because LLC interference dominates.
-func (n *Node) Score(beta float64) float64 {
-	co := float64(n.usedCores) / float64(n.spec.Cores)
-	bo := n.AllocBW() / n.spec.PeakBandwidth
-	wo := float64(n.allocWays) / float64(n.spec.LLCWays)
-	return co + bo + beta*wo
-}
-
 // State is the resource bookkeeping of a whole cluster.
 type State struct {
 	Spec  hw.ClusterSpec
@@ -285,47 +274,6 @@ func (s *State) IdleNodes() []int {
 		}
 	}
 	return ids
-}
-
-// Group is a set of nodes with the same idle-core count.
-type Group struct {
-	IdleCores int
-	Nodes     []int
-}
-
-// GroupsByIdleCores clusters the given candidate nodes by their free-core
-// count, the fragmentation-avoidance device of Section 4.4. Groups are
-// returned in ascending idle-core order (tightest fit first).
-func (s *State) GroupsByIdleCores(candidates []int) []Group {
-	byIdle := make(map[int][]int)
-	for _, id := range candidates {
-		free := s.Nodes[id].FreeCores()
-		byIdle[free] = append(byIdle[free], id)
-	}
-	groups := make([]Group, 0, len(byIdle))
-	for idle, nodes := range byIdle {
-		sort.Ints(nodes)
-		groups = append(groups, Group{IdleCores: idle, Nodes: nodes})
-	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].IdleCores < groups[j].IdleCores })
-	return groups
-}
-
-// SelectIdlest returns up to n node ids from candidates with the lowest
-// SNS score (ties broken by id for determinism).
-func (s *State) SelectIdlest(candidates []int, n int, beta float64) []int {
-	sorted := append([]int(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool {
-		si, sj := s.Nodes[sorted[i]].Score(beta), s.Nodes[sorted[j]].Score(beta)
-		if si != sj {
-			return si < sj
-		}
-		return sorted[i] < sorted[j]
-	})
-	if len(sorted) > n {
-		sorted = sorted[:n]
-	}
-	return sorted
 }
 
 // TotalUsedCores returns the cluster-wide reserved core count.

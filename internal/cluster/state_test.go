@@ -118,66 +118,6 @@ func TestDoubleAllocSameNode(t *testing.T) {
 	}
 }
 
-func TestScore(t *testing.T) {
-	s := newState(t)
-	if got := s.Nodes[0].Score(2); got != 0 {
-		t.Errorf("idle node score = %g, want 0", got)
-	}
-	// 14/28 cores, 10/20 ways, 59.13/118.26 GB/s -> 0.5 + 0.5 + 2*0.5 = 2.
-	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 14}}, 10, 59.13, false); err != nil {
-		t.Fatalf("Allocate: %v", err)
-	}
-	if got := s.Nodes[0].Score(2); math.Abs(got-2) > 1e-9 {
-		t.Errorf("half-loaded score = %g, want 2", got)
-	}
-}
-
-func TestGroupsByIdleCores(t *testing.T) {
-	s := newState(t)
-	mustAlloc := func(id, node, cores int) {
-		t.Helper()
-		if err := s.Allocate(id, []NodeAlloc{{Node: node, Cores: cores}}, 0, 0, false); err != nil {
-			t.Fatalf("Allocate: %v", err)
-		}
-	}
-	mustAlloc(1, 0, 16)
-	mustAlloc(2, 1, 16)
-	mustAlloc(3, 2, 24)
-	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
-	groups := s.GroupsByIdleCores(all)
-	if len(groups) != 3 {
-		t.Fatalf("got %d groups, want 3", len(groups))
-	}
-	if groups[0].IdleCores != 4 || len(groups[0].Nodes) != 1 {
-		t.Errorf("tightest group = %+v, want {4 [2]}", groups[0])
-	}
-	if groups[1].IdleCores != 12 || len(groups[1].Nodes) != 2 {
-		t.Errorf("middle group = %+v, want {12 [0 1]}", groups[1])
-	}
-	if groups[2].IdleCores != 28 || len(groups[2].Nodes) != 5 {
-		t.Errorf("idle group = %+v, want 5 idle nodes", groups[2])
-	}
-}
-
-func TestSelectIdlest(t *testing.T) {
-	s := newState(t)
-	if err := s.Allocate(1, []NodeAlloc{{Node: 0, Cores: 20}}, 8, 0, false); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Allocate(2, []NodeAlloc{{Node: 1, Cores: 4}}, 2, 0, false); err != nil {
-		t.Fatal(err)
-	}
-	got := s.SelectIdlest([]int{0, 1, 2}, 2, 2)
-	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
-		t.Errorf("SelectIdlest = %v, want [2 1]", got)
-	}
-	// Ties broken by id.
-	got = s.SelectIdlest([]int{5, 3, 4}, 2, 2)
-	if got[0] != 3 || got[1] != 4 {
-		t.Errorf("tie-broken SelectIdlest = %v, want [3 4]", got)
-	}
-}
-
 func TestIdleNodes(t *testing.T) {
 	s := newState(t)
 	if got := len(s.IdleNodes()); got != 8 {

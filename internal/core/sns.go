@@ -1,13 +1,11 @@
-// Package core implements the Spread-n-Share decision logic of Sections
-// 4.3 and 4.4: estimating a job's per-node resource demand (cores, LLC
-// ways, memory bandwidth) from its profiled IPC-LLC and BW-LLC curves
-// under a slowdown threshold alpha, and searching the cluster for nodes
-// that can host the job at a given scale factor with fragmentation-aware
-// grouping and idleness scoring.
+// Package core implements the Spread-n-Share demand model of Section 4.3:
+// estimating a job's per-node resource demand (cores, LLC ways, memory
+// bandwidth) from its profiled IPC-LLC and BW-LLC curves under a slowdown
+// threshold alpha. The node search the demand feeds (Section 4.4) lives
+// in internal/placement.
 package core
 
 import (
-	"spreadnshare/internal/cluster"
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/profiler"
 )
@@ -64,73 +62,4 @@ func EstimateDemand(sp *profiler.ScaleProfile, alpha float64, spec hw.NodeSpec) 
 		BW:    sp.BWAt(ways),
 		IOBW:  sp.IOPerNode,
 	}
-}
-
-// FindNodes searches the cluster for n nodes that can each host the
-// demand. Per Section 4.4 it first clusters candidate nodes into groups by
-// idle-core count and tries to place the job within a single group
-// (tightest adequate group first, keeping resource consumption even within
-// groups); failing that it falls back to the whole cluster. Within the
-// chosen set it returns the n idlest nodes by the Co + Bo + beta*Wo score.
-// It returns nil when fewer than n nodes qualify.
-func FindNodes(cl *cluster.State, n int, d Demand, beta float64) []int {
-	if n <= 0 {
-		return nil
-	}
-	var feasible []int
-	for _, node := range cl.Nodes {
-		if nodeFits(node, d) {
-			feasible = append(feasible, node.ID)
-		}
-	}
-	if len(feasible) < n {
-		return nil
-	}
-	// Single-group attempt, tightest fit first.
-	for _, g := range cl.GroupsByIdleCores(feasible) {
-		if len(g.Nodes) >= n {
-			return cl.SelectIdlest(g.Nodes, n, beta)
-		}
-	}
-	// Whole-cluster fallback.
-	return cl.SelectIdlest(feasible, n, beta)
-}
-
-// FindNodesUngrouped is FindNodes without the idle-core grouping step —
-// the ablation baseline for the fragmentation-avoidance device: feasible
-// nodes are scored across the whole cluster directly.
-func FindNodesUngrouped(cl *cluster.State, n int, d Demand, beta float64) []int {
-	if n <= 0 {
-		return nil
-	}
-	var feasible []int
-	for _, node := range cl.Nodes {
-		if nodeFits(node, d) {
-			feasible = append(feasible, node.ID)
-		}
-	}
-	if len(feasible) < n {
-		return nil
-	}
-	return cl.SelectIdlest(feasible, n, beta)
-}
-
-// nodeFits reports whether one node currently has room for the demand.
-func nodeFits(node *cluster.Node, d Demand) bool {
-	if node.FreeCores() < d.Cores {
-		return false
-	}
-	if d.Ways > 0 && node.FreeWays() < d.Ways {
-		return false
-	}
-	if d.BW > 0 && node.FreeBW() < d.BW {
-		return false
-	}
-	if d.MemGB > 0 && node.FreeMem() < d.MemGB {
-		return false
-	}
-	if d.IOBW > 0 && node.FreeIO() < d.IOBW {
-		return false
-	}
-	return true
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 	"testing/quick"
 
-	"spreadnshare/internal/cluster"
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/profiler"
 )
@@ -92,149 +91,5 @@ func TestEstimateDemandMonotoneInAlpha(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
-	}
-}
-
-func testCluster(t *testing.T) *cluster.State {
-	t.Helper()
-	cl, err := cluster.New(hw.DefaultClusterSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return cl
-}
-
-func TestFindNodesBasic(t *testing.T) {
-	cl := testCluster(t)
-	got := FindNodes(cl, 2, Demand{Cores: 16, Ways: 4, BW: 30}, DefaultBeta)
-	if len(got) != 2 {
-		t.Fatalf("FindNodes = %v, want 2 nodes", got)
-	}
-}
-
-func TestFindNodesInsufficient(t *testing.T) {
-	cl := testCluster(t)
-	if got := FindNodes(cl, 9, Demand{Cores: 4}, DefaultBeta); got != nil {
-		t.Errorf("FindNodes found %v on an 8-node cluster, want nil", got)
-	}
-	if got := FindNodes(cl, 0, Demand{Cores: 4}, DefaultBeta); got != nil {
-		t.Errorf("FindNodes(0) = %v, want nil", got)
-	}
-	// Fill every node's cores.
-	for i := 0; i < 8; i++ {
-		if err := cl.Allocate(100+i, []cluster.NodeAlloc{{Node: i, Cores: 28}}, 0, 0, false); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if got := FindNodes(cl, 1, Demand{Cores: 1}, DefaultBeta); got != nil {
-		t.Errorf("FindNodes on full cluster = %v, want nil", got)
-	}
-}
-
-func TestFindNodesRespectsWaysAndBW(t *testing.T) {
-	cl := testCluster(t)
-	// Node 0: 18 ways taken; node 1: 100 GB/s reserved.
-	if err := cl.Allocate(1, []cluster.NodeAlloc{{Node: 0, Cores: 2}}, 18, 0, false); err != nil {
-		t.Fatal(err)
-	}
-	if err := cl.Allocate(2, []cluster.NodeAlloc{{Node: 1, Cores: 2}}, 0, 100, false); err != nil {
-		t.Fatal(err)
-	}
-	got := FindNodes(cl, 8, Demand{Cores: 4, Ways: 4, BW: 30}, DefaultBeta)
-	if got != nil {
-		t.Errorf("FindNodes = %v, want nil (nodes 0 and 1 infeasible)", got)
-	}
-	got = FindNodes(cl, 6, Demand{Cores: 4, Ways: 4, BW: 30}, DefaultBeta)
-	if len(got) != 6 {
-		t.Fatalf("FindNodes = %v, want the 6 clean nodes", got)
-	}
-	for _, id := range got {
-		if id == 0 || id == 1 {
-			t.Errorf("FindNodes selected infeasible node %d", id)
-		}
-	}
-}
-
-func TestFindNodesPrefersSingleGroupTightFit(t *testing.T) {
-	cl := testCluster(t)
-	// Nodes 0,1: 12 cores free (16 used); nodes 2..7 idle. A 2-node
-	// 8-core job fits in the tight group; SNS should use it and leave
-	// the idle group unfragmented.
-	for i := 0; i < 2; i++ {
-		if err := cl.Allocate(10+i, []cluster.NodeAlloc{{Node: i, Cores: 16}}, 4, 20, false); err != nil {
-			t.Fatal(err)
-		}
-	}
-	got := FindNodes(cl, 2, Demand{Cores: 8, Ways: 4, BW: 20}, DefaultBeta)
-	if len(got) != 2 {
-		t.Fatalf("FindNodes = %v, want 2", got)
-	}
-	for _, id := range got {
-		if id != 0 && id != 1 {
-			t.Errorf("FindNodes picked idle node %d; want the partially-used group", id)
-		}
-	}
-}
-
-func TestFindNodesFallsBackAcrossGroups(t *testing.T) {
-	cl := testCluster(t)
-	// Create 4 groups of 2 nodes with distinct idle counts; ask for 5
-	// nodes, more than any single group holds.
-	uses := []int{0, 0, 4, 4, 8, 8, 12, 12}
-	for i, u := range uses {
-		if u == 0 {
-			continue
-		}
-		if err := cl.Allocate(20+i, []cluster.NodeAlloc{{Node: i, Cores: u}}, 0, 0, false); err != nil {
-			t.Fatal(err)
-		}
-	}
-	got := FindNodes(cl, 5, Demand{Cores: 8}, DefaultBeta)
-	if len(got) != 5 {
-		t.Fatalf("FindNodes = %v, want 5 across groups", got)
-	}
-	// The idlest 5 by score should be picked: the two idle nodes first.
-	seen := map[int]bool{}
-	for _, id := range got {
-		seen[id] = true
-	}
-	if !seen[0] || !seen[1] {
-		t.Errorf("whole-cluster fallback did not pick idlest nodes: %v", got)
-	}
-}
-
-func TestFindNodesUngrouped(t *testing.T) {
-	cl := testCluster(t)
-	// Partially fill nodes 0 and 1 so scores differ.
-	if err := cl.Allocate(1, []cluster.NodeAlloc{{Node: 0, Cores: 20}}, 8, 0, false); err != nil {
-		t.Fatal(err)
-	}
-	got := FindNodesUngrouped(cl, 3, Demand{Cores: 4, Ways: 2, BW: 10}, DefaultBeta)
-	if len(got) != 3 {
-		t.Fatalf("FindNodesUngrouped = %v, want 3 nodes", got)
-	}
-	for _, id := range got {
-		if id == 0 {
-			t.Error("ungrouped search picked the loaded node over idle ones")
-		}
-	}
-	if got := FindNodesUngrouped(cl, 0, Demand{Cores: 4}, DefaultBeta); got != nil {
-		t.Errorf("n=0 returned %v", got)
-	}
-	if got := FindNodesUngrouped(cl, 99, Demand{Cores: 4}, DefaultBeta); got != nil {
-		t.Errorf("infeasible count returned %v", got)
-	}
-	// Memory-infeasible nodes are filtered.
-	if err := cl.Allocate(2, []cluster.NodeAlloc{{Node: 1, Cores: 2, MemGB: 120}}, 0, 0, false); err != nil {
-		t.Fatal(err)
-	}
-	got = FindNodesUngrouped(cl, 7, Demand{Cores: 4, MemGB: 20}, DefaultBeta)
-	if len(got) != 7 {
-		t.Fatalf("want 7 memory-feasible nodes, got %v", got)
-	}
-	for _, id := range got {
-		if id == 1 {
-			t.Error("memory-full node selected")
-		}
 	}
 }

@@ -36,10 +36,10 @@ type Engine struct {
 	// Scratch buffers, reused by every recompute so the steady-state
 	// event loop performs no heap allocations. Each is reset (not
 	// reallocated) at the start of the pass that uses it.
-	dirtyMark []bool  // per-node membership flag for dirtyList
-	dirtyList []int   // nodes whose population or allocation changed
-	affected  []*Job  // jobs touching a dirty node, sorted by ID
-	epoch     uint64  // recompute stamp for affected-job dedup
+	dirtyMark []bool // per-node membership flag for dirtyList
+	dirtyList []int  // nodes whose population or allocation changed
+	affected  []*Job // jobs touching a dirty node, sorted by ID
+	epoch     uint64 // recompute stamp for affected-job dedup
 	scratch   resolveScratch
 
 	// PhasesOn enables program bandwidth-phase simulation: jobs whose

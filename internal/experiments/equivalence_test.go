@@ -1,0 +1,163 @@
+package experiments
+
+// Equivalence guards for the placement-kernel refactor: the kernel-backed
+// scheduler must reproduce the pre-refactor placements bit for bit, and
+// the testbed scheduler and the trace simulator — now both thin clients
+// of internal/placement — must make identical decisions when offered the
+// same workload.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/sched"
+	"spreadnshare/internal/trace"
+)
+
+// Pre-refactor placement digests of the seeded 512-node workload below,
+// captured on the linear-scan scheduler (core.FindNodes / placeCS) before
+// the kernel rebase. The kernel's indexed search must reproduce them
+// exactly: same candidate order, same ID-order tie-breaking.
+const (
+	goldenPlacementCE  = "59803348dd032c65"
+	goldenPlacementSNS = "20aae57497f12498"
+)
+
+// equivalenceWorkload is the seeded 512-node trace both tests replay:
+// 48 single-node jobs, programs with MultiNode and no PowerOf2 constraint
+// so every kernel scale is runnable.
+func equivalenceWorkload(t *testing.T, procs int) (hw.ClusterSpec, *app.Catalog, *profiler.DB, []trace.Job) {
+	t.Helper()
+	spec := hw.ClusterSpec{Nodes: 512, Node: hw.DefaultNodeSpec()}
+	cat, err := app.NewCatalog(spec.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profiler.NewDB()
+	k := profiler.New(spec)
+	if err := k.ProfileAll(cat, []string{"TS", "BW", "HC", "WC"}, procs, db); err != nil {
+		t.Fatal(err)
+	}
+	jobs := trace.Synthesize(21, trace.GenConfig{Jobs: 48, SpanHours: 1, MaxNodes: 1})
+	trace.MapPrograms(21, jobs, []string{"TS", "BW"}, []string{"HC", "WC"}, 0.8)
+	return spec, cat, db, jobs
+}
+
+func runSched(t *testing.T, spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB,
+	jobs []trace.Job, pol sched.Policy, procs int) []*struct {
+	ID    int
+	Start float64
+	Nodes []int
+} {
+	t.Helper()
+	s, err := sched.New(spec, cat, db, sched.DefaultConfig(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tj := range jobs {
+		if err := s.Submit(sched.JobSpec{Program: tj.Program, Procs: procs, Submit: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(done, func(a, b int) bool { return done[a].ID < done[b].ID })
+	out := make([]*struct {
+		ID    int
+		Start float64
+		Nodes []int
+	}, len(done))
+	for i, j := range done {
+		out[i] = &struct {
+			ID    int
+			Start float64
+			Nodes []int
+		}{ID: j.ID, Start: j.Start, Nodes: j.Nodes}
+	}
+	return out
+}
+
+// TestKernelMatchesPreRefactorDigests replays the seeded workload through
+// the kernel-backed scheduler and checks the placements against digests
+// captured on the old linear-scan path.
+func TestKernelMatchesPreRefactorDigests(t *testing.T) {
+	spec, cat, db, jobs := equivalenceWorkload(t, 28)
+	want := map[sched.Policy]string{sched.CE: goldenPlacementCE, sched.SNS: goldenPlacementSNS}
+	for _, pol := range []sched.Policy{sched.CE, sched.SNS} {
+		done := runSched(t, spec, cat, db, jobs, pol, 28)
+		h := fnv.New64a()
+		for _, j := range done {
+			digestFloat(h, float64(j.ID))
+			digestFloat(h, j.Start)
+			nodes := append([]int(nil), j.Nodes...)
+			sort.Ints(nodes)
+			for _, n := range nodes {
+				digestFloat(h, float64(n))
+			}
+			if j.Start != 0 {
+				t.Errorf("%v job %d started at %g, want 0", pol, j.ID, j.Start)
+			}
+		}
+		if got := fmt.Sprintf("%016x", h.Sum64()); got != want[pol] {
+			t.Errorf("%v placement digest = %s, want pre-refactor %s", pol, got, want[pol])
+		}
+	}
+}
+
+// TestSchedTraceIdenticalPlacements offers the same 512-node workload to
+// the testbed scheduler and the trace simulator. Jobs are 1-node 16-proc
+// slices (every candidate scale 1/2/4/8 divides 16 evenly), so the two
+// request shapes resolve to the same kernel searches and both layers must
+// pick identical node sets, scales, and start times for CE and SNS.
+func TestSchedTraceIdenticalPlacements(t *testing.T) {
+	const procs = 16
+	spec, cat, db, jobs := equivalenceWorkload(t, procs)
+	// One batch at t=0: placements then depend only on queue order and
+	// the kernel, not on the two layers' different runtime models.
+	for i := range jobs {
+		jobs[i].SubmitSec = 0
+	}
+	for _, pol := range []sched.Policy{sched.CE, sched.SNS} {
+		done := runSched(t, spec, cat, db, jobs, pol, procs)
+		cfg := trace.SimConfig{
+			ClusterNodes:    spec.Nodes,
+			Policy:          pol,
+			CoresPerJobNode: procs,
+			Alpha:           0.9,
+			MaxScale:        8,
+		}
+		res, err := trace.Simulate(jobs, db, spec.Node, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Jobs) != len(done) {
+			t.Fatalf("%v: %d trace jobs vs %d sched jobs", pol, len(res.Jobs), len(done))
+		}
+		for i, sj := range done {
+			tj := res.Jobs[i]
+			if tj.Start != sj.Start {
+				t.Errorf("%v job %d: trace start %g, sched start %g", pol, i, tj.Start, sj.Start)
+			}
+			if tj.Scale != len(sj.Nodes) {
+				t.Errorf("%v job %d: trace scale %d, sched footprint %d", pol, i, tj.Scale, len(sj.Nodes))
+			}
+			if len(tj.Nodes) != len(sj.Nodes) {
+				t.Errorf("%v job %d: trace nodes %v, sched nodes %v", pol, i, tj.Nodes, sj.Nodes)
+				continue
+			}
+			for k := range tj.Nodes {
+				if tj.Nodes[k] != sj.Nodes[k] {
+					t.Errorf("%v job %d: trace nodes %v, sched nodes %v", pol, i, tj.Nodes, sj.Nodes)
+					break
+				}
+			}
+		}
+	}
+}

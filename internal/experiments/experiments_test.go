@@ -445,6 +445,21 @@ func TestFig20ShapeReduced(t *testing.T) {
 		if r.SNSRun >= r.CERun {
 			t.Errorf("SNS run share %.3f not below CE %.3f", r.SNSRun, r.CERun)
 		}
+		// Unmanaged sharing slows jobs down: both baselines inflate run
+		// time over CE, and SNS beats them (the paper's comparison with
+		// the two-slot related work).
+		if r.CSRun < r.CERun {
+			t.Errorf("CS run share %.3f below CE %.3f", r.CSRun, r.CERun)
+		}
+		if r.TwoSlotRun < r.CERun {
+			t.Errorf("TwoSlot run share %.3f below CE %.3f", r.TwoSlotRun, r.CERun)
+		}
+		if r.SNSTurnImprovePct <= r.CSTurnImprovePct ||
+			r.SNSTurnImprovePct <= r.TwoSlotTurnImprovePct {
+			t.Errorf("SNS gain %.1f%% not above CS %.1f%% / TwoSlot %.1f%% at %d@%.1f",
+				r.SNSTurnImprovePct, r.CSTurnImprovePct, r.TwoSlotTurnImprovePct,
+				r.ClusterNodes, r.ScalingRatio)
+		}
 	}
 }
 

@@ -15,18 +15,25 @@ var (
 )
 
 // Fig20Row is one (cluster size, scaling ratio) cell of the large-cluster
-// study (Figure 20): CE and SNS average wait and run time, normalized to
-// the CE average turnaround of that cell.
+// study (Figure 20), extended to all four placement policies: average
+// wait and run time per policy, normalized to the CE average turnaround
+// of that cell, plus each policy's turnaround improvement over CE.
 type Fig20Row struct {
 	ClusterNodes int
 	ScalingRatio float64
 	CEWait       float64
 	CERun        float64
+	CSWait       float64
+	CSRun        float64
 	SNSWait      float64
 	SNSRun       float64
-	// SNSTurnImprovePct is the turnaround (throughput) improvement of
-	// SNS over CE in percent.
-	SNSTurnImprovePct float64
+	TwoSlotWait  float64
+	TwoSlotRun   float64
+	// *TurnImprovePct is the turnaround (throughput) improvement of the
+	// policy over CE in percent (negative = worse than CE).
+	CSTurnImprovePct      float64
+	SNSTurnImprovePct     float64
+	TwoSlotTurnImprovePct float64
 }
 
 // Fig20Config controls the replay scale so tests can run a reduced
@@ -53,7 +60,8 @@ func DefaultFig20Config() Fig20Config {
 	}
 }
 
-// Fig20TraceSim reproduces Figure 20 by trace-driven simulation.
+// Fig20TraceSim reproduces Figure 20 by trace-driven simulation, with the
+// CS and TwoSlot baselines replayed alongside the paper's CE/SNS pair.
 func Fig20TraceSim(env *Env, cfg Fig20Config) ([]Fig20Row, error) {
 	var rows []Fig20Row
 	for _, ratio := range cfg.Ratios {
@@ -62,21 +70,25 @@ func Fig20TraceSim(env *Env, cfg Fig20Config) ([]Fig20Row, error) {
 		})
 		trace.MapPrograms(cfg.Seed, jobs, TraceScalingPrograms, TraceOtherPrograms, ratio)
 		for _, size := range cfg.Sizes {
-			ce, err := trace.Simulate(jobs, env.DB, env.Spec.Node, trace.DefaultSimConfig(size, trace.CE))
-			if err != nil {
-				return nil, fmt.Errorf("fig20 CE %d@%.1f: %w", size, ratio, err)
+			results := make(map[trace.Policy]*trace.Result, 4)
+			for _, p := range []trace.Policy{trace.CE, trace.CS, trace.SNS, trace.TwoSlot} {
+				r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, trace.DefaultSimConfig(size, p))
+				if err != nil {
+					return nil, fmt.Errorf("fig20 %s %d@%.1f: %w", p, size, ratio, err)
+				}
+				results[p] = r
 			}
-			sns, err := trace.Simulate(jobs, env.DB, env.Spec.Node, trace.DefaultSimConfig(size, trace.SNS))
-			if err != nil {
-				return nil, fmt.Errorf("fig20 SNS %d@%.1f: %w", size, ratio, err)
-			}
+			ce := results[trace.CE]
 			row := Fig20Row{ClusterNodes: size, ScalingRatio: ratio}
 			if ce.AvgTurn > 0 {
-				row.CEWait = ce.AvgWait / ce.AvgTurn
-				row.CERun = ce.AvgRun / ce.AvgTurn
-				row.SNSWait = sns.AvgWait / ce.AvgTurn
-				row.SNSRun = sns.AvgRun / ce.AvgTurn
-				row.SNSTurnImprovePct = 100 * (ce.AvgTurn/sns.AvgTurn - 1)
+				norm := func(r *trace.Result) (wait, run, gain float64) {
+					return r.AvgWait / ce.AvgTurn, r.AvgRun / ce.AvgTurn,
+						100 * (ce.AvgTurn/r.AvgTurn - 1)
+				}
+				row.CEWait, row.CERun, _ = norm(ce)
+				row.CSWait, row.CSRun, row.CSTurnImprovePct = norm(results[trace.CS])
+				row.SNSWait, row.SNSRun, row.SNSTurnImprovePct = norm(results[trace.SNS])
+				row.TwoSlotWait, row.TwoSlotRun, row.TwoSlotTurnImprovePct = norm(results[trace.TwoSlot])
 			}
 			rows = append(rows, row)
 		}
@@ -86,11 +98,20 @@ func Fig20TraceSim(env *Env, cfg Fig20Config) ([]Fig20Row, error) {
 
 // Fig20Table renders Figure 20.
 func Fig20Table(rows []Fig20Row) [][]string {
-	out := [][]string{{"cluster-ratio", "CE wait", "CE run", "SNS wait", "SNS run", "SNS turnaround gain %"}}
+	out := [][]string{{
+		"cluster-ratio",
+		"CE wait", "CE run",
+		"CS wait", "CS run", "CS gain %",
+		"SNS wait", "SNS run", "SNS gain %",
+		"2slot wait", "2slot run", "2slot gain %",
+	}}
 	for _, r := range rows {
 		label := fmt.Sprintf("%dK-%.1f", r.ClusterNodes/1024, r.ScalingRatio)
 		out = append(out, []string{label,
-			f3(r.CEWait), f3(r.CERun), f3(r.SNSWait), f3(r.SNSRun), f1(r.SNSTurnImprovePct)})
+			f3(r.CEWait), f3(r.CERun),
+			f3(r.CSWait), f3(r.CSRun), f1(r.CSTurnImprovePct),
+			f3(r.SNSWait), f3(r.SNSRun), f1(r.SNSTurnImprovePct),
+			f3(r.TwoSlotWait), f3(r.TwoSlotRun), f1(r.TwoSlotTurnImprovePct)})
 	}
 	return out
 }

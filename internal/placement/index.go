@@ -1,0 +1,108 @@
+package placement
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CoreIndex is the free-capacity index of the placement kernel: node ids
+// bucketed by free-core count, each bucket a bitset. It generalizes the
+// trace simulator's byFree slice index with two properties the testbed
+// scheduler's determinism rules require:
+//
+//   - iteration within a bucket is in ascending node-id order (a bitset
+//     has no insertion order to leak), matching the ID-order tie-breaking
+//     of the linear scans it replaces;
+//   - updates are O(1) bit flips, so a placement pass over a 32K-node
+//     cluster touches ~cores+1 population counters and only the words of
+//     the buckets it scans instead of every node.
+//
+// Invariants: every node id lives in exactly one bucket; bucket f holds
+// precisely the nodes whose backend reports f free cores (exclusively
+// held nodes index as 0); counts[f] equals the population of bucket f.
+// The backend must call Update after every reservation change — a stale
+// index makes the searches silently wrong, so Update panics on
+// out-of-range values rather than clamping.
+type CoreIndex struct {
+	cores   int
+	words   int
+	free    []int      // node id -> free cores
+	counts  []int      // free cores -> bucket population
+	buckets [][]uint64 // free cores -> node-id bitset
+}
+
+// NewCoreIndex builds the index for a cluster of all-idle nodes.
+func NewCoreIndex(nodes, cores int) *CoreIndex {
+	if nodes < 0 || cores < 1 {
+		panic(fmt.Sprintf("placement: bad index shape %d nodes / %d cores", nodes, cores))
+	}
+	x := &CoreIndex{
+		cores:   cores,
+		words:   (nodes + 63) / 64,
+		free:    make([]int, nodes),
+		counts:  make([]int, cores+1),
+		buckets: make([][]uint64, cores+1),
+	}
+	for f := range x.buckets {
+		x.buckets[f] = make([]uint64, x.words)
+	}
+	full := x.buckets[cores]
+	for id := 0; id < nodes; id++ {
+		full[id>>6] |= 1 << (uint(id) & 63)
+		x.free[id] = cores
+	}
+	x.counts[cores] = nodes
+	return x
+}
+
+// Len returns the number of indexed nodes.
+func (x *CoreIndex) Len() int { return len(x.free) }
+
+// Free returns a node's indexed free-core count.
+func (x *CoreIndex) Free(id int) int { return x.free[id] }
+
+// Count returns the number of nodes with exactly `free` free cores.
+func (x *CoreIndex) Count(free int) int { return x.counts[free] }
+
+// MaxFree returns the highest free-core count present on any node.
+func (x *CoreIndex) MaxFree() int {
+	for f := x.cores; f > 0; f-- {
+		if x.counts[f] > 0 {
+			return f
+		}
+	}
+	return 0
+}
+
+// Update moves a node to the bucket of its new free-core count.
+func (x *CoreIndex) Update(id, free int) {
+	old := x.free[id]
+	if old == free {
+		return
+	}
+	if free < 0 || free > x.cores {
+		panic(fmt.Sprintf("placement: node %d free cores %d outside [0, %d]", id, free, x.cores))
+	}
+	w, bit := id>>6, uint64(1)<<(uint(id)&63)
+	x.buckets[old][w] &^= bit
+	x.buckets[free][w] |= bit
+	x.counts[old]--
+	x.counts[free]++
+	x.free[id] = free
+}
+
+// Scan visits the nodes with exactly `free` free cores in ascending id
+// order, stopping early (and returning false) when fn returns false.
+// The index must not be mutated during a scan.
+func (x *CoreIndex) Scan(free int, fn func(id int) bool) bool {
+	for w, word := range x.buckets[free] {
+		for word != 0 {
+			id := w<<6 + bits.TrailingZeros64(word)
+			if !fn(id) {
+				return false
+			}
+			word &= word - 1
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package placement
+
+import "testing"
+
+func TestCoreIndexUpdateAndScan(t *testing.T) {
+	x := NewCoreIndex(100, 28)
+	if x.Len() != 100 || x.Count(28) != 100 || x.MaxFree() != 28 {
+		t.Fatalf("fresh index: len=%d count(28)=%d max=%d", x.Len(), x.Count(28), x.MaxFree())
+	}
+	x.Update(70, 12)
+	x.Update(3, 12)
+	x.Update(99, 0)
+	if x.Free(70) != 12 || x.Count(12) != 2 || x.Count(28) != 97 || x.Count(0) != 1 {
+		t.Fatalf("after updates: free(70)=%d count(12)=%d count(28)=%d count(0)=%d",
+			x.Free(70), x.Count(12), x.Count(28), x.Count(0))
+	}
+	// Scan visits in ascending id order regardless of update order.
+	var got []int
+	x.Scan(12, func(id int) bool { got = append(got, id); return true })
+	if len(got) != 2 || got[0] != 3 || got[1] != 70 {
+		t.Errorf("Scan(12) = %v, want [3 70]", got)
+	}
+	// Early stop returns false.
+	if x.Scan(28, func(id int) bool { return false }) {
+		t.Error("stopped scan returned true")
+	}
+	// A no-op update keeps counts intact.
+	x.Update(70, 12)
+	if x.Count(12) != 2 {
+		t.Errorf("no-op update changed count: %d", x.Count(12))
+	}
+}
+
+func TestCoreIndexMaxFreeDrains(t *testing.T) {
+	x := NewCoreIndex(4, 8)
+	for id := 0; id < 4; id++ {
+		x.Update(id, 0)
+	}
+	if x.MaxFree() != 0 {
+		t.Errorf("drained MaxFree = %d, want 0", x.MaxFree())
+	}
+	x.Update(2, 5)
+	if x.MaxFree() != 5 {
+		t.Errorf("MaxFree = %d, want 5", x.MaxFree())
+	}
+}
+
+func TestCoreIndexPanicsOnBadUpdate(t *testing.T) {
+	x := NewCoreIndex(4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range update did not panic")
+		}
+	}()
+	x.Update(1, 9)
+}
+
+func TestPendingAgingAndOrder(t *testing.T) {
+	q := &Pending{AgingPeriodSec: 100}
+	// Same effective rank: order breaks the tie.
+	q.Push(1, 0, 0, 1)
+	q.Push(0, 0, 0, 0)
+	// Higher priority beats both; an old submission outranks it via aging.
+	q.Push(2, 0, 1, 2)
+	q.Push(3, -300, 0, 3) // 300 s old: +3 levels
+	var tried []int
+	q.Schedule(0, func(id int) bool { tried = append(tried, id); return true })
+	want := []int{3, 2, 0, 1}
+	if len(tried) != 4 {
+		t.Fatalf("tried %v", tried)
+	}
+	for i := range want {
+		if tried[i] != want[i] {
+			t.Fatalf("try order %v, want %v", tried, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestPendingNoBackfillBlocks(t *testing.T) {
+	q := &Pending{AgingPeriodSec: 1, NoBackfill: true}
+	q.Push(0, 0, 0, 0)
+	q.Push(1, 0, 0, 1)
+	var tried []int
+	q.Schedule(1, func(id int) bool { tried = append(tried, id); return false })
+	if len(tried) != 1 || tried[0] != 0 {
+		t.Errorf("NoBackfill tried %v, want only the head", tried)
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue len = %d, want 2", q.Len())
+	}
+	if first, ok := q.First(); !ok || first.ID != 0 {
+		t.Errorf("First = %+v, %v", first, ok)
+	}
+}
+
+func TestPendingAgeLimitBlocks(t *testing.T) {
+	q := &Pending{AgingPeriodSec: 1, AgeLimitSec: 100}
+	q.Push(0, 0, 0, 0)
+	q.Push(1, 190, 0, 1)
+	var tried []int
+	// At t=200 job 0 is 200 s old (past the limit): its failure blocks
+	// job 1 from overtaking.
+	q.Schedule(200, func(id int) bool { tried = append(tried, id); return false })
+	if len(tried) != 1 || tried[0] != 0 {
+		t.Errorf("age limit tried %v, want only the stuck elder", tried)
+	}
+}
+
+func TestPendingScanDepth(t *testing.T) {
+	q := &Pending{AgingPeriodSec: 1, ScanDepth: 2}
+	for i := 0; i < 5; i++ {
+		q.Push(i, 0, 0, i)
+	}
+	tried := 0
+	q.Schedule(1, func(id int) bool { tried++; return false })
+	if tried != 2 {
+		t.Errorf("scan depth tried %d jobs, want 2", tried)
+	}
+	// Successes do not count against the depth.
+	tried = 0
+	q.Schedule(1, func(id int) bool { tried++; return id != 3 })
+	if tried != 5 {
+		t.Errorf("tried %d, want all 5 (only one failure)", tried)
+	}
+	if q.Len() != 1 {
+		t.Errorf("queue len = %d, want the single failure", q.Len())
+	}
+}

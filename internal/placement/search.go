@@ -1,0 +1,541 @@
+package placement
+
+import (
+	"sort"
+
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/profiler"
+)
+
+// Request describes one job to place, independent of which layer submits
+// it. Two shapes exist:
+//
+//   - process-based (Procs > 0): the testbed scheduler's shape. Per-node
+//     core counts come from EvenSplit over the chosen footprint, and the
+//     program's MultiNode/PowerOf2 constraints gate each scale.
+//   - footprint-based (Procs == 0): the trace replay's shape. The trace
+//     records a node count (BaseNodes) and a per-node slice width
+//     (CoresPerNode); scaled footprints divide that work uniformly.
+type Request struct {
+	// Procs is the total process count (0 for footprint-based requests).
+	Procs int
+	// BaseNodes is the minimum node footprint at scale factor 1.
+	BaseNodes int
+	// CoresPerNode is the per-node process count of a footprint-based
+	// request at scale 1 (ignored when Procs > 0).
+	CoresPerNode int
+	// MemGBPerProc is the per-process main-memory demand (0 = unaccounted).
+	MemGBPerProc float64
+	// Alpha is the SNS slowdown threshold for demand estimation.
+	Alpha float64
+	// MultiNode and PowerOf2 are the program's spreading constraints
+	// (only consulted for process-based requests).
+	MultiNode bool
+	PowerOf2  bool
+	// Intensive marks the job shared-resource intensive for TwoSlot.
+	Intensive bool
+	// Profile is the program's scale profile; nil makes SNS fall back
+	// to CS-style placement (an unprofiled program's first runs).
+	Profile *profiler.Profile
+}
+
+// runnable reports whether the request may run spread over n nodes.
+func (r *Request) runnable(n int) bool {
+	if r.Procs <= 0 {
+		return true
+	}
+	return ScaleRunnable(r.Procs, n, r.MultiNode, r.PowerOf2)
+}
+
+// coresAt returns the per-node core counts over an n-node footprint.
+func (r *Request) coresAt(n int) []int {
+	if r.Procs > 0 {
+		return EvenSplit(r.Procs, n)
+	}
+	per := (r.CoresPerNode*r.BaseNodes + n - 1) / n
+	cores := make([]int, n)
+	for i := range cores {
+		cores[i] = per
+	}
+	return cores
+}
+
+// Plan is a policy's placement decision: which nodes, how many cores on
+// each, and the uniform way/bandwidth reservations to attach.
+type Plan struct {
+	Nodes []int
+	Cores []int
+	// Ways, BW, IOBW are the per-node SNS reservations (zero for the
+	// unmanaged-sharing policies).
+	Ways int
+	BW   float64
+	IOBW float64
+	// Exclusive dedicates every placed node.
+	Exclusive bool
+	// K is the chosen scale factor (1 when the policy never scales).
+	K int
+}
+
+// ScaleRunnable reports whether a procs-process program may run over n
+// nodes given its framework constraints.
+func ScaleRunnable(procs, n int, multiNode, powerOf2 bool) bool {
+	if n > procs {
+		return false
+	}
+	if !multiNode && n > 1 {
+		return false
+	}
+	if powerOf2 && procs%n != 0 {
+		return false
+	}
+	return true
+}
+
+// EvenSplit divides procs over n nodes as evenly as possible, larger
+// shares first.
+func EvenSplit(procs, n int) []int {
+	if n <= 0 || procs <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	base, rem := procs/n, procs%n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Search runs the placement policies over one cluster backend. The
+// backend supplies capacity reads (View) and the synchronized free-core
+// index (Idx); the Search itself is stateless between calls.
+//
+// Determinism rules (the golden figure digests depend on them):
+//
+//   - candidates are enumerated bucket-ascending, id-ascending — the
+//     index's only order — which reproduces the sort-by-(free, id) and
+//     ID-order scans of the linear implementations it replaced;
+//   - node scores are read through View with the same expression shape
+//     as cluster.Node.Score, so float results are bit-identical;
+//   - selectIdlest orders by (score, id), a total order, making the
+//     selection independent of candidate enumeration order.
+type Search struct {
+	View NodeView
+	Idx  *CoreIndex
+	// Spec is the per-node hardware shape; Nodes the cluster size.
+	Spec  hw.NodeSpec
+	Nodes int
+	// Beta weighs LLC occupancy in the node score (0 = paper default).
+	Beta float64
+	// MaxScale bounds the scale-factor search.
+	MaxScale int
+	// NoGrouping disables the idle-core grouping of Section 4.4.
+	NoGrouping bool
+	// ExclusiveSpread is the spread-without-share ablation: SNS scales
+	// to the profiled footprint but keeps nodes dedicated.
+	ExclusiveSpread bool
+	// HasIntensive reports whether a node already hosts a
+	// shared-resource-intensive job (TwoSlot's pairing rule). Only
+	// consulted for intensive requests; nil means no node does.
+	HasIntensive func(id int) bool
+
+	// scratch buffers candidate ids and scores across calls. A Search
+	// serves one scheduling loop, so reuse is safe; both selection
+	// helpers copy their results out before returning.
+	scratch struct {
+		ids  []int
+		heap []scoredNode
+	}
+}
+
+// scoredNode pairs a candidate with its selection score.
+type scoredNode struct {
+	id    int
+	score float64
+}
+
+func (s *Search) beta() float64 {
+	if s.Beta == 0 {
+		return core.DefaultBeta
+	}
+	return s.Beta
+}
+
+// Place runs one policy's search. It returns nil when the job cannot be
+// placed right now.
+func (s *Search) Place(p Policy, req Request) *Plan {
+	switch p {
+	case CE:
+		return s.placeCE(req)
+	case CS:
+		return s.placeCS(req)
+	case SNS:
+		return s.placeSNS(req)
+	case TwoSlot:
+		return s.placeTwoSlot(req)
+	}
+	return nil
+}
+
+// Idle returns the n lowest-id fully-free nodes, or nil if fewer exist.
+func (s *Search) Idle(n int) []int {
+	if n <= 0 || s.Idx.Count(s.Spec.Cores) < n {
+		return nil
+	}
+	out := make([]int, 0, n)
+	s.Idx.Scan(s.Spec.Cores, func(id int) bool {
+		out = append(out, id)
+		return len(out) < n
+	})
+	return out
+}
+
+// placeCE packs the job onto the minimum number of fully idle nodes and
+// dedicates them.
+func (s *Search) placeCE(req Request) *Plan {
+	n := req.BaseNodes
+	nodes := s.Idle(n)
+	if nodes == nil {
+		return nil
+	}
+	return &Plan{Nodes: nodes, Cores: req.coresAt(n), Exclusive: true, K: 1}
+}
+
+// placeCS shares nodes by free cores, trying the lowest scale factor
+// first and growing the footprint only when compact placement is
+// impossible. Candidates are taken fullest-first (tightest bucket first,
+// id order within) to keep placement compact.
+func (s *Search) placeCS(req Request) *Plan {
+	for k := 1; k <= s.MaxScale; k++ {
+		n := k * req.BaseNodes
+		if n > s.Nodes {
+			break
+		}
+		if !req.runnable(n) {
+			continue
+		}
+		cores := req.coresAt(n)
+		mem := float64(cores[0]) * req.MemGBPerProc
+		nodes := s.ascendFree(cores[0], n, mem)
+		if nodes == nil {
+			continue
+		}
+		return &Plan{Nodes: nodes, Cores: cores, K: k}
+	}
+	return nil
+}
+
+// ascendFree collects n nodes with at least minFree cores and mem GB
+// free, fullest buckets first, or nil if fewer qualify.
+func (s *Search) ascendFree(minFree, n int, mem float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for f := minFree; f <= s.Spec.Cores; f++ {
+		if s.Idx.Count(f) == 0 {
+			continue
+		}
+		stopped := !s.Idx.Scan(f, func(id int) bool {
+			if s.View.FreeMem(id) >= mem {
+				out = append(out, id)
+			}
+			return len(out) < n
+		})
+		if stopped {
+			return out
+		}
+	}
+	return nil
+}
+
+// placeSNS implements the Figure 11 process: walk the profiled scale
+// factors in descending exclusive performance; for each, estimate
+// (c, w, b) under the job's alpha and search for nodes; dispatch on the
+// first fit. Scaling-class programs chase their fastest profiled
+// footprint; neutral and compact programs are spread only passively —
+// they stay at their minimum footprint unless resources force a larger
+// one (Section 6.1: neutral jobs are "fillers").
+func (s *Search) placeSNS(req Request) *Plan {
+	prof := req.Profile
+	if prof == nil {
+		return s.placeCS(req)
+	}
+	scales := prof.ByPerformance()
+	if prof.Class != profiler.Scaling {
+		scales = append([]*profiler.ScaleProfile(nil), scales...)
+		sort.Slice(scales, func(a, b int) bool { return scales[a].K < scales[b].K })
+	}
+	for _, sp := range scales {
+		if sp.K > s.MaxScale {
+			continue
+		}
+		n := sp.K * req.BaseNodes
+		if n > s.Nodes || !req.runnable(n) {
+			continue
+		}
+		if s.ExclusiveSpread {
+			idle := s.Idle(n)
+			if idle == nil {
+				continue
+			}
+			return &Plan{Nodes: idle, Cores: req.coresAt(n), Exclusive: true, K: sp.K}
+		}
+		d := core.EstimateDemand(sp, req.Alpha, s.Spec)
+		var cores []int
+		if req.Procs > 0 {
+			cores = EvenSplit(req.Procs, n)
+			d.Cores = cores[0]
+			d.MemGB = float64(cores[0]) * req.MemGBPerProc
+		} else {
+			cores = uniform(d.Cores, n)
+		}
+		nodes := s.FindDemand(n, d)
+		if nodes == nil {
+			continue
+		}
+		return &Plan{Nodes: nodes, Cores: cores, Ways: d.Ways, BW: d.BW, IOBW: d.IOBW, K: sp.K}
+	}
+	return nil
+}
+
+func uniform(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// FindDemand searches for n nodes that can each host the demand. Per
+// Section 4.4 it first tries to place the job within a single group of
+// equally-idle nodes (tightest adequate group first, keeping resource
+// consumption even within groups); failing that it falls back to the
+// whole cluster. Within the chosen set it returns the n idlest nodes by
+// the Co + Bo + beta*Wo score. It returns nil when fewer than n qualify.
+func (s *Search) FindDemand(n int, d core.Demand) []int {
+	if n <= 0 {
+		return nil
+	}
+	minFree := d.Cores
+	if minFree < 0 {
+		minFree = 0
+	}
+	all := s.scratch.ids[:0]
+	for f := minFree; f <= s.Spec.Cores; f++ {
+		if s.Idx.Count(f) == 0 {
+			continue
+		}
+		start := len(all)
+		s.Idx.Scan(f, func(id int) bool {
+			if s.fits(id, d) {
+				all = append(all, id)
+			}
+			return true
+		})
+		// An equal-free-cores bucket of feasible nodes is exactly an
+		// idle-core group; the first adequate one (ascending free) is
+		// the tightest fit.
+		if !s.NoGrouping && len(all)-start >= n {
+			s.scratch.ids = all
+			return s.selectIdlest(all[start:], n)
+		}
+	}
+	s.scratch.ids = all
+	if len(all) < n {
+		return nil
+	}
+	return s.selectIdlest(all, n)
+}
+
+// fits checks the non-core demand dimensions (cores are pre-filtered by
+// the index bucket). Each dimension binds only when requested (> 0).
+func (s *Search) fits(id int, d core.Demand) bool {
+	if d.Ways > 0 && s.View.FreeWays(id) < d.Ways {
+		return false
+	}
+	if d.BW > 0 && s.View.FreeBW(id) < d.BW {
+		return false
+	}
+	if d.MemGB > 0 && s.View.FreeMem(id) < d.MemGB {
+		return false
+	}
+	if d.IOBW > 0 && s.View.FreeIO(id) < d.IOBW {
+		return false
+	}
+	return true
+}
+
+// score is the SNS node-selection metric Co + Bo + beta*Wo, built from
+// the occupied fractions of cores, bandwidth, and LLC ways. Lower is
+// idler. The expression shape matches the cluster bookkeeping's original
+// so readings are bit-identical.
+func (s *Search) score(id int, beta float64) float64 {
+	co := float64(s.View.UsedCores(id)) / float64(s.Spec.Cores)
+	bo := s.View.AllocBW(id) / s.Spec.PeakBandwidth
+	wo := float64(s.View.AllocWays(id)) / float64(s.Spec.LLCWays)
+	return co + bo + beta*wo
+}
+
+// selectIdlest returns up to n node ids from candidates with the lowest
+// score, ties broken by id. The (score, id) order is total, so the
+// result does not depend on candidate order — which lets the selection
+// run as a bounded max-heap (worst-of-the-best at the root) in
+// O(C log n) instead of sorting all C candidates. Large-cluster
+// placement passes hit this with C in the tens of thousands and n of a
+// few dozen, where the full sort dominated replay time.
+func (s *Search) selectIdlest(candidates []int, n int) []int {
+	beta := s.beta()
+	// after reports a ranking after b in the ascending (score, id) order.
+	after := func(a, b scoredNode) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.id > b.id
+	}
+	h := s.scratch.heap[:0]
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(h) && after(h[r], h[l]) {
+				m = r
+			}
+			if !after(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	if n >= len(candidates) {
+		// Everything is selected; only the order is left to establish.
+		// Build the heap in one Floyd pass and fall through to the
+		// drain — a plain heapsort.
+		for _, id := range candidates {
+			h = append(h, scoredNode{id: id, score: s.score(id, beta)})
+		}
+		for i := len(h)/2 - 1; i >= 0; i-- {
+			siftDown(i)
+		}
+	} else {
+		for _, id := range candidates {
+			c := scoredNode{id: id, score: s.score(id, beta)}
+			if len(h) < n {
+				h = append(h, c)
+				for i := len(h) - 1; i > 0; {
+					p := (i - 1) / 2
+					if !after(h[i], h[p]) {
+						break
+					}
+					h[i], h[p] = h[p], h[i]
+					i = p
+				}
+			} else if after(h[0], c) {
+				h[0] = c
+				siftDown(0)
+			}
+		}
+	}
+	s.scratch.heap = h
+	// Drain the heap: each pop yields the worst remaining pick, so
+	// filling the result back to front leaves it in ascending
+	// (score, id) order without a comparison-sort pass.
+	out := make([]int, len(h))
+	for len(h) > 0 {
+		last := len(h) - 1
+		out[last] = h[0].id
+		h[0] = h[last]
+		h = h[:last]
+		siftDown(0)
+	}
+	return out
+}
+
+// placeTwoSlot places a job into static half-node slots: the job takes
+// ceil(procs/halfCores) slots, at most one intensive job per node, no
+// scaling and no cache partitioning (the related-work contrast of
+// Section 7).
+func (s *Search) placeTwoSlot(req Request) *Plan {
+	procs := req.Procs
+	if procs <= 0 {
+		procs = req.CoresPerNode * req.BaseNodes
+	}
+	half := s.Spec.Cores / 2
+	if half <= 0 || procs <= 0 {
+		return nil
+	}
+	slots := (procs + half - 1) / half
+	memPerSlot := float64(half) * req.MemGBPerProc
+	var candidates []int
+	for id := 0; id < s.Nodes; id++ {
+		freeCores := s.Idx.Free(id)
+		if freeCores < half {
+			continue
+		}
+		freeMem := s.View.FreeMem(id)
+		if freeMem < memPerSlot {
+			continue
+		}
+		if req.Intensive && s.HasIntensive != nil && s.HasIntensive(id) {
+			continue
+		}
+		// A node offers one or two slots; count it once per free half.
+		free := freeCores / half
+		if memPerSlot > 0 {
+			if byMem := int(freeMem / memPerSlot); byMem < free {
+				free = byMem
+			}
+		}
+		if req.Intensive && free > 1 && slots <= s.Nodes {
+			// At most one intensive slot per node — except for a job
+			// needing more slots than the cluster has nodes, which can
+			// never spread that wide and pairs with nobody when it
+			// fills both halves of its own node.
+			free = 1
+		}
+		for k := 0; k < free && len(candidates) < slots; k++ {
+			candidates = append(candidates, id)
+		}
+		if len(candidates) == slots {
+			break
+		}
+	}
+	if len(candidates) < slots {
+		return nil
+	}
+	// Merge repeated node ids into per-node core counts.
+	perNode := map[int]int{}
+	var order []int
+	for _, id := range candidates {
+		if perNode[id] == 0 {
+			order = append(order, id)
+		}
+		perNode[id] += half
+	}
+	nodes := make([]int, 0, len(order))
+	cores := make([]int, 0, len(order))
+	remaining := procs
+	for _, id := range order {
+		take := perNode[id]
+		if take > remaining {
+			take = remaining
+		}
+		nodes = append(nodes, id)
+		cores = append(cores, take)
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil
+	}
+	if !req.runnable(len(nodes)) {
+		return nil
+	}
+	return &Plan{Nodes: nodes, Cores: cores, K: 1}
+}

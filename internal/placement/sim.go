@@ -1,0 +1,106 @@
+package placement
+
+import "spreadnshare/internal/hw"
+
+// SimState is the lightweight cluster backend of the large-scale trace
+// simulator: flat per-node capacity arrays plus the kernel's core index,
+// implementing both NodeView and Txn. Unlike the testbed's cluster.State
+// it keeps no per-job bookkeeping — the caller retains the effective
+// Reservations and returns them on release — which is what makes 32K-node
+// replays cheap.
+type SimState struct {
+	spec      hw.NodeSpec
+	idx       *CoreIndex
+	freeWays  []int
+	freeBW    []float64
+	freeMem   []float64
+	freeIO    []float64
+	intensive []int // running intensive-job count per node (TwoSlot)
+}
+
+// NewSimState builds an all-idle simulated cluster.
+func NewSimState(spec hw.NodeSpec, nodes int) *SimState {
+	s := &SimState{
+		spec:      spec,
+		idx:       NewCoreIndex(nodes, spec.Cores),
+		freeWays:  make([]int, nodes),
+		freeBW:    make([]float64, nodes),
+		freeMem:   make([]float64, nodes),
+		freeIO:    make([]float64, nodes),
+		intensive: make([]int, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		s.freeWays[i] = spec.LLCWays
+		s.freeBW[i] = spec.PeakBandwidth
+		s.freeMem[i] = spec.MemoryGB
+		s.freeIO[i] = spec.IOBandwidth
+	}
+	return s
+}
+
+// Index returns the free-core index a Search runs over.
+func (s *SimState) Index() *CoreIndex { return s.idx }
+
+// Len returns the cluster size.
+func (s *SimState) Len() int { return len(s.freeWays) }
+
+// MaxFreeCores returns the largest free-core count on any node — the
+// capacity bound quoted by stuck-placement diagnostics.
+func (s *SimState) MaxFreeCores() int { return s.idx.MaxFree() }
+
+// HasIntensive reports whether the node hosts an intensive job.
+func (s *SimState) HasIntensive(id int) bool { return s.intensive[id] > 0 }
+
+// NodeView.
+
+// UsedCores returns the reserved core count.
+func (s *SimState) UsedCores(id int) int { return s.spec.Cores - s.idx.Free(id) }
+
+// AllocWays returns the CAT-allocated LLC ways.
+func (s *SimState) AllocWays(id int) int { return s.spec.LLCWays - s.freeWays[id] }
+
+// AllocBW returns the reserved memory bandwidth in GB/s.
+func (s *SimState) AllocBW(id int) float64 { return s.spec.PeakBandwidth - s.freeBW[id] }
+
+// FreeWays returns unallocated LLC ways.
+func (s *SimState) FreeWays(id int) int { return s.freeWays[id] }
+
+// FreeBW returns unreserved memory bandwidth.
+func (s *SimState) FreeBW(id int) float64 { return s.freeBW[id] }
+
+// FreeMem returns unreserved main memory.
+func (s *SimState) FreeMem(id int) float64 { return s.freeMem[id] }
+
+// FreeIO returns unreserved file-system bandwidth.
+func (s *SimState) FreeIO(id int) float64 { return s.freeIO[id] }
+
+// Txn.
+
+// Reserve applies a reservation and returns its effective form (an
+// exclusive take resolves to all currently-free cores).
+func (s *SimState) Reserve(id int, r Reservation) Reservation {
+	if r.Exclusive {
+		r.Cores = s.idx.Free(id)
+	}
+	s.idx.Update(id, s.idx.Free(id)-r.Cores)
+	s.freeWays[id] -= r.Ways
+	s.freeBW[id] -= r.BW
+	s.freeMem[id] -= r.MemGB
+	s.freeIO[id] -= r.IOBW
+	if r.Intensive {
+		s.intensive[id]++
+	}
+	return r
+}
+
+// Release undoes an effective reservation returned by Reserve.
+func (s *SimState) Release(id int, r Reservation) {
+	s.idx.Update(id, s.idx.Free(id)+r.Cores)
+	s.freeWays[id] += r.Ways
+	s.freeBW[id] += r.BW
+	s.freeMem[id] += r.MemGB
+	s.freeIO[id] += r.IOBW
+	if r.Intensive {
+		s.intensive[id]--
+	}
+}

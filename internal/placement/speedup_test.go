@@ -1,0 +1,144 @@
+package placement
+
+import (
+	"testing"
+
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/hw"
+)
+
+// The PR 2 speedup gate: at Figure 20's largest cluster (32,768 nodes)
+// the indexed candidate search must beat a linear full-cluster scan by at
+// least 2x per placement pass, or the CoreIndex is not paying for its
+// bookkeeping. The linear reference reproduces the pre-refactor
+// core.FindNodes shape — one O(N) sweep bucketing nodes by free cores,
+// then the same tightest-group-first selection — so the comparison
+// isolates the index, not the selection policy.
+
+const speedupNodes = 32768
+
+// newSpeedupState builds the gate's cluster: node i has i*5 mod 28 cores
+// in use (5 is coprime with 28, so occupancy scatters uniformly over all
+// free-core buckets — the fragmented steady state a long replay reaches).
+func newSpeedupState(tb testing.TB) (*SimState, *Search) {
+	tb.Helper()
+	spec := hw.DefaultNodeSpec()
+	state := NewSimState(spec, speedupNodes)
+	for id := 0; id < speedupNodes; id++ {
+		if use := (id * 5) % spec.Cores; use > 0 {
+			state.Reserve(id, Reservation{Cores: use})
+		}
+	}
+	return state, &Search{
+		View:  state,
+		Idx:   state.Index(),
+		Spec:  spec,
+		Nodes: speedupNodes,
+	}
+}
+
+// linearFindDemand is the reference implementation: one pass over every
+// node, bucketing feasible candidates by free-core count, then the same
+// ascending-bucket, idlest-first selection FindDemand performs over the
+// index. Semantics match FindDemand exactly; only the candidate
+// enumeration is O(cluster) instead of O(matching buckets).
+func linearFindDemand(s *Search, n int, d core.Demand) []int {
+	if n <= 0 {
+		return nil
+	}
+	minFree := d.Cores
+	if minFree < 0 {
+		minFree = 0
+	}
+	buckets := make([][]int, s.Spec.Cores+1)
+	for id := 0; id < s.Nodes; id++ {
+		f := s.Idx.Free(id)
+		if f >= minFree && s.fits(id, d) {
+			buckets[f] = append(buckets[f], id)
+		}
+	}
+	var all []int
+	for f := minFree; f <= s.Spec.Cores; f++ {
+		if len(buckets[f]) == 0 {
+			continue
+		}
+		if !s.NoGrouping && len(buckets[f]) >= n {
+			return s.selectIdlest(buckets[f], n)
+		}
+		all = append(all, buckets[f]...)
+	}
+	if len(all) < n {
+		return nil
+	}
+	return s.selectIdlest(all, n)
+}
+
+var speedupDemand = core.Demand{Cores: 16, Ways: 4, BW: 30}
+
+func TestLinearReferenceAgrees(t *testing.T) {
+	_, s := newSpeedupState(t)
+	for _, n := range []int{1, 64, 1024} {
+		got := s.FindDemand(n, speedupDemand)
+		want := linearFindDemand(s, n, speedupDemand)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: indexed found %d nodes, linear %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: indexed %v != linear %v", n, got[:i+1], want[:i+1])
+			}
+		}
+	}
+}
+
+// TestIndexedSearchSpeedup enforces the >=2x gate. It measures both
+// implementations with testing.Benchmark, so run it without -short to
+// re-certify after touching the index or search.
+func TestIndexedSearchSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup gate needs benchmark runs")
+	}
+	_, s := newSpeedupState(t)
+	indexed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s.FindDemand(64, speedupDemand) == nil {
+				b.Fatal("no placement")
+			}
+		}
+	})
+	linear := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if linearFindDemand(s, 64, speedupDemand) == nil {
+				b.Fatal("no placement")
+			}
+		}
+	})
+	speedup := float64(linear.NsPerOp()) / float64(indexed.NsPerOp())
+	t.Logf("indexed %v/op, linear %v/op, speedup %.1fx",
+		indexed.NsPerOp(), linear.NsPerOp(), speedup)
+	if speedup < 2 {
+		t.Errorf("indexed search only %.2fx faster than the linear scan, gate is 2x", speedup)
+	}
+}
+
+// BenchmarkIndexedFind32K and BenchmarkLinearFind32K are the gate's two
+// sides as standalone benchmarks, recorded in BENCH_PR2.json.
+func BenchmarkIndexedFind32K(b *testing.B) {
+	_, s := newSpeedupState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.FindDemand(64, speedupDemand) == nil {
+			b.Fatal("no placement")
+		}
+	}
+}
+
+func BenchmarkLinearFind32K(b *testing.B) {
+	_, s := newSpeedupState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if linearFindDemand(s, 64, speedupDemand) == nil {
+			b.Fatal("no placement")
+		}
+	}
+}

@@ -57,7 +57,7 @@ func (s *Scheduler) AttachExplorer(ex *profiler.Explorer, sampleWays []int, epis
 // (with trial=false) when exploration is over or the scale cannot run,
 // letting the caller fall back; it returns nil with trial=true when the
 // trial placement simply does not fit right now.
-func (s *Scheduler) placeTrial(j *exec.Job) (pl *placement, trial bool) {
+func (s *Scheduler) placeTrial(j *exec.Job) (pl *decision, trial bool) {
 	st := s.explore
 	for {
 		k, ok := st.ex.NextTrial(j.Prog.Name, j.Procs)
@@ -73,7 +73,7 @@ func (s *Scheduler) placeTrial(j *exec.Job) (pl *placement, trial bool) {
 		if len(idle) < n {
 			return nil, true
 		}
-		return &placement{
+		return &decision{
 			nodes:     idle[:n],
 			cores:     exec.EvenSplit(j.Procs, n),
 			exclusive: true,

@@ -1,5 +1,5 @@
 // Package sched implements Uberun, the prototype batch scheduler, with the
-// three placement strategies the paper compares:
+// placement strategies the paper compares:
 //
 //   - CE (Compact-n-Exclusive): minimum node footprint, dedicated nodes —
 //     the policy of SLURM/LSF/PBS and all top-10 supercomputers.
@@ -8,15 +8,19 @@
 //   - SNS (Spread-n-Share): profile-guided automatic scaling plus
 //     resource-compatible co-location with CAT way partitioning and
 //     bandwidth accounting.
+//   - TwoSlot: the related-work half-node-slot baseline.
 //
-// All three share the same age-based priority queue with an anti-starvation
-// age limit, so measured differences come from the placement strategy
-// alone — exactly the paper's experimental methodology (Section 6.2).
+// The placement searches and the age-based priority queue live in the
+// shared kernel (internal/placement); this package adapts the cluster
+// bookkeeping to the kernel's NodeView, keeps the free-core index in sync
+// with every allocation, and drives the execution engine and node
+// daemons. All policies share the same queue discipline, so measured
+// differences come from the placement strategy alone — exactly the
+// paper's experimental methodology (Section 6.2).
 package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/cluster"
@@ -24,39 +28,26 @@ import (
 	"spreadnshare/internal/daemon"
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 )
 
-// Policy selects the placement strategy.
-type Policy int
+// Policy selects the placement strategy. It is the shared kernel enum, so
+// a policy value means the same thing to Uberun and the trace simulator.
+type Policy = placement.Policy
 
 const (
 	// CE is Compact-n-Exclusive.
-	CE Policy = iota
+	CE = placement.CE
 	// CS is Compact-n-Share.
-	CS
+	CS = placement.CS
 	// SNS is Spread-n-Share.
-	SNS
+	SNS = placement.SNS
 	// TwoSlot is the related-work baseline (ClavisMO / Poncos style):
 	// static half-node slots, at most one shared-resource-intensive
 	// job per node, no scaling and no cache partitioning.
-	TwoSlot
+	TwoSlot = placement.TwoSlot
 )
-
-// String returns the policy name.
-func (p Policy) String() string {
-	switch p {
-	case CE:
-		return "CE"
-	case CS:
-		return "CS"
-	case SNS:
-		return "SNS"
-	case TwoSlot:
-		return "TwoSlot"
-	}
-	return fmt.Sprintf("Policy(%d)", int(p))
-}
 
 // Config tunes the scheduler.
 type Config struct {
@@ -140,16 +131,32 @@ type Scheduler struct {
 	eng  *exec.Engine
 	cl   *cluster.State
 
-	pending  []*exec.Job
-	order    map[int]int // job id -> submission index
-	priority map[int]int // job id -> base priority
-	done     []*exec.Job
-	nextID   int
-	drift    *profiler.DriftMonitor
-	explore  *explorerState
-	daemons  []*daemon.Daemon
-	plans    []daemon.LaunchPlan
+	idx    *placement.CoreIndex
+	search *placement.Search
+	queue  *placement.Pending
+	byID   map[int]*exec.Job
+
+	done    []*exec.Job
+	nextID  int
+	drift   *profiler.DriftMonitor
+	explore *explorerState
+	daemons []*daemon.Daemon
+	plans   []daemon.LaunchPlan
 }
+
+// clusterView adapts the cluster bookkeeping to the kernel's NodeView.
+// Float readings delegate to the canonical job-ID-ordered summations, so
+// kernel decisions are bit-identical to ones computed on cluster.State
+// directly.
+type clusterView struct{ cl *cluster.State }
+
+func (v clusterView) UsedCores(id int) int   { return v.cl.Nodes[id].UsedCores() }
+func (v clusterView) AllocWays(id int) int   { return v.cl.Nodes[id].AllocWays() }
+func (v clusterView) AllocBW(id int) float64 { return v.cl.Nodes[id].AllocBW() }
+func (v clusterView) FreeWays(id int) int    { return v.cl.Nodes[id].FreeWays() }
+func (v clusterView) FreeBW(id int) float64  { return v.cl.Nodes[id].FreeBW() }
+func (v clusterView) FreeMem(id int) float64 { return v.cl.Nodes[id].FreeMem() }
+func (v clusterView) FreeIO(id int) float64  { return v.cl.Nodes[id].FreeIO() }
 
 // LaunchPlans returns every node-local actuation issued so far: cpuset
 // bindings, CAT masks, MBA caps, and framework launch commands, in issue
@@ -194,6 +201,9 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 	if cfg.AgeLimitSec == 0 {
 		cfg.AgeLimitSec = 600
 	}
+	if cfg.AgingPeriodSec == 0 {
+		cfg.AgingPeriodSec = 120
+	}
 	eng, err := exec.New(spec)
 	if err != nil {
 		return nil, err
@@ -203,14 +213,27 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 	if err != nil {
 		return nil, err
 	}
-	if cfg.AgingPeriodSec == 0 {
-		cfg.AgingPeriodSec = 120
-	}
 	s := &Scheduler{
 		cfg: cfg, spec: spec, cat: cat, db: db, eng: eng, cl: cl,
-		order:    make(map[int]int),
-		priority: make(map[int]int),
-		daemons:  make([]*daemon.Daemon, spec.Nodes),
+		idx:  placement.NewCoreIndex(spec.Nodes, spec.Node.Cores),
+		byID: make(map[int]*exec.Job),
+		queue: &placement.Pending{
+			AgingPeriodSec: cfg.AgingPeriodSec,
+			AgeLimitSec:    cfg.AgeLimitSec,
+			NoBackfill:     cfg.NoBackfill,
+		},
+		daemons: make([]*daemon.Daemon, spec.Nodes),
+	}
+	s.search = &placement.Search{
+		View:            clusterView{cl},
+		Idx:             s.idx,
+		Spec:            spec.Node,
+		Nodes:           spec.Nodes,
+		Beta:            cfg.Beta,
+		MaxScale:        cfg.MaxScale,
+		NoGrouping:      cfg.NoGrouping,
+		ExclusiveSpread: cfg.ExclusiveSpread,
+		HasIntensive:    s.nodeHasIntensive,
 	}
 	for i := range s.daemons {
 		s.daemons[i] = daemon.New(i, spec.Node)
@@ -227,7 +250,7 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 			// retries the same scale.
 			delete(s.explore.trials, j.ID)
 		}
-		s.cl.Release(j.ID)
+		s.syncIndex(s.cl.Release(j.ID))
 		for _, n := range j.Nodes {
 			if err := s.daemons[n].Release(j.ID); err != nil {
 				panic(fmt.Sprintf("sched: daemon release: %v", err))
@@ -237,6 +260,14 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 		s.schedule()
 	})
 	return s, nil
+}
+
+// syncIndex refreshes the free-core index entries of the given nodes from
+// the cluster bookkeeping, after every allocation or release.
+func (s *Scheduler) syncIndex(nodes []int) {
+	for _, id := range nodes {
+		s.idx.Update(id, s.cl.Nodes[id].FreeCores())
+	}
 }
 
 // Engine exposes the underlying execution engine (for monitoring hooks).
@@ -273,10 +304,11 @@ func (s *Scheduler) Submit(js JobSpec) error {
 		Alpha:  alpha,
 		Submit: js.Submit,
 	}
-	s.order[id] = id
-	s.priority[id] = js.Priority
+	s.byID[id] = j
+	priority := js.Priority
 	s.eng.Queue().At(js.Submit, func() {
-		s.pending = append(s.pending, j)
+		// The submission index doubles as the rank tie-breaker (FIFO).
+		s.queue.Push(id, j.Submit, priority, id)
 		s.schedule()
 	})
 	return nil
@@ -287,64 +319,30 @@ func (s *Scheduler) Submit(js JobSpec) error {
 // cluster drains (which indicates an impossible request).
 func (s *Scheduler) Run() ([]*exec.Job, error) {
 	s.eng.Run(0)
-	if len(s.pending) > 0 {
+	if s.queue.Len() > 0 {
+		first, _ := s.queue.First()
+		j := s.byID[first.ID]
 		return s.done, fmt.Errorf("sched: %d jobs never placed (first: %s/%d procs)",
-			len(s.pending), s.pending[0].Prog.Name, s.pending[0].Procs)
+			s.queue.Len(), j.Prog.Name, j.Procs)
 	}
 	return s.done, nil
 }
 
 // schedule is the scheduling pass run at every scheduling point: job
-// arrival and job completion. Jobs are scanned in age-based priority
-// order; a job past the age limit blocks younger jobs from overtaking it.
+// arrival and job completion. The kernel queue scans jobs in age-based
+// priority order; a job past the age limit blocks younger jobs from
+// overtaking it.
 func (s *Scheduler) schedule() {
 	now := s.eng.Now()
-	// Effective rank: base priority plus one level per aging period
-	// waited; ties broken by submission order (FIFO).
-	rank := func(j *exec.Job) float64 {
-		return float64(s.priority[j.ID]) + (now-j.Submit)/s.cfg.AgingPeriodSec
-	}
-	sort.SliceStable(s.pending, func(a, b int) bool {
-		ra, rb := rank(s.pending[a]), rank(s.pending[b])
-		if ra != rb {
-			return ra > rb
-		}
-		return s.order[s.pending[a].ID] < s.order[s.pending[b].ID]
+	s.queue.Schedule(now, func(id int) bool {
+		return s.tryPlace(s.byID[id])
 	})
-	var remaining []*exec.Job
-	blocked := false
-	for _, j := range s.pending {
-		if blocked {
-			remaining = append(remaining, j)
-			continue
-		}
-		if s.tryPlace(j) {
-			continue
-		}
-		remaining = append(remaining, j)
-		if s.cfg.NoBackfill || now-j.Submit > s.cfg.AgeLimitSec {
-			// Strict FIFO, or anti-starvation: nothing younger may
-			// overtake.
-			blocked = true
-		}
-	}
-	s.pending = remaining
 }
 
 // tryPlace attempts to place and launch one job under the configured
 // policy.
 func (s *Scheduler) tryPlace(j *exec.Job) bool {
-	var pl *placement
-	switch s.cfg.Policy {
-	case CE:
-		pl = s.placeCE(j)
-	case CS:
-		pl = s.placeCS(j)
-	case SNS:
-		pl = s.placeSNS(j)
-	case TwoSlot:
-		pl = s.placeTwoSlot(j)
-	}
+	pl := s.place(j)
 	if pl == nil {
 		return false
 	}
@@ -361,6 +359,7 @@ func (s *Scheduler) tryPlace(j *exec.Job) bool {
 		// error worth failing loudly on.
 		panic(fmt.Sprintf("sched: placement rejected by bookkeeping: %v", err))
 	}
+	s.syncIndex(pl.nodes)
 	j.Nodes = pl.nodes
 	j.CoresByNode = pl.cores
 	j.Ways = pl.ways
@@ -385,8 +384,8 @@ func (s *Scheduler) tryPlace(j *exec.Job) bool {
 	return true
 }
 
-// placement is a policy's decision.
-type placement struct {
+// decision is a policy's placement choice in the scheduler's terms.
+type decision struct {
 	nodes     []int
 	cores     []int
 	ways      int
@@ -398,6 +397,18 @@ type placement struct {
 	trialK int
 }
 
+// fromPlan converts a kernel plan.
+func fromPlan(pl *placement.Plan) *decision {
+	if pl == nil {
+		return nil
+	}
+	return &decision{
+		nodes: pl.Nodes, cores: pl.Cores,
+		ways: pl.Ways, bw: pl.BW, ioBW: pl.IOBW,
+		exclusive: pl.Exclusive,
+	}
+}
+
 // minFootprint returns the CE node count for a process count.
 func (s *Scheduler) minFootprint(procs int) int {
 	return (procs + s.spec.Node.Cores - 1) / s.spec.Node.Cores
@@ -405,129 +416,59 @@ func (s *Scheduler) minFootprint(procs int) int {
 
 // scaleRunnable reports whether the program can run spread over n nodes.
 func scaleRunnable(prog *app.Model, procs, n int) bool {
-	if n > procs {
-		return false
-	}
-	if !prog.MultiNode && n > 1 {
-		return false
-	}
-	if prog.PowerOf2 && procs%n != 0 {
-		return false
-	}
-	return true
+	return placement.ScaleRunnable(procs, n, prog.MultiNode, prog.PowerOf2)
 }
 
-// placeCE packs the job onto the minimum number of fully idle nodes and
-// dedicates them.
-func (s *Scheduler) placeCE(j *exec.Job) *placement {
-	n := s.minFootprint(j.Procs)
-	idle := s.cl.IdleNodes()
-	if len(idle) < n {
-		return nil
+// request translates a job into the kernel's request shape.
+func (s *Scheduler) request(j *exec.Job) placement.Request {
+	return placement.Request{
+		Procs:        j.Procs,
+		BaseNodes:    s.minFootprint(j.Procs),
+		MemGBPerProc: j.Prog.MemGBPerProc,
+		Alpha:        j.Alpha,
+		MultiNode:    j.Prog.MultiNode,
+		PowerOf2:     j.Prog.PowerOf2,
 	}
-	nodes := idle[:n]
-	return &placement{nodes: nodes, cores: exec.EvenSplit(j.Procs, n), exclusive: true}
 }
 
-// placeCS shares nodes by free cores, trying the lowest scale factor
-// first and growing the footprint only when compact placement is
-// impossible.
-func (s *Scheduler) placeCS(j *exec.Job) *placement {
-	minN := s.minFootprint(j.Procs)
-	for k := 1; k <= s.cfg.MaxScale; k++ {
-		n := k * minN
-		if n > s.spec.Nodes {
-			break
-		}
-		if !scaleRunnable(j.Prog, j.Procs, n) {
-			continue
-		}
-		cores := exec.EvenSplit(j.Procs, n)
-		// Need n nodes with at least cores[0] (the max) free, with
-		// memory for that many processes.
-		mem := float64(cores[0]) * j.Prog.MemGBPerProc
-		var fits []int
-		for _, node := range s.cl.Nodes {
-			if node.FreeCores() >= cores[0] && node.FreeMem() >= mem {
-				fits = append(fits, node.ID)
-			}
-		}
-		if len(fits) < n {
-			continue
-		}
-		// Fill the fullest nodes first to keep placement compact.
-		sort.Slice(fits, func(a, b int) bool {
-			fa, fb := s.cl.Nodes[fits[a]].FreeCores(), s.cl.Nodes[fits[b]].FreeCores()
-			if fa != fb {
-				return fa < fb
-			}
-			return fits[a] < fits[b]
-		})
-		return &placement{nodes: fits[:n], cores: cores}
+// place runs the configured policy's kernel search.
+func (s *Scheduler) place(j *exec.Job) *decision {
+	req := s.request(j)
+	switch s.cfg.Policy {
+	case CE, CS:
+		return fromPlan(s.search.Place(s.cfg.Policy, req))
+	case SNS:
+		return s.placeSNS(j, req)
+	case TwoSlot:
+		req.Intensive = s.bwIntensive(j)
+		return fromPlan(s.search.Place(TwoSlot, req))
 	}
 	return nil
 }
 
-// placeSNS implements the Figure 11 process: walk the profiled scale
-// factors in descending exclusive performance; for each, estimate (c, w,
-// b) under the job's alpha and search for nodes; dispatch on the first
-// fit. Jobs without a profile fall back to CS-style placement (their
-// first runs double as profiling runs in a production deployment).
-func (s *Scheduler) placeSNS(j *exec.Job) *placement {
+// placeSNS looks up the job's profile and runs the kernel's demand→scale
+// search (the Figure 11 process). Jobs without a profile fall back to
+// CS-style placement (their first runs double as profiling runs in a
+// production deployment) — or, with piggy-backed profiling attached,
+// become the program's next exploration trial.
+func (s *Scheduler) placeSNS(j *exec.Job, req placement.Request) *decision {
 	prof, ok := s.db.Get(j.Prog.Name, j.Procs)
 	if !ok {
-		// Unprofiled program: with piggy-backed profiling attached,
-		// this run doubles as the next exploration trial; otherwise
-		// schedule it CS-style.
 		if s.explore != nil {
 			if pl, trial := s.placeTrial(j); trial {
 				return pl
 			}
 		}
-		return s.placeCS(j)
+		return fromPlan(s.search.Place(CS, req))
 	}
-	minN := s.minFootprint(j.Procs)
-	// Scaling-class programs chase their fastest profiled footprint;
-	// neutral and compact programs are spread only passively — they
-	// stay at their minimum footprint unless resources force a larger
-	// one (Section 6.1: neutral jobs are "fillers").
-	scales := prof.ByPerformance()
-	if prof.Class != profiler.Scaling {
-		scales = append([]*profiler.ScaleProfile(nil), scales...)
-		sort.Slice(scales, func(a, b int) bool { return scales[a].K < scales[b].K })
+	req.Profile = prof
+	pl := s.search.Place(SNS, req)
+	if pl == nil {
+		return nil
 	}
-	for _, sp := range scales {
-		if sp.K > s.cfg.MaxScale {
-			continue
-		}
-		n := sp.K * minN
-		if n > s.spec.Nodes || !scaleRunnable(j.Prog, j.Procs, n) {
-			continue
-		}
-		cores := exec.EvenSplit(j.Procs, n)
-		if s.cfg.ExclusiveSpread {
-			idle := s.cl.IdleNodes()
-			if len(idle) < n {
-				continue
-			}
-			return &placement{nodes: idle[:n], cores: cores, exclusive: true}
-		}
-		d := core.EstimateDemand(sp, j.Alpha, s.spec.Node)
-		d.Cores = cores[0]
-		d.MemGB = float64(cores[0]) * j.Prog.MemGBPerProc
-		find := core.FindNodes
-		if s.cfg.NoGrouping {
-			find = core.FindNodesUngrouped
-		}
-		nodes := find(s.cl, n, d, s.cfg.Beta)
-		if nodes == nil {
-			continue
-		}
-		pl := &placement{nodes: nodes, cores: cores, ways: d.Ways, bw: d.BW, ioBW: d.IOBW}
-		if s.cfg.UseMBA {
-			pl.bwCap = s.spec.Node.MBACap(d.BW)
-		}
-		return pl
+	d := fromPlan(pl)
+	if s.cfg.UseMBA && !pl.Exclusive {
+		d.bwCap = s.spec.Node.MBACap(pl.BW)
 	}
-	return nil
+	return d
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"spreadnshare/internal/cluster"
 	"spreadnshare/internal/exec"
 )
 
@@ -12,7 +11,9 @@ import (
 // and a node may host at most one intensive job, pairing it with a
 // non-intensive one to dampen contention. Unlike SNS it neither scales
 // jobs nor partitions the cache, and its two-slot granularity is rigid —
-// which is exactly the contrast the paper draws.
+// which is exactly the contrast the paper draws. The slot search itself
+// lives in the placement kernel; this file keeps the job classification,
+// which needs the profile database and the engine's running-job table.
 
 // bwIntensive classifies a job from its profile: a job whose compact-run
 // bandwidth drains more than a third of the node's peak (or, without a
@@ -36,79 +37,11 @@ func minInt(a, b int) int {
 	return b
 }
 
-// placeTwoSlot places a job into half-node slots: the job takes
-// ceil(procs/halfCores) slots, at most one intensive job per node.
-func (s *Scheduler) placeTwoSlot(j *exec.Job) *placement {
-	half := s.spec.Node.Cores / 2
-	slots := (j.Procs + half - 1) / half
-	intensive := s.bwIntensive(j)
-
-	// A node can contribute a slot if it has a free half (by cores and
-	// memory) and, for intensive jobs, hosts no intensive job yet.
-	memPerSlot := float64(half) * j.Prog.MemGBPerProc
-	var candidates []int
-	for _, node := range s.cl.Nodes {
-		if node.FreeCores() < half || node.FreeMem() < memPerSlot {
-			continue
-		}
-		if intensive && s.nodeHasIntensive(node) {
-			continue
-		}
-		// A node offers one or two slots; count it once per free half.
-		free := node.FreeCores() / half
-		if memPerSlot > 0 {
-			if byMem := int(node.FreeMem() / memPerSlot); byMem < free {
-				free = byMem
-			}
-		}
-		if intensive && free > 0 {
-			free = 1 // at most one intensive slot per node
-		}
-		for k := 0; k < free && len(candidates) < slots; k++ {
-			candidates = append(candidates, node.ID)
-		}
-		if len(candidates) == slots {
-			break
-		}
-	}
-	if len(candidates) < slots {
-		return nil
-	}
-	// Merge repeated node ids into per-node core counts.
-	perNode := map[int]int{}
-	var order []int
-	for _, id := range candidates {
-		if perNode[id] == 0 {
-			order = append(order, id)
-		}
-		perNode[id] += half
-	}
-	nodes := make([]int, 0, len(order))
-	cores := make([]int, 0, len(order))
-	remaining := j.Procs
-	for _, id := range order {
-		take := perNode[id]
-		if take > remaining {
-			take = remaining
-		}
-		nodes = append(nodes, id)
-		cores = append(cores, take)
-		remaining -= take
-	}
-	if remaining > 0 {
-		return nil
-	}
-	if !scaleRunnable(j.Prog, j.Procs, len(nodes)) {
-		return nil
-	}
-	return &placement{nodes: nodes, cores: cores}
-}
-
 // nodeHasIntensive reports whether any job on the node is classified
 // intensive.
-func (s *Scheduler) nodeHasIntensive(node *cluster.Node) bool {
-	for _, id := range node.Jobs() {
-		if j, ok := s.eng.Job(id); ok && s.bwIntensive(j) {
+func (s *Scheduler) nodeHasIntensive(id int) bool {
+	for _, jid := range s.cl.Nodes[id].Jobs() {
+		if j, ok := s.eng.Job(jid); ok && s.bwIntensive(j) {
 			return true
 		}
 	}

@@ -93,6 +93,30 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Percentile returns the p-quantile (p in [0, 1]) of an ascending-sorted
+// sample with linear interpolation between the two straddling order
+// statistics. p at or below 0 returns the minimum, at or above 1 the
+// maximum; the empty sample yields 0.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
 // Histogram counts values into equal-width bins over [lo, hi); values
 // outside the range clamp into the edge bins (Figure 18's episode counts).
 func Histogram(xs []float64, lo, hi float64, bins int) []int {

@@ -4,38 +4,37 @@ import (
 	"fmt"
 	"sort"
 
-	"spreadnshare/internal/core"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 	"spreadnshare/internal/sim"
 	"spreadnshare/internal/stats"
 )
 
-// Policy selects the strategy replayed by the trace simulator. Figure 20
-// compares CE against SNS.
-type Policy int
+// Policy selects the strategy replayed by the trace simulator. It is the
+// shared kernel enum, so the replay exercises the very same placement
+// searches as the testbed scheduler; this package only supplies the trace
+// generation, the runtime models, and the result summaries. Figure 20
+// compares all four policies.
+type Policy = placement.Policy
 
 const (
 	// CE replays jobs at their trace footprint on dedicated nodes.
-	CE Policy = iota
+	CE = placement.CE
+	// CS shares nodes by free cores without scaling or partitioning.
+	CS = placement.CS
 	// SNS scales jobs per their program profile and co-locates them
 	// under (c, w, b) accounting.
-	SNS
+	SNS = placement.SNS
+	// TwoSlot replays the related-work half-node-slot baseline.
+	TwoSlot = placement.TwoSlot
 )
-
-// String returns the policy name.
-func (p Policy) String() string {
-	if p == CE {
-		return "CE"
-	}
-	return "SNS"
-}
 
 // SimConfig tunes a replay.
 type SimConfig struct {
 	// ClusterNodes is the simulated cluster size (paper: 4K-32K).
 	ClusterNodes int
-	// Policy is CE or SNS.
+	// Policy is the placement strategy to replay.
 	Policy Policy
 	// CoresPerJobNode is the per-node process count of trace jobs at
 	// scale 1; the paper re-sizes Trinity jobs to 16-core node slices
@@ -68,6 +67,8 @@ type SimJob struct {
 	Start, Finish float64
 	Scale         int
 	NodesUsed     int
+	// Nodes is the placed node set, in the kernel's selection order.
+	Nodes []int
 }
 
 // Wait returns submit-to-start.
@@ -92,36 +93,30 @@ type Result struct {
 	WaitP50, WaitP90, WaitP99 float64
 }
 
-// simNode is the lightweight per-node state of the large-scale simulator.
-type simNode struct {
-	freeCores int
-	freeWays  int
-	freeBW    float64
+// runJob is the in-flight bookkeeping of one replayed job: its kernel
+// request plus the effective reservations to return on completion.
+type runJob struct {
+	out  *SimJob
+	req  placement.Request
+	prof *profiler.Profile
+	res  []placement.Reservation
 }
 
-// simulator replays a trace under one policy.
+// simulator replays a trace under one policy, backed by the placement
+// kernel's SimState/Search/Pending.
 type simulator struct {
-	cfg     SimConfig
-	spec    hw.NodeSpec
-	db      *profiler.DB
-	q       *sim.Queue
-	nodes   []simNode
-	byFree  [][]int // free-core count -> node ids (bucket index)
-	bucketP []int   // node id -> position within its bucket
-	pending []*simJob
-}
-
-type simJob struct {
-	out   *SimJob
-	nodes []int
-	cores int
-	ways  int
-	bw    float64
-	excl  bool
+	cfg    SimConfig
+	spec   hw.NodeSpec
+	q      *sim.Queue
+	state  *placement.SimState
+	search *placement.Search
+	queue  *placement.Pending
+	jobs   []*runJob
 }
 
 // Simulate replays a mapped trace on a cluster of the given node type.
-// Every job's program must be mapped and profiled in db at the configured
+// Every job's program must be mapped, and — for every policy but CE,
+// whose runtime is the trace runtime — profiled in db at the configured
 // per-node process count.
 func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Result, error) {
 	if cfg.ClusterNodes <= 0 {
@@ -130,19 +125,21 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 	if cfg.CoresPerJobNode <= 0 || cfg.CoresPerJobNode > node.Cores {
 		return nil, fmt.Errorf("trace: bad CoresPerJobNode %d", cfg.CoresPerJobNode)
 	}
+	state := placement.NewSimState(node, cfg.ClusterNodes)
 	s := &simulator{
-		cfg:     cfg,
-		spec:    node,
-		db:      db,
-		q:       &sim.Queue{},
-		nodes:   make([]simNode, cfg.ClusterNodes),
-		byFree:  make([][]int, node.Cores+1),
-		bucketP: make([]int, cfg.ClusterNodes),
+		cfg:   cfg,
+		spec:  node,
+		q:     &sim.Queue{},
+		state: state,
+		queue: &placement.Pending{AgingPeriodSec: 1, ScanDepth: cfg.ScanDepth},
 	}
-	for i := range s.nodes {
-		s.nodes[i] = simNode{freeCores: node.Cores, freeWays: node.LLCWays, freeBW: node.PeakBandwidth}
-		s.byFree[node.Cores] = append(s.byFree[node.Cores], i)
-		s.bucketP[i] = i
+	s.search = &placement.Search{
+		View:         state,
+		Idx:          state.Index(),
+		Spec:         node,
+		Nodes:        cfg.ClusterNodes,
+		MaxScale:     cfg.MaxScale,
+		HasIntensive: state.HasIntensive,
 	}
 	res := &Result{Policy: cfg.Policy}
 	for i := range jobs {
@@ -151,22 +148,48 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 			return nil, fmt.Errorf("trace: job %d needs %d nodes on a %d-node cluster",
 				tj.ID, tj.Nodes, cfg.ClusterNodes)
 		}
-		if cfg.Policy == SNS {
-			if _, ok := db.Get(tj.Program, cfg.CoresPerJobNode); !ok {
+		var prof *profiler.Profile
+		if cfg.Policy != CE {
+			p, ok := db.Get(tj.Program, cfg.CoresPerJobNode)
+			if !ok {
 				return nil, fmt.Errorf("trace: job %d program %q unprofiled", tj.ID, tj.Program)
 			}
+			prof = p
 		}
 		out := &SimJob{Trace: tj}
 		res.Jobs = append(res.Jobs, out)
-		sj := &simJob{out: out}
+		rj := &runJob{
+			out:  out,
+			prof: prof,
+			req: placement.Request{
+				BaseNodes:    tj.Nodes,
+				CoresPerNode: cfg.CoresPerJobNode,
+				Alpha:        cfg.Alpha,
+				MultiNode:    true,
+			},
+		}
+		switch cfg.Policy {
+		case SNS:
+			rj.req.Profile = prof
+		case TwoSlot:
+			rj.req.Intensive = bwIntensive(prof, node)
+		}
+		// Queue bookkeeping is keyed by the job's slice index, not its
+		// trace ID (SWF replays may carry colliding IDs).
+		idx := len(s.jobs)
+		s.jobs = append(s.jobs, rj)
 		s.q.At(tj.SubmitSec, func() {
-			s.pending = append(s.pending, sj)
+			s.queue.Push(idx, tj.SubmitSec, 0, idx)
 			s.schedule()
 		})
 	}
 	s.q.Run(0)
-	if len(s.pending) > 0 {
-		return nil, fmt.Errorf("trace: %d jobs never placed", len(s.pending))
+	if s.queue.Len() > 0 {
+		first, _ := s.queue.First()
+		tj := s.jobs[first.ID].out.Trace
+		return nil, fmt.Errorf(
+			"trace: %d jobs never placed under %s (first stuck: job %d wants %d nodes × %d cores, max free is %d cores/node)",
+			s.queue.Len(), cfg.Policy, tj.ID, tj.Nodes, cfg.CoresPerJobNode, s.state.MaxFreeCores())
 	}
 	// Summaries.
 	waits := make([]float64, len(res.Jobs))
@@ -184,150 +207,127 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 	res.Throughput = stats.Throughput(turns)
 	sorted := append([]float64(nil), waits...)
 	sort.Float64s(sorted)
-	pct := func(p float64) float64 {
-		if len(sorted) == 0 {
-			return 0
-		}
-		return sorted[int(p*float64(len(sorted)-1))]
-	}
-	res.WaitP50, res.WaitP90, res.WaitP99 = pct(0.5), pct(0.9), pct(0.99)
+	res.WaitP50 = stats.Percentile(sorted, 0.5)
+	res.WaitP90 = stats.Percentile(sorted, 0.9)
+	res.WaitP99 = stats.Percentile(sorted, 0.99)
 	return res, nil
 }
 
-// moveBucket updates the free-core index after a node's free count changes.
-func (s *simulator) moveBucket(id, oldFree, newFree int) {
-	if oldFree == newFree {
-		return
-	}
-	b := s.byFree[oldFree]
-	pos := s.bucketP[id]
-	last := len(b) - 1
-	b[pos] = b[last]
-	s.bucketP[b[pos]] = pos
-	s.byFree[oldFree] = b[:last]
-	s.byFree[newFree] = append(s.byFree[newFree], id)
-	s.bucketP[id] = len(s.byFree[newFree]) - 1
-}
-
-// take reserves resources on a node.
-func (s *simulator) take(id, cores, ways int, bw float64) {
-	n := &s.nodes[id]
-	old := n.freeCores
-	n.freeCores -= cores
-	n.freeWays -= ways
-	n.freeBW -= bw
-	s.moveBucket(id, old, n.freeCores)
-}
-
-// release returns resources.
-func (s *simulator) release(id, cores, ways int, bw float64) {
-	n := &s.nodes[id]
-	old := n.freeCores
-	n.freeCores += cores
-	n.freeWays += ways
-	n.freeBW += bw
-	s.moveBucket(id, old, n.freeCores)
-}
-
-// schedule scans the pending queue in FIFO order up to ScanDepth attempts.
+// schedule runs one kernel queue pass (FIFO by wait, bounded backfill).
 func (s *simulator) schedule() {
-	attempts := 0
-	i := 0
-	for i < len(s.pending) && attempts < s.cfg.ScanDepth {
-		sj := s.pending[i]
-		if s.tryPlace(sj) {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			continue
-		}
-		attempts++
-		i++
-	}
+	now := s.q.Now()
+	s.queue.Schedule(now, func(i int) bool {
+		return s.tryPlace(s.jobs[i])
+	})
 }
 
 // tryPlace attempts one job under the policy, launching it on success.
-func (s *simulator) tryPlace(sj *simJob) bool {
-	tj := sj.out.Trace
-	switch s.cfg.Policy {
-	case CE:
-		nodes := s.findNodes(tj.Nodes, s.spec.Cores, 0, 0)
-		if nodes == nil {
-			return false
-		}
-		// CE dedicates whole nodes: account all cores.
-		s.launch(sj, nodes, s.spec.Cores, 0, 0, tj.RuntimeSec, 1)
-		return true
-	case SNS:
-		prof, _ := s.db.Get(tj.Program, s.cfg.CoresPerJobNode)
-		base, ok := prof.AtK(1)
-		if !ok {
-			base = &prof.Scales[0]
-		}
-		for _, sp := range prof.ByPerformance() {
-			if sp.K > s.cfg.MaxScale {
-				continue
-			}
-			n := sp.K * tj.Nodes
-			if n > s.cfg.ClusterNodes {
-				continue
-			}
-			d := core.EstimateDemand(sp, s.cfg.Alpha, s.spec)
-			nodes := s.findNodes(n, d.Cores, d.Ways, d.BW)
-			if nodes == nil {
-				continue
-			}
-			// The trace runtime is the CE runtime; the profiled
-			// exclusive times give the speedup of this scale.
-			rt := tj.RuntimeSec * sp.TimeSec / base.TimeSec
-			s.launch(sj, nodes, d.Cores, d.Ways, d.BW, rt, sp.K)
-			return true
-		}
+func (s *simulator) tryPlace(rj *runJob) bool {
+	pl := s.search.Place(s.cfg.Policy, rj.req)
+	if pl == nil {
 		return false
 	}
-	return false
+	s.launch(rj, pl)
+	return true
 }
 
-// findNodes collects n nodes with the per-node demand using the free-core
-// bucket index, visiting the emptiest buckets first (idlest-first, the
-// cheap large-cluster analogue of the testbed scheduler's scoring).
-func (s *simulator) findNodes(n, cores, ways int, bw float64) []int {
-	if n <= 0 {
-		return nil
-	}
-	found := make([]int, 0, n)
-	for free := s.spec.Cores; free >= cores; free-- {
-		for _, id := range s.byFree[free] {
-			node := &s.nodes[id]
-			if ways > 0 && node.freeWays < ways {
-				continue
-			}
-			if bw > 0 && node.freeBW < bw {
-				continue
-			}
-			found = append(found, id)
-			if len(found) == n {
-				return found
-			}
-		}
-	}
-	return nil
-}
-
-// launch reserves resources and schedules completion.
-func (s *simulator) launch(sj *simJob, nodes []int, cores, ways int, bw float64, runtime float64, scale int) {
-	sj.nodes = nodes
-	sj.cores, sj.ways, sj.bw = cores, ways, bw
-	for _, id := range nodes {
-		s.take(id, cores, ways, bw)
+// launch reserves the plan's resources and schedules completion.
+func (s *simulator) launch(rj *runJob, pl *placement.Plan) {
+	rj.res = make([]placement.Reservation, len(pl.Nodes))
+	for i, id := range pl.Nodes {
+		rj.res[i] = s.state.Reserve(id, placement.Reservation{
+			Cores:     pl.Cores[i],
+			Ways:      pl.Ways,
+			BW:        pl.BW,
+			IOBW:      pl.IOBW,
+			Exclusive: pl.Exclusive,
+			Intensive: rj.req.Intensive,
+		})
 	}
 	now := s.q.Now()
-	sj.out.Start = now
-	sj.out.Finish = now + runtime
-	sj.out.Scale = scale
-	sj.out.NodesUsed = len(nodes)
-	s.q.At(sj.out.Finish, func() {
-		for _, id := range sj.nodes {
-			s.release(id, sj.cores, sj.ways, sj.bw)
+	rj.out.Start = now
+	rj.out.Finish = now + s.runtime(rj, pl)
+	rj.out.Scale = pl.K
+	rj.out.NodesUsed = len(pl.Nodes)
+	rj.out.Nodes = pl.Nodes
+	nodes := pl.Nodes
+	s.q.At(rj.out.Finish, func() {
+		for i, id := range nodes {
+			s.state.Release(id, rj.res[i])
 		}
 		s.schedule()
 	})
+}
+
+// runtime models a placed job's duration. The trace runtime is the CE
+// (compact, exclusive) runtime; the profiles supply the corrections:
+//
+//   - SNS: the profiled exclusive times give the speedup of the chosen
+//     scale, and the (c, w, b) reservation protects it from neighbors.
+//   - CS: the same scaling ratio (when the footprint was grown), but
+//     sharing is unmanaged — the job runs with only its fair share of the
+//     LLC, so the profiled IPC ratio at that share becomes a slowdown.
+//   - TwoSlot: no scaling; a half-node slot implies half the LLC.
+func (s *simulator) runtime(rj *runJob, pl *placement.Plan) float64 {
+	tj := rj.out.Trace
+	switch s.cfg.Policy {
+	case CE:
+		return tj.RuntimeSec
+	case SNS:
+		base := baseScale(rj.prof)
+		sp, ok := rj.prof.AtK(pl.K)
+		if !ok {
+			sp = base
+		}
+		return tj.RuntimeSec * sp.TimeSec / base.TimeSec
+	case CS:
+		base := baseScale(rj.prof)
+		sp, ok := rj.prof.AtK(pl.K)
+		ratio := 1.0
+		if ok {
+			ratio = sp.TimeSec / base.TimeSec
+		} else {
+			sp = base
+		}
+		return tj.RuntimeSec * ratio * cachePenalty(sp, fairWays(s.spec, pl.Cores[0]))
+	case TwoSlot:
+		return tj.RuntimeSec * cachePenalty(baseScale(rj.prof), s.spec.LLCWays/2)
+	}
+	return tj.RuntimeSec
+}
+
+// baseScale returns the compact-run reference profile (K=1, or the first
+// recorded scale when the compact run is missing).
+func baseScale(p *profiler.Profile) *profiler.ScaleProfile {
+	if sp, ok := p.AtK(1); ok {
+		return sp
+	}
+	return &p.Scales[0]
+}
+
+// fairWays is a co-located job's LLC fair share given its core share.
+func fairWays(spec hw.NodeSpec, cores int) int {
+	w := spec.LLCWays * cores / spec.Cores
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cachePenalty is the static unmanaged-sharing slowdown of running with w
+// LLC ways instead of the full cache: the profiled IPC ratio.
+func cachePenalty(sp *profiler.ScaleProfile, w int) float64 {
+	full := sp.IPCAt(sp.FullWays())
+	part := sp.IPCAt(w)
+	if full <= 0 || part <= 0 {
+		return 1
+	}
+	return full / part
+}
+
+// bwIntensive classifies a program for TwoSlot pairing: its compact-run
+// bandwidth drains more than a third of the node's peak.
+func bwIntensive(p *profiler.Profile, spec hw.NodeSpec) bool {
+	base := baseScale(p)
+	return base.BWAt(base.FullWays()) > spec.PeakBandwidth/3
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"spreadnshare/internal/stats"
 )
 
 // Stats summarizes a trace's shape: the quantities one checks against the
@@ -49,8 +51,8 @@ func Summarize(jobs []Job) Stats {
 	s.NodeP50 = nodes[pct(0.5)]
 	s.NodeP90 = nodes[pct(0.9)]
 	s.NodeMax = nodes[len(nodes)-1]
-	s.RuntimeP50 = runtimes[pct(0.5)]
-	s.RuntimeP90 = runtimes[pct(0.9)]
+	s.RuntimeP50 = stats.Percentile(runtimes, 0.5)
+	s.RuntimeP90 = stats.Percentile(runtimes, 0.9)
 	s.PowerOfTwoFrac = float64(pow2) / float64(len(jobs))
 	return s
 }

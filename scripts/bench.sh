@@ -1,40 +1,28 @@
 #!/usr/bin/env bash
-# bench.sh — run the PR 1 hot-path benchmark set with -benchmem and emit
-# a machine-readable BENCH_PR1.json next to the repo root (or to $1).
+# bench.sh — run the benchmark sets of each performance PR with -benchmem
+# and emit machine-readable BENCH_PR<n>.json files next to the repo root.
 #
-# The figure-level target runs with -benchtime=1x: the 36-sequence study
-# is cached across b.N iterations (see benchSequences in bench_test.go),
+# PR 1 covers the co-run engine / event-queue hot path (BENCH_PR1.json);
+# PR 2 covers the placement kernel: the full 32K-node Figure 20 replay
+# per policy plus the indexed-vs-linear candidate-search pair
+# (BENCH_PR2.json). Pass "pr1" or "pr2" to run one set; default is both.
+#
+# The figure-level and trace-replay targets run with -benchtime=1x: the
+# figure studies are cached across b.N iterations (see bench_test.go),
 # so only a single-iteration run measures real end-to-end work.
 #
-# The JSON carries two sections:
+# Each JSON carries two sections:
 #   baseline — numbers recorded on the pre-optimization tree (frozen)
 #   current  — this run, parsed from `go test -bench` output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+which="${1:-all}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Fig14Throughput|Fig17LoadBalance' -benchmem -benchtime=1x . | tee -a "$tmp"
-go test -run '^$' -bench 'SoloRun|ContendedNode' -benchmem ./internal/exec | tee -a "$tmp"
-go test -run '^$' -bench 'QueueThroughput|QueueDeepHeap' -benchmem ./internal/sim | tee -a "$tmp"
-go test -run '^$' -bench 'WaterFill' -benchmem ./internal/hw | tee -a "$tmp"
-
-{
-	cat <<'EOF'
-{
-  "issue": "PR 1: allocation-free hot path for the co-run execution engine and event queue",
-  "note": "baseline recorded at the growth seed (commit 317d902); figure targets use -benchtime=1x (sequence study cached across iterations)",
-  "baseline": [
-    {"name": "BenchmarkFig14Throughput", "iterations": 1, "metrics": {"ns/op": 117170350, "B/op": 17889832, "allocs/op": 560475, "CS-gain-%": 7.874, "SNS-gain-%": 20.22}},
-    {"name": "BenchmarkSoloRun", "metrics": {"ns/op": 4031, "allocs/op": 44}},
-    {"name": "BenchmarkContendedNode", "metrics": {"ns/op": 36470, "allocs/op": 252}},
-    {"name": "BenchmarkQueueThroughput", "metrics": {"ns/op": 59.75, "allocs/op": 1}},
-    {"name": "BenchmarkQueueDeepHeap", "metrics": {"ns/op": 427.0, "allocs/op": 1}}
-  ],
-  "current": [
-EOF
+# emit_current parses `go test -bench` lines from $tmp into JSON rows.
+emit_current() {
 	awk '
 		/^Benchmark/ {
 			name = $1; sub(/-[0-9]+$/, "", name)
@@ -49,10 +37,60 @@ EOF
 		}
 		END { print "" }
 	' "$tmp"
-	cat <<'EOF'
+}
+
+if [[ "$which" == "all" || "$which" == "pr1" ]]; then
+	: >"$tmp"
+	go test -run '^$' -bench 'Fig14Throughput|Fig17LoadBalance' -benchmem -benchtime=1x . | tee -a "$tmp"
+	go test -run '^$' -bench 'SoloRun|ContendedNode' -benchmem ./internal/exec | tee -a "$tmp"
+	go test -run '^$' -bench 'QueueThroughput|QueueDeepHeap' -benchmem ./internal/sim | tee -a "$tmp"
+	go test -run '^$' -bench 'WaterFill' -benchmem ./internal/hw | tee -a "$tmp"
+
+	{
+		cat <<'EOF'
+{
+  "issue": "PR 1: allocation-free hot path for the co-run execution engine and event queue",
+  "note": "baseline recorded at the growth seed (commit 317d902); figure targets use -benchtime=1x (sequence study cached across iterations)",
+  "baseline": [
+    {"name": "BenchmarkFig14Throughput", "iterations": 1, "metrics": {"ns/op": 117170350, "B/op": 17889832, "allocs/op": 560475, "CS-gain-%": 7.874, "SNS-gain-%": 20.22}},
+    {"name": "BenchmarkSoloRun", "metrics": {"ns/op": 4031, "allocs/op": 44}},
+    {"name": "BenchmarkContendedNode", "metrics": {"ns/op": 36470, "allocs/op": 252}},
+    {"name": "BenchmarkQueueThroughput", "metrics": {"ns/op": 59.75, "allocs/op": 1}},
+    {"name": "BenchmarkQueueDeepHeap", "metrics": {"ns/op": 427.0, "allocs/op": 1}}
+  ],
+  "current": [
+EOF
+		emit_current
+		cat <<'EOF'
   ]
 }
 EOF
-} >"$out"
+	} >BENCH_PR1.json
+	echo "wrote BENCH_PR1.json"
+fi
 
-echo "wrote $out"
+if [[ "$which" == "all" || "$which" == "pr2" ]]; then
+	: >"$tmp"
+	go test -run '^$' -bench 'Trace32K' -benchmem -benchtime=1x . | tee -a "$tmp"
+	go test -run '^$' -bench 'IndexedFind32K|LinearFind32K' -benchmem ./internal/placement | tee -a "$tmp"
+
+	{
+		cat <<'EOF'
+{
+  "issue": "PR 2: shared placement kernel with an indexed candidate search",
+  "note": "baseline recorded pre-refactor (commit 02172ac): Trace32K ran the trace simulator's private greedy first-fit (no node scoring), and LinearFind32K ran core.FindNodes' full-cluster linear scan. The kernel replay now runs the testbed scheduler's scored tightest-group search in both layers, so the Trace32K rows trade throughput for placement fidelity; the Find32K pair isolates the index itself on identical selection semantics (gate: indexed >= 2x linear, enforced by TestIndexedSearchSpeedup).",
+  "baseline": [
+    {"name": "BenchmarkTrace32K/CE", "iterations": 1, "metrics": {"ns/op": 108500000, "B/op": 34171077, "allocs/op": 42370}},
+    {"name": "BenchmarkTrace32K/SNS", "iterations": 1, "metrics": {"ns/op": 639500000, "B/op": 169756866, "allocs/op": 91889}},
+    {"name": "BenchmarkLinearFind32K", "metrics": {"ns/op": 913800}}
+  ],
+  "current": [
+EOF
+		emit_current
+		cat <<'EOF'
+  ]
+}
+EOF
+	} >BENCH_PR2.json
+	echo "wrote BENCH_PR2.json"
+fi
