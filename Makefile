@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench figures
+.PHONY: build test vet lint race check bench figures
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the determinism linter (internal/lint via cmd/snslint) over
+# the deterministic packages. Findings are hard failures; suppressions
+# need a justified //lint: directive.
+lint:
+	$(GO) run ./cmd/snslint ./...
+
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate: everything must compile, pass vet, and pass
-# the full test suite under the race detector.
-check: build vet race
+# check is the tier-1 gate: everything must compile, pass vet and the
+# determinism linter, and pass the full test suite under the race
+# detector.
+check: build vet lint race
 
 # bench reruns the hot-path benchmark set and rewrites BENCH_PR1.json.
 bench:

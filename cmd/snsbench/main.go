@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"spreadnshare/internal/experiments"
+	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/report"
 )
 
@@ -45,7 +46,12 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the figure run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the figure run to this file")
+	invariants := flag.Bool("invariants", false, "run the invariant auditor on every scheduling event")
 	flag.Parse()
+
+	if *invariants {
+		invariant.Enable()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

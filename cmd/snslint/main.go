@@ -1,0 +1,73 @@
+// Command snslint is the determinism multichecker: it runs the
+// internal/lint analysis suite (mapiter, walltime, floateq) over the
+// simulator's deterministic packages and fails the build on any
+// finding. It is the mechanical form of DESIGN.md's determinism rules
+// and runs as part of `make lint` / `make check` / CI.
+//
+// Usage:
+//
+//	snslint [-all] [-doc] [packages]
+//
+// With no arguments it checks ./... — of which only the deterministic
+// set (see internal/lint.DeterministicPackages) is analyzed, unless
+// -all forces every matched package through the suite. Findings are
+// suppressed line by line with a justified directive, e.g.
+//
+//	//lint:ordered ids are sorted before use
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spreadnshare/internal/lint"
+)
+
+func main() {
+	all := flag.Bool("all", false, "analyze every matched package, not just the deterministic set")
+	doc := flag.Bool("doc", false, "print each analyzer's rule statement and exit")
+	flag.Parse()
+
+	if *doc {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snslint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	checked := 0
+	for _, p := range pkgs {
+		if !*all && !lint.DeterministicPackages[p.Path] {
+			continue
+		}
+		checked++
+		for _, a := range lint.Analyzers() {
+			for _, d := range lint.Run(a, p.Fset, p.Files, p.Types, p.Info) {
+				fmt.Println(d)
+				findings++
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "snslint: no deterministic packages matched (use -all to analyze everything)")
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "snslint: %d findings in %d packages\n", findings, checked)
+		os.Exit(1)
+	}
+}

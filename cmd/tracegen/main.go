@@ -15,6 +15,7 @@ import (
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 	"spreadnshare/internal/trace"
@@ -37,7 +38,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print trace shape statistics")
 	swf := flag.String("swf", "", "import a Standard Workload Format trace instead of synthesizing")
 	swfProcs := flag.Int("swf-procs-per-node", 16, "processors per node for SWF conversion")
+	invariants := flag.Bool("invariants", false, "run the invariant auditor on every scheduling event of the replay")
 	flag.Parse()
+
+	if *invariants {
+		invariant.Enable()
+	}
 
 	var jj []trace.Job
 	if *swf != "" {

@@ -155,7 +155,7 @@ func NewCatalog(spec hw.NodeSpec) (*Catalog, error) {
 func MustCatalog() *Catalog {
 	c, err := NewCatalog(hw.DefaultNodeSpec())
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("app: builtin catalog failed to calibrate: %v", err))
 	}
 	return c
 }

@@ -42,6 +42,12 @@ type Engine struct {
 	epoch     uint64 // recompute stamp for affected-job dedup
 	scratch   resolveScratch
 
+	// audit, when set, runs after every recompute — the invariant
+	// auditor's hook point. It must not mutate engine state and must
+	// not allocate: the recompute path is pinned at zero steady-state
+	// allocations by alloc_test.go, auditor included.
+	audit func()
+
 	// PhasesOn enables program bandwidth-phase simulation: jobs whose
 	// model declares a PhaseAmp alternate between high- and
 	// low-bandwidth phases, temporarily exceeding their profiled
@@ -281,6 +287,37 @@ func (e *Engine) NodeActiveCores(n int) int {
 	return c
 }
 
+// NodeAllocWays returns the summed CAT way allocation of the node's
+// residents (launch-time allocations; profiler way-overrides are
+// deliberate capacity violations and do not count).
+func (e *Engine) NodeAllocWays(n int) int {
+	w := 0
+	for _, r := range e.nodes[n] {
+		w += r.job.Ways
+	}
+	return w
+}
+
+// NodeResidentsConsistent reports whether the node's resident list
+// holds strictly ID-ascending entries with positive core counts and
+// placement slots that point back at this node — the ordering invariant
+// every deterministic recompute pass relies on. It takes no callback so
+// the invariant auditor can call it allocation-free from the recompute
+// hook.
+func (e *Engine) NodeResidentsConsistent(n int) bool {
+	prev := -1
+	for _, r := range e.nodes[n] {
+		if r.job == nil || r.job.ID <= prev || r.cores <= 0 {
+			return false
+		}
+		if r.slot < 0 || r.slot >= len(r.job.Nodes) || r.job.Nodes[r.slot] != n {
+			return false
+		}
+		prev = r.job.ID
+	}
+	return true
+}
+
 // Monitor installs a periodic recorder sampling every node's bandwidth
 // and occupancy, mirroring the paper's 30-second monitoring episodes.
 // Sampling stops after horizon (0 = run forever while events remain).
@@ -389,7 +426,15 @@ func (e *Engine) recompute() {
 	for _, j := range e.affected {
 		e.refreshJob(j)
 	}
+	if e.audit != nil {
+		e.audit()
+	}
 }
+
+// SetAudit installs a read-only hook run after every recompute, i.e. at
+// every event that changes any node's population or allocation. The
+// invariant auditor attaches here.
+func (e *Engine) SetAudit(fn func()) { e.audit = fn }
 
 // growFloats returns s resized to n, reusing capacity.
 func growFloats(s []float64, n int) []float64 {

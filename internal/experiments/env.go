@@ -75,7 +75,7 @@ func SharedEnv() (*Env, error) {
 func (e *Env) Prog(name string) *app.Model {
 	m, err := e.Cat.Lookup(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("experiments: static experiment table names %q: %v", name, err))
 	}
 	return m
 }

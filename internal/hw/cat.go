@@ -67,6 +67,7 @@ func NewWayAllocator(spec NodeSpec) *WayAllocator {
 // FreeWays returns the number of ways not allocated to any job.
 func (a *WayAllocator) FreeWays() int {
 	used := 0
+	//lint:ordered integer sum of per-partition way counts is commutative
 	for _, m := range a.alloc {
 		used += m.Count()
 	}
@@ -120,6 +121,7 @@ func (a *WayAllocator) Allocate(id, n int) (WayMask, error) {
 // contiguously.
 func (a *WayAllocator) Defragment() {
 	ids := make([]int, 0, len(a.alloc))
+	//lint:ordered ids are sorted before any order-sensitive use below
 	for id := range a.alloc {
 		ids = append(ids, id)
 	}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags the two float patterns that corrupt golden digests:
+//
+//   - `==` / `!=` between two computed float expressions. Rounding makes
+//     such comparisons fragile across compilers and refactors; compare
+//     against an epsilon, or justify the exact comparison with
+//     `//lint:floateq <why>` (legitimate when both sides are the same
+//     computation, e.g. sort-rank tie detection). Comparison against a
+//     compile-time constant is allowed: those are sentinel checks
+//     (`x == 0`), which are exact by construction.
+//   - float accumulation (`+=`, `-=`, `*=`, `/=`) inside a range over a
+//     map. Float addition does not associate, so the sum depends on
+//     Go's randomized iteration order. A //lint:ordered directive does
+//     NOT silence this (it belongs to mapiter); only an explicit
+//     `//lint:floateq <why>` does, e.g. when every addend is a small
+//     integer stored in a float and the sum is therefore exact.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between computed floats and float accumulation " +
+		"over map iteration order",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	for _, f := range pass.Files {
+		var mapRanges []*ast.RangeStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			// Track the enclosing map-range nest.
+			for len(mapRanges) > 0 && n.Pos() >= mapRanges[len(mapRanges)-1].End() {
+				mapRanges = mapRanges[:len(mapRanges)-1]
+			}
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(v.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						mapRanges = append(mapRanges, v)
+					}
+				}
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				if !floatOperand(pass, v.X) || !floatOperand(pass, v.Y) {
+					return true
+				}
+				if isConst(pass, v.X) || isConst(pass, v.Y) {
+					return true
+				}
+				pass.Reportf(v.OpPos, "%s between computed floats is rounding-fragile; use an epsilon or justify with //lint:floateq", v.Op)
+			case *ast.AssignStmt:
+				if len(mapRanges) == 0 {
+					return true
+				}
+				switch v.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					if t := pass.Info.TypeOf(v.Lhs[0]); t != nil && isFloat(t) {
+						pass.Reportf(v.Pos(), "float accumulation over map iteration order is nondeterministic; sum over a sorted slice")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// floatOperand reports whether the expression has floating-point type.
+func floatOperand(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	return t != nil && isFloat(t)
+}
+
+// isConst reports whether the expression is a compile-time constant.
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,234 @@
+// Package lint is the determinism linter of the simulator: a small
+// go/analysis-shaped static-analysis framework (stdlib only, so it
+// builds offline) plus the three passes that turn DESIGN.md's
+// determinism rules into machine-checked law:
+//
+//   - mapiter: `for range` over a map in a deterministic package leaks
+//     runtime-randomized iteration order into simulation state unless
+//     the loop body is provably order-insensitive.
+//   - walltime: wall-clock readings (time.Now, time.Since, ...) and the
+//     global math/rand source make replays unreproducible; all time
+//     must come from the sim clock and all randomness from a seeded
+//     *rand.Rand.
+//   - floateq: ==/!= between computed floats, and float accumulation
+//     over map iteration order, silently break the bit-identical golden
+//     digests.
+//
+// A finding can be suppressed with a justified directive comment on the
+// offending line or the line above:
+//
+//	//lint:ordered ids are sorted before use
+//	//lint:floateq exact sentinel comparison, both sides same computation
+//	//lint:walltime operator-facing log timestamp, not simulation state
+//
+// The justification text is mandatory: a bare directive is itself a
+// diagnostic. cmd/snslint wires the passes into a multichecker run by
+// `make lint`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass. It mirrors the shape
+// of golang.org/x/tools/go/analysis.Analyzer so the passes can migrate
+// to the real framework wholesale if the dependency ever lands.
+type Analyzer struct {
+	// Name identifies the pass and its suppression directive
+	// (//lint:<directive> overrides a finding; mapiter uses the
+	// directive "ordered").
+	Name string
+	// Directive is the suppression keyword. Defaults to Name.
+	Directive string
+	// Doc is the one-paragraph rule statement.
+	Doc string
+	// Run reports findings on one type-checked package.
+	Run func(*Pass)
+}
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// A Pass holds one analyzer run over one package: the syntax, the type
+// information, and the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int][]*directive // file -> line -> directives
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+var directiveRE = regexp.MustCompile(`^//lint:([a-z]+)(?:\s+(.*))?$`)
+
+// newPass builds a Pass with the package's //lint: directives indexed.
+func newPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		directives: map[string]map[int][]*directive{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*directive{}
+					p.directives[pos.Filename] = byLine
+				}
+				// A nested `//` starts a comment-on-the-comment (the
+				// fixtures' want markers); it is not a justification.
+				reason := m[2]
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], &directive{
+					name:   m[1],
+					reason: strings.TrimSpace(reason),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding at pos unless a justified suppression
+// directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether the analyzer's directive appears on pos's
+// line or the line directly above it, and marks the directive used.
+// Directives with an empty justification do not suppress anything (and
+// are reported separately by Run).
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	name := p.Analyzer.Directive
+	if name == "" {
+		name = p.Analyzer.Name
+	}
+	at := p.Fset.Position(pos)
+	byLine := p.directives[at.Filename]
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.name == name && d.reason != "" {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes one analyzer over a type-checked package and returns its
+// findings sorted by position. Bare (unjustified) directives matching
+// the analyzer are reported as findings too, so the escape hatch cannot
+// rot into a blanket mute.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	p := newPass(a, fset, files, pkg, info)
+	a.Run(p)
+	dirName := a.Directive
+	if dirName == "" {
+		dirName = a.Name
+	}
+	for _, byLine := range p.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if d.name == dirName && d.reason == "" {
+					p.diags = append(p.diags, Diagnostic{
+						Pos:      fset.Position(d.pos),
+						Analyzer: a.Name,
+						Message:  fmt.Sprintf("//lint:%s directive needs a justification", dirName),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(p.diags, func(i, k int) bool {
+		a, b := p.diags[i].Pos, p.diags[k].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// Analyzers returns the full determinism suite in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Mapiter, Walltime, Floateq}
+}
+
+// DeterministicPackages is the set of import paths whose runtime code
+// the determinism contract covers: everything on the path from a
+// workload description to a golden digest. Test files and the packages
+// outside this set (report rendering, CLI glue, the profiler's offline
+// fitting) may use maps and wall time freely.
+var DeterministicPackages = map[string]bool{
+	"spreadnshare/internal/placement":   true,
+	"spreadnshare/internal/sched":       true,
+	"spreadnshare/internal/trace":       true,
+	"spreadnshare/internal/exec":        true,
+	"spreadnshare/internal/sim":         true,
+	"spreadnshare/internal/cluster":     true,
+	"spreadnshare/internal/hw":          true,
+	"spreadnshare/internal/pmu":         true,
+	"spreadnshare/internal/experiments": true,
+	"spreadnshare/internal/core":        true,
+}
+
+// isFloat reports whether t is a floating-point type (after unaliasing).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isInteger reports whether t is an integer type.
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors golang.org/x/tools' analysistest: each
+// file under testdata/src/<pkg> marks expected findings with trailing
+//
+//	// want "substring"
+//
+// comments; the analyzer must report a diagnostic containing that
+// substring on that line, and must report nothing anywhere else.
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// wantAt maps line number -> expected message substrings.
+func loadWants(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range matches {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", filepath.Base(file), i+1)
+				wants[key] = append(wants[key], m[1])
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks one analyzer against one fixture package.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadDir(dir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags := Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+
+	wants := loadWants(t, dir)
+	matched := map[string]int{} // key -> how many wants satisfied
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		ws := wants[key]
+		found := false
+		for i, w := range ws {
+			if w != "" && strings.Contains(d.Message, w) {
+				ws[i] = "" // consume
+				matched[key]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != "" {
+				t.Errorf("missing diagnostic at %s: want message containing %q", key, w)
+			}
+		}
+	}
+}
+
+func TestMapiterFixture(t *testing.T)  { runFixture(t, Mapiter, "mapiterfix") }
+func TestWalltimeFixture(t *testing.T) { runFixture(t, Walltime, "walltimefix") }
+func TestFloateqFixture(t *testing.T)  { runFixture(t, Floateq, "floateqfix") }
+
+// TestRepoIsClean runs the full suite over the deterministic packages —
+// the same gate `make lint` enforces, kept inside `go test ./...` so
+// the contract cannot drift even where only the test suite runs.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint needs go list + full type-checking")
+	}
+	pkgs, err := Load("spreadnshare/...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	checked := 0
+	for _, p := range pkgs {
+		if !DeterministicPackages[p.Path] {
+			continue
+		}
+		checked++
+		for _, a := range Analyzers() {
+			for _, d := range Run(a, p.Fset, p.Files, p.Types, p.Info) {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+	if checked != len(DeterministicPackages) {
+		t.Errorf("checked %d deterministic packages, want %d", checked, len(DeterministicPackages))
+	}
+}
+
+// TestDirectiveJustificationRequired pins the escape hatch's teeth: a
+// bare directive is a finding, a justified one suppresses.
+func TestDirectiveJustificationRequired(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "mapiterfix")
+	pkg, err := LoadDir(dir, "mapiterfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(Mapiter, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	bare := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a justification") {
+			bare++
+		}
+	}
+	if bare != 1 {
+		t.Errorf("got %d bare-directive findings, want exactly 1", bare)
+	}
+}

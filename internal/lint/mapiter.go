@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mapiter flags `for range` over map values in deterministic code. Go
+// randomizes map iteration order per run, so any loop whose effect
+// depends on visit order silently breaks bit-identical replay — the
+// exact bug class PR 1 had to hand-fix in NodeBandwidth summation.
+//
+// A loop escapes the flag in two ways:
+//
+//   - it is provably order-insensitive: every statement in the body is
+//     a commutative integer accumulation, an assignment into another
+//     map keyed by this loop's key, a delete, or control flow composed
+//     of those — and no right-hand side reads a variable the loop also
+//     writes (other than the accumulator itself);
+//   - it carries a justified `//lint:ordered <why>` directive, for
+//     patterns the prover cannot see (e.g. collect-then-sort).
+var Mapiter = &Analyzer{
+	Name:      "mapiter",
+	Directive: "ordered",
+	Doc: "flags range-over-map loops whose effect can depend on Go's " +
+		"randomized iteration order",
+	Run: runMapiter,
+}
+
+func runMapiter(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; iterate a sorted key slice, or justify with //lint:ordered")
+			return true
+		})
+	}
+}
+
+// orderInsensitive reports whether the loop body provably commutes
+// across iteration orders.
+func orderInsensitive(pass *Pass, rs *ast.RangeStmt) bool {
+	key := rangeVarObj(pass, rs.Key)
+	written := map[types.Object]bool{}
+	collectWrites(pass, rs.Body, written)
+	for _, s := range rs.Body.List {
+		if !commutativeStmt(pass, s, key, written) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObj resolves the object a range clause binds (nil for `_` or
+// absent variables).
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+// collectWrites gathers every object assigned, incremented, or
+// address-taken inside the body.
+func collectWrites(pass *Pass, body ast.Node, out map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if o := rootObj(pass, lhs); o != nil {
+					out[o] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if o := rootObj(pass, s.X); o != nil {
+				out[o] = true
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				if o := rootObj(pass, s.X); o != nil {
+					out[o] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootObj resolves the base identifier of an lvalue chain (x, x.f,
+// x[i], *x ...).
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := pass.Info.Uses[v]; o != nil {
+				return o
+			}
+			return pass.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// commutativeStmt reports whether one statement is order-insensitive on
+// its own: integer accumulation, keyed map assignment, delete, or
+// control flow over those.
+func commutativeStmt(pass *Pass, s ast.Stmt, key types.Object, written map[types.Object]bool) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return commutativeAssign(pass, st, key, written)
+	case *ast.IncDecStmt:
+		t := pass.Info.TypeOf(st.X)
+		return t != nil && isInteger(t)
+	case *ast.ExprStmt:
+		// delete(m, k) removes each visited key independently.
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		if b, isB := pass.Info.Uses[fn].(*types.Builtin); !isB || b.Name() != "delete" {
+			return false
+		}
+		return key != nil && rootObj(pass, call.Args[1]) == key
+	case *ast.IfStmt:
+		if st.Init != nil || !readsOnlyStable(pass, st.Cond, key, written, nil) {
+			return false
+		}
+		for _, inner := range st.Body.List {
+			if !commutativeStmt(pass, inner, key, written) {
+				return false
+			}
+		}
+		if st.Else != nil {
+			eb, ok := st.Else.(*ast.BlockStmt)
+			if !ok {
+				return false
+			}
+			for _, inner := range eb.List {
+				if !commutativeStmt(pass, inner, key, written) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			if !commutativeStmt(pass, inner, key, written) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// commutativeAssign accepts two shapes: `m[key] = expr` (per-key
+// independent) and `acc op= intExpr` for commutative integer ops. In
+// both, the right-hand side must not read loop-written state other than
+// the accumulator itself.
+func commutativeAssign(pass *Pass, st *ast.AssignStmt, key types.Object, written map[types.Object]bool) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := st.Lhs[0], st.Rhs[0]
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok || key == nil {
+			return false
+		}
+		if rootObj(pass, ix.Index) != key {
+			return false
+		}
+		if _, isMap := pass.Info.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+			return false
+		}
+		return readsOnlyStable(pass, rhs, key, written, nil)
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		t := pass.Info.TypeOf(lhs)
+		if t == nil || !isInteger(t) {
+			return false
+		}
+		acc := rootObj(pass, lhs)
+		return readsOnlyStable(pass, rhs, key, written, acc)
+	}
+	return false
+}
+
+// readsOnlyStable reports whether expr reads no object the loop writes,
+// except the range variables themselves and the permitted accumulator.
+// Function calls are rejected outright: their effects are invisible.
+func readsOnlyStable(pass *Pass, expr ast.Expr, key types.Object, written map[types.Object]bool, acc types.Object) bool {
+	ok := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			// Allow pure conversions like float64(x) and len/cap.
+			if !stableCall(pass, v) {
+				ok = false
+			}
+		case *ast.Ident:
+			o := pass.Info.Uses[v]
+			if o == nil || o == key || o == acc {
+				return true
+			}
+			if written[o] {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// stableCall accepts type conversions and the len/cap builtins, which
+// read state without ordering effects.
+func stableCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if b, isB := pass.Info.Uses[fn].(*types.Builtin); isB {
+			return b.Name() == "len" || b.Name() == "cap"
+		}
+		if _, isType := pass.Info.Uses[fn].(*types.TypeName); isType {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, isType := pass.Info.Uses[fn.Sel].(*types.TypeName); isType {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+// Package floateqfix is the floateq analyzer's fixture.
+package floateqfix
+
+// computedCompare checks equality between two computed floats: fragile.
+func computedCompare(a, b float64) bool {
+	return a*3 == b/7 // want "between computed floats"
+}
+
+// computedNotEqual is the != spelling of the same hazard.
+func computedNotEqual(a, b float64) bool {
+	return a != b // want "between computed floats"
+}
+
+// sentinel compares against a compile-time constant: exact, legal.
+func sentinel(x float64) bool {
+	return x == 0 || x != 1.5
+}
+
+// intCompare is not a float comparison at all.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// mapAccumulate sums floats over map order: flagged even though mapiter
+// would flag the loop too — this is the digest-corrupting half.
+func mapAccumulate(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // this line belongs to mapiter, not floateq
+		s += v // want "float accumulation over map iteration order"
+	}
+	return s
+}
+
+// sliceAccumulate sums floats over a slice: order is the slice's, legal.
+func sliceAccumulate(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// justified exact comparison: both sides are the same computation.
+func justified(a, b float64) bool {
+	ra, rb := a*2, b*2
+	//lint:floateq exact tie detection between two runs of the same computation
+	return ra != rb
+}
+
+// justifiedExactSum: small integers in floats sum exactly.
+func justifiedExactSum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // mapiter's concern, not floateq's
+		//lint:floateq addends are small integers stored in floats; the sum is exact
+		s += v
+	}
+	return s
+}

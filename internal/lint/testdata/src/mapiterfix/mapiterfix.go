@@ -1,0 +1,105 @@
+// Package mapiterfix is the mapiter analyzer's fixture: each // want
+// comment names a diagnostic the pass must report on that line.
+package mapiterfix
+
+import "sort"
+
+// orderLeaks appends in iteration order: the classic digest-corrupting
+// pattern.
+func orderLeaks(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+// floatSum accumulates floats: not commutative, must flag.
+func floatSum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+// callInBody hides arbitrary effects behind a call: must flag.
+func callInBody(m map[int]int) {
+	for k := range m { // want "map iteration order is nondeterministic"
+		sort.Ints([]int{k})
+	}
+}
+
+// intSum is a commutative integer accumulation: provably insensitive.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// maskOr folds with bitwise or, counting conditionally: provably
+// insensitive.
+func maskOr(m map[int]uint64) (uint64, int) {
+	var mask uint64
+	hits := 0
+	for _, v := range m {
+		if v != 0 {
+			mask |= v
+			hits++
+		}
+	}
+	return mask, hits
+}
+
+// rekey writes each entry to another map under this loop's key:
+// per-key independent, provably insensitive.
+func rekey(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v / 2
+	}
+	return out
+}
+
+// prune deletes visited keys from another map: provably insensitive.
+func prune(m map[int]bool, victims map[int]string) {
+	for k := range m {
+		delete(victims, k)
+	}
+}
+
+// accumulatorRead reads a variable the loop also writes on the RHS of a
+// keyed assignment — order-dependent, must flag.
+func accumulatorRead(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	total := 0
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+		out[k] = total
+	}
+	return out
+}
+
+// justified collects then sorts; the prover cannot see the sort, so the
+// directive carries it.
+func justified(m map[int]int) []int {
+	ids := make([]int, 0, len(m))
+	//lint:ordered ids are sorted before use
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// bare directives suppress nothing and are themselves findings.
+func bareDirective(m map[int]int) []int {
+	var out []int
+	//lint:ordered  // want "directive needs a justification"
+	for id := range m { // want "map iteration order is nondeterministic"
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Package walltimefix is the walltime analyzer's fixture.
+package walltimefix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClock reads real time three ways: all forbidden.
+func wallClock() float64 {
+	start := time.Now()                                     // want "reads the wall clock"
+	elapsed := time.Since(start)                            // want "reads the wall clock"
+	time.Sleep(time.Millisecond)                            // want "reads the wall clock"
+	return elapsed.Seconds() + 0*float64(time.Until(start)) // want "reads the wall clock"
+}
+
+// durations constructs time values without reading the clock: legal.
+func durations() time.Duration {
+	return 3 * time.Second
+}
+
+// globalRand draws from the process-global source: forbidden.
+func globalRand() int {
+	rand.Shuffle(4, func(i, j int) {}) // want "process-global random source"
+	return rand.Intn(10)               // want "process-global random source"
+}
+
+// seededRand threads an explicit generator: legal.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// justified wall time: operator-facing, not simulation state.
+func justified() time.Time {
+	//lint:walltime log timestamp shown to the operator, never enters sim state
+	return time.Now()
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime forbids wall-clock readings and the global math/rand source
+// in deterministic code. Simulation time must come from the sim clock
+// (sim.Queue.Now and the values it hands to events), and every random
+// stream must be a seeded *rand.Rand threaded through explicitly —
+// time.Now and the process-global rand functions make two runs of the
+// same workload diverge.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbids time.Now/Since/Until/Sleep and the global math/rand " +
+		"source; use the sim clock and seeded *rand.Rand plumbing",
+	Run: runWalltime,
+}
+
+// forbiddenTime are the wall-clock entry points. Constructors and types
+// (time.Duration, time.Second) stay legal: they are values, not clock
+// readings.
+var forbiddenTime = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+	"Tick":  true,
+	"After": true,
+}
+
+// allowedRand are the math/rand names that do NOT touch the global
+// source: constructors for seeded generators and the generator types.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+func runWalltime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic code must use the sim clock", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "rand.%s uses the process-global random source; thread a seeded *rand.Rand instead", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,82 @@
+// The fuzz test lives in placement_test because the invariant auditor
+// imports placement: observing the queue from inside the package would
+// be an import cycle.
+package placement_test
+
+import (
+	"testing"
+
+	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/placement"
+)
+
+// FuzzPendingQueue drives the shared pending queue through a fuzzed
+// schedule of pushes and scheduling passes with the invariant auditor
+// observing every pass, checking job conservation: every pushed job is
+// either placed exactly once or still queued, and the queue's records
+// never mutate while a job waits.
+func FuzzPendingQueue(f *testing.F) {
+	f.Add([]byte{0x00, 0x81, 0x05, 0x42, 0x91, 0x00, 0xff}, uint8(3), false)
+	f.Add([]byte{0x10, 0x20, 0x30, 0x90, 0x90}, uint8(0), true)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint8(7), false)
+	f.Fuzz(func(t *testing.T, ops []byte, depth uint8, noBackfill bool) {
+		q := &placement.Pending{
+			AgingPeriodSec: 2,
+			AgeLimitSec:    8,
+			ScanDepth:      int(depth),
+			NoBackfill:     noBackfill,
+		}
+		aud := invariant.New("fuzz")
+		now := 0.0
+		nextID := 0
+		placed := map[int]int{}
+		pushed := map[int]bool{}
+
+		for _, op := range ops {
+			// Each byte advances the clock and either submits a job
+			// (low bit clear) with a priority from the upper bits, or
+			// runs a scheduling pass that accepts jobs whose id hash
+			// matches the byte's upper bits.
+			now += float64(op >> 5)
+			if op&1 == 0 {
+				q.Push(nextID, now, int(op>>4), nextID)
+				pushed[nextID] = true
+				nextID++
+			} else {
+				accept := int(op >> 4)
+				q.Schedule(now, func(id int) bool {
+					if (id+accept)%3 == 0 {
+						placed[id]++
+						return true
+					}
+					return false
+				})
+			}
+			aud.ObserveQueue(now, q)
+		}
+
+		queued := map[int]bool{}
+		q.Each(func(it placement.Item) {
+			if queued[it.ID] {
+				t.Fatalf("job %d queued twice", it.ID)
+			}
+			queued[it.ID] = true
+		})
+		for id := range pushed {
+			n := placed[id]
+			if n > 1 {
+				t.Fatalf("job %d placed %d times", id, n)
+			}
+			if n == 1 && queued[id] {
+				t.Fatalf("job %d both placed and still queued", id)
+			}
+			if n == 0 && !queued[id] {
+				t.Fatalf("job %d lost: neither placed nor queued", id)
+			}
+		}
+		if len(queued) != len(pushed)-len(placed) {
+			t.Fatalf("conservation broken: %d pushed, %d placed, %d queued",
+				len(pushed), len(placed), len(queued))
+		}
+	})
+}

@@ -58,6 +58,9 @@ func NewCoreIndex(nodes, cores int) *CoreIndex {
 // Len returns the number of indexed nodes.
 func (x *CoreIndex) Len() int { return len(x.free) }
 
+// Cores returns the per-node core capacity the index was built with.
+func (x *CoreIndex) Cores() int { return x.cores }
+
 // Free returns a node's indexed free-core count.
 func (x *CoreIndex) Free(id int) int { return x.free[id] }
 

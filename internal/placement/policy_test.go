@@ -1,0 +1,49 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+	}{
+		{"CE", CE},
+		{"ce", CE},
+		{"CS", CS},
+		{"cs", CS},
+		{"SNS", SNS},
+		{"sns", SNS},
+		{"Sns", SNS},
+		{"TwoSlot", TwoSlot},
+		{"TWOSLOT", TwoSlot},
+		{"twoslot", TwoSlot},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePolicyRejectsUnknown(t *testing.T) {
+	for _, in := range []string{"", "spread", "CE ", "SNS2", "two slot", "compact-n-exclusive"} {
+		_, err := ParsePolicy(in)
+		if err == nil {
+			t.Errorf("ParsePolicy(%q) accepted; want error", in)
+			continue
+		}
+		// The error must quote the rejected input so a mistyped CLI
+		// flag is self-diagnosing.
+		if !strings.Contains(err.Error(), `"`+in+`"`) {
+			t.Errorf("ParsePolicy(%q) error %q does not quote the input", in, err)
+		}
+	}
+}

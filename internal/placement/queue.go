@@ -53,6 +53,15 @@ func (q *Pending) Push(id int, submit float64, priority, order int) {
 // Len returns the number of queued jobs.
 func (q *Pending) Len() int { return len(q.items) }
 
+// Each visits every queued item in current queue order. The queue must
+// not be mutated during the visit; the invariant auditor uses this to
+// check that no job's submission record regresses while it waits.
+func (q *Pending) Each(fn func(Item)) {
+	for _, it := range q.items {
+		fn(it)
+	}
+}
+
 // First returns the head of the queue as of the last Schedule pass (the
 // highest-ranked stuck job), or false when empty.
 func (q *Pending) First() (Item, bool) {
@@ -75,6 +84,7 @@ func (q *Pending) Schedule(now float64, try func(id int) bool) {
 	}
 	sort.SliceStable(q.items, func(a, b int) bool {
 		ra, rb := rank(q.items[a]), rank(q.items[b])
+		//lint:floateq exact tie detection between two runs of the same computation
 		if ra != rb {
 			return ra > rb
 		}

@@ -391,6 +391,7 @@ func (s *Search) selectIdlest(candidates []int, n int) []int {
 	beta := s.beta()
 	// after reports a ranking after b in the ascending (score, id) order.
 	after := func(a, b scoredNode) bool {
+		//lint:floateq exact tie detection so the (score, id) order stays total
 		if a.score != b.score {
 			return a.score > b.score
 		}

@@ -41,6 +41,13 @@ func NewSimState(spec hw.NodeSpec, nodes int) *SimState {
 // Index returns the free-core index a Search runs over.
 func (s *SimState) Index() *CoreIndex { return s.idx }
 
+// Spec returns the per-node hardware spec, the capacity bound the
+// invariant auditor checks free counters against.
+func (s *SimState) Spec() hw.NodeSpec { return s.spec }
+
+// IntensiveCount returns the running intensive-job count on a node.
+func (s *SimState) IntensiveCount(id int) int { return s.intensive[id] }
+
 // Len returns the cluster size.
 func (s *SimState) Len() int { return len(s.freeWays) }
 

@@ -28,6 +28,7 @@ import (
 	"spreadnshare/internal/daemon"
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 )
@@ -142,6 +143,10 @@ type Scheduler struct {
 	explore *explorerState
 	daemons []*daemon.Daemon
 	plans   []daemon.LaunchPlan
+
+	// auditPass, when set, runs the invariant auditor's scheduling-point
+	// checks at the top of every schedule() call.
+	auditPass func(now float64)
 }
 
 // clusterView adapts the cluster bookkeeping to the kernel's NodeView.
@@ -259,6 +264,24 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 		s.done = append(s.done, j)
 		s.schedule()
 	})
+	if invariant.Active() {
+		aud := invariant.New("sched")
+		// After every recompute: engine-internal conservation,
+		// allocation-free so the zero-alloc hot path stays intact.
+		eng.SetAudit(func() { aud.CheckEngine(eng) })
+		// At every scheduling point: bookkeeping, index, and the
+		// engine/bookkeeping agreement (both sides settled here).
+		s.auditPass = func(now float64) {
+			aud.ObserveQueue(now, s.queue)
+			if !aud.Begin() {
+				return
+			}
+			aud.CheckCluster(s.cl)
+			aud.CheckIndex(s.idx)
+			aud.CheckIndexAgainstCluster(s.idx, s.cl)
+			aud.CheckEngineAgainstCluster(eng, s.cl)
+		}
+	}
 	return s, nil
 }
 
@@ -334,6 +357,9 @@ func (s *Scheduler) Run() ([]*exec.Job, error) {
 // overtaking it.
 func (s *Scheduler) schedule() {
 	now := s.eng.Now()
+	if s.auditPass != nil {
+		s.auditPass(now)
+	}
 	s.queue.Schedule(now, func(id int) bool {
 		return s.tryPlace(s.byID[id])
 	})

@@ -29,6 +29,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:floateq exact tie detection so equal-time events fall to seq order
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}

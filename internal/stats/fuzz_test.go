@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzPercentile checks the interpolating quantile's contract on
+// arbitrary samples: the result lies within [min, max], is monotone in
+// p, and is finite for finite input.
+func FuzzPercentile(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 0.5, 0.9)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+	f.Add(-5.0, 3.5, 1e9, -2.25, 0.25, 0.75)
+	f.Fuzz(func(t *testing.T, a, b, c, d, p1, p2 float64) {
+		sample := []float64{a, b, c, d}
+		for _, v := range sample {
+			// Magnitudes near MaxFloat64 overflow the interpolation's
+			// intermediate difference; simulation metrics live many
+			// orders of magnitude below that.
+			if math.IsNaN(v) || math.Abs(v) > 1e150 {
+				t.Skip("outside the quantile's documented domain")
+			}
+		}
+		if math.IsNaN(p1) || math.IsNaN(p2) {
+			t.Skip()
+		}
+		sort.Float64s(sample)
+		lo, hi := sample[0], sample[3]
+
+		for _, p := range []float64{p1, p2} {
+			q := Percentile(sample, p)
+			if math.IsNaN(q) || math.IsInf(q, 0) {
+				t.Fatalf("Percentile(%v, %g) = %g not finite", sample, p, q)
+			}
+			if q < lo || q > hi {
+				t.Fatalf("Percentile(%v, %g) = %g outside [%g, %g]", sample, p, q, lo, hi)
+			}
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, q2 := Percentile(sample, p1), Percentile(sample, p2)
+		if q1 > q2 {
+			t.Fatalf("Percentile not monotone: q(%g) = %g > q(%g) = %g on %v", p1, q1, p2, q2, sample)
+		}
+	})
+}

@@ -5,12 +5,14 @@ import (
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/profiler"
 )
 
 // BenchmarkReplay1K measures large-cluster replay throughput: 1,000 jobs
 // on a 1,024-node cluster under SNS.
 func BenchmarkReplay1K(b *testing.B) {
+	defer invariant.Pause()() // measure the unaudited replay path
 	spec := hw.DefaultClusterSpec()
 	cat, err := app.NewCatalog(spec.Node)
 	if err != nil {

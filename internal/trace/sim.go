@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 	"spreadnshare/internal/sim"
@@ -112,6 +113,10 @@ type simulator struct {
 	search *placement.Search
 	queue  *placement.Pending
 	jobs   []*runJob
+
+	// auditPass, when set, runs the invariant auditor at every
+	// scheduling point.
+	auditPass func(now float64)
 }
 
 // Simulate replays a mapped trace on a cluster of the given node type.
@@ -140,6 +145,21 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 		Nodes:        cfg.ClusterNodes,
 		MaxScale:     cfg.MaxScale,
 		HasIntensive: state.HasIntensive,
+	}
+	if invariant.Active() {
+		aud := invariant.New("trace")
+		// A full SimState sweep is O(nodes); on paper-scale replays
+		// (4K-32K nodes) sample every 64th scheduling point so the
+		// audit does not dominate the replay it is checking.
+		if cfg.ClusterNodes > 1024 {
+			aud.Stride = 64
+		}
+		s.auditPass = func(now float64) {
+			aud.ObserveQueue(now, s.queue)
+			if aud.Begin() {
+				aud.CheckSimState(s.state)
+			}
+		}
 	}
 	res := &Result{Policy: cfg.Policy}
 	for i := range jobs {
@@ -216,6 +236,9 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 // schedule runs one kernel queue pass (FIFO by wait, bounded backfill).
 func (s *simulator) schedule() {
 	now := s.q.Now()
+	if s.auditPass != nil {
+		s.auditPass(now)
+	}
 	s.queue.Schedule(now, func(i int) bool {
 		return s.tryPlace(s.jobs[i])
 	})
