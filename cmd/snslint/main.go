@@ -1,24 +1,35 @@
 // Command snslint is the determinism multichecker: it runs the
-// internal/lint analysis suite (mapiter, walltime, floateq) over the
-// simulator's deterministic packages and fails the build on any
-// finding. It is the mechanical form of DESIGN.md's determinism rules
-// and runs as part of `make lint` / `make check` / CI.
+// internal/lint analysis suite (mapiter, walltime, floateq, unitflow,
+// allocfree) over the simulator's deterministic packages and fails the
+// build on any finding. It is the mechanical form of DESIGN.md's
+// determinism and dimensional rules and runs as part of `make lint` /
+// `make check` / CI.
 //
 // Usage:
 //
-//	snslint [-all] [-doc] [packages]
+//	snslint [-all] [-doc] [-json] [packages]
 //
 // With no arguments it checks ./... — of which only the deterministic
 // set (see internal/lint.DeterministicPackages) is analyzed, unless
-// -all forces every matched package through the suite. Findings are
-// suppressed line by line with a justified directive, e.g.
+// -all forces every matched package through the suite. The whole match
+// is type-checked once and shared by all passes; the interprocedural
+// passes (unitflow, allocfree) resolve calls and types across it, so
+// run the full module (the default ./...) rather than a subset —
+// analyzing a slice of the module leaves boundary calls unresolvable.
+// Findings are suppressed line by line with a justified directive, e.g.
 //
 //	//lint:ordered ids are sorted before use
+//	//lint:allocfree scratch append; capacity is stable after warm-up
+//
+// -json replaces the file:line:col text lines with a JSON array of
+// findings on stdout, for machine consumers; the plain format is matched
+// by .github/snslint-problem-matcher.json so CI annotates PR diffs.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +37,19 @@ import (
 	"spreadnshare/internal/lint"
 )
 
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	all := flag.Bool("all", false, "analyze every matched package, not just the deterministic set")
 	doc := flag.Bool("doc", false, "print each analyzer's rule statement and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Parse()
 
 	if *doc {
@@ -47,8 +68,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "snslint:", err)
 		os.Exit(2)
 	}
+	prog := lint.NewProgram(pkgs)
 
-	findings := 0
+	findings := []jsonFinding{}
 	checked := 0
 	for _, p := range pkgs {
 		if !*all && !lint.DeterministicPackages[p.Path] {
@@ -56,18 +78,34 @@ func main() {
 		}
 		checked++
 		for _, a := range lint.Analyzers() {
-			for _, d := range lint.Run(a, p.Fset, p.Files, p.Types, p.Info) {
-				fmt.Println(d)
-				findings++
+			for _, d := range lint.Run(a, prog, p) {
+				if !*jsonOut {
+					fmt.Println(d)
+				}
+				findings = append(findings, jsonFinding{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Column:   d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "snslint:", err)
+			os.Exit(2)
 		}
 	}
 	if checked == 0 {
 		fmt.Fprintln(os.Stderr, "snslint: no deterministic packages matched (use -all to analyze everything)")
 		os.Exit(2)
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "snslint: %d findings in %d packages\n", findings, checked)
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "snslint: %d findings in %d packages\n", len(findings), checked)
 		os.Exit(1)
 	}
 }

@@ -57,10 +57,10 @@ func main() {
 			log.Fatal(err)
 		}
 		monitor.Observe("CG", 16, profiler.Reading{
-			IPC: m.IPC, BWPerNode: m.BWPerNode, MissPct: m.MissPct,
+			IPC: m.IPC.Float64(), BWPerNode: m.BWPerNode.Float64(), MissPct: m.MissPct,
 		})
 		fmt.Printf("  run %d: IPC %.3f, bandwidth %.1f GB/s, miss %.1f%%  -> reprofile? %v\n",
-			run, m.IPC, m.BWPerNode, m.MissPct, monitor.NeedsReprofile(prof))
+			run, m.IPC.Float64(), m.BWPerNode.Float64(), m.MissPct, monitor.NeedsReprofile(prof))
 	}
 
 	stale := monitor.Drifted(db)

@@ -300,34 +300,34 @@ func (m *Model) Calibrate(spec hw.NodeSpec) error {
 // soloRate is the per-core instruction rate (giga-instructions/s) of an
 // exclusive 1-node run at reference concurrency with all ways.
 func (m *Model) soloRate(spec hw.NodeSpec) float64 {
-	eff := m.EffectiveWays(float64(spec.LLCWays), RefConcurrency)
-	ipc := m.IPC(eff, RefConcurrency, spec.Cores)
-	demandPC := m.BWDemandPerCore(eff, RefConcurrency, spec.Cores, false)
+	eff := m.EffectiveWays(spec.LLCWays.Float64(), RefConcurrency)
+	ipc := m.IPC(eff, RefConcurrency, spec.Cores.Int())
+	demandPC := m.BWDemandPerCore(eff, RefConcurrency, spec.Cores.Int(), false)
 	demand := demandPC * RefConcurrency
-	supply := spec.StreamBandwidth(RefConcurrency)
+	supply := spec.StreamBandwidth(RefConcurrency).Float64()
 	throttle := 1.0
 	if demand > supply && demand > 0 {
 		throttle = supply / demand
 	}
-	if io := m.IOBWPerCore * RefConcurrency; io > spec.IOBandwidth && io > 0 {
-		if t := spec.IOBandwidth / io; t < throttle {
+	if io := m.IOBWPerCore * RefConcurrency; io > spec.IOBandwidth.Float64() && io > 0 {
+		if t := spec.IOBandwidth.Float64() / io; t < throttle {
 			throttle = t
 		}
 	}
-	return ipc * spec.FreqGHz * throttle
+	return ipc * spec.FreqGHz.Float64() * throttle
 }
 
 // LeastWaysFor returns the smallest integer way allocation (at reference
 // concurrency, bounded below by the node minimum) achieving the given
 // fraction of full-way IPC — the quantity Figure 12 reports at 0.9.
 func (m *Model) LeastWaysFor(frac float64, spec hw.NodeSpec) int {
-	full := m.IPCRel(float64(spec.LLCWays))
+	full := m.IPCRel(spec.LLCWays.Float64())
 	for w := spec.MinWaysPerJob; w <= spec.LLCWays; w++ {
-		if m.IPCRel(float64(w)) >= frac*full {
-			return w
+		if m.IPCRel(w.Float64()) >= frac*full {
+			return w.Int()
 		}
 	}
-	return spec.LLCWays
+	return spec.LLCWays.Int()
 }
 
 // Validate reports whether the calibrated model's parameters are usable.

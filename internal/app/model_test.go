@@ -144,7 +144,7 @@ func TestBWDemandCalibration(t *testing.T) {
 		{"BFS", 0.12, 0.06},
 	} {
 		m := testModel(t, c.name)
-		got := 16 * m.BWDemandPerCore(20, 16, spec.Cores, false)
+		got := 16 * m.BWDemandPerCore(20, 16, spec.Cores.Int(), false)
 		if math.Abs(got-c.demand) > c.tol {
 			t.Errorf("%s: 16-core demand = %g GB/s, want %g (+-%g)", c.name, got, c.demand, c.tol)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/units"
 )
 
 // Alloc records one job's reservation on one node.
@@ -17,18 +18,18 @@ type Alloc struct {
 	Cores int
 	// Ways is the CAT-partitioned LLC allocation; 0 means the job
 	// runs with unmanaged cache sharing (CE/CS policies).
-	Ways int
-	// BW is the estimated memory-bandwidth reservation in GB/s
+	Ways units.Ways
+	// BW is the estimated memory-bandwidth reservation
 	// (0 when the policy does not account bandwidth).
-	BW float64
+	BW units.GBps
 	// MemGB is the main-memory reservation (0 = unaccounted). Unlike
 	// cache and bandwidth, memory capacity is a hard per-node limit:
 	// oversubscribing it means swapping, which no scheduler risks.
 	MemGB float64
 	// IOBW is the estimated parallel-file-system bandwidth
-	// reservation in GB/s (0 = unaccounted) — the third resource
+	// reservation (0 = unaccounted) — the third resource
 	// dimension the paper's extensible algorithm accommodates.
-	IOBW float64
+	IOBW units.GBps
 	// Exclusive marks the node as dedicated to this job.
 	Exclusive bool
 }
@@ -48,7 +49,7 @@ type Node struct {
 
 	allocs    []Alloc // sorted by JobID
 	usedCores int
-	allocWays int
+	allocWays units.Ways
 	exclusive int // reservations with Exclusive set
 }
 
@@ -99,14 +100,14 @@ func (n *Node) FreeCores() int {
 	if n.exclusive > 0 {
 		return 0
 	}
-	return n.spec.Cores - n.usedCores
+	return n.spec.Cores.Int() - n.usedCores
 }
 
 // AllocWays returns the total CAT-allocated ways.
-func (n *Node) AllocWays() int { return n.allocWays }
+func (n *Node) AllocWays() units.Ways { return n.allocWays }
 
 // FreeWays returns unallocated LLC ways.
-func (n *Node) FreeWays() int { return n.spec.LLCWays - n.allocWays }
+func (n *Node) FreeWays() units.Ways { return n.spec.LLCWays - n.allocWays }
 
 // AllocMem returns the total reserved memory in GB.
 func (n *Node) AllocMem() float64 {
@@ -120,9 +121,9 @@ func (n *Node) AllocMem() float64 {
 // FreeMem returns unreserved main memory.
 func (n *Node) FreeMem() float64 { return n.spec.MemoryGB - n.AllocMem() }
 
-// AllocBW returns the total reserved bandwidth in GB/s.
-func (n *Node) AllocBW() float64 {
-	b := 0.0
+// AllocBW returns the total reserved memory bandwidth.
+func (n *Node) AllocBW() units.GBps {
+	b := units.GBps(0)
 	for i := range n.allocs {
 		b += n.allocs[i].BW
 	}
@@ -130,11 +131,11 @@ func (n *Node) AllocBW() float64 {
 }
 
 // FreeBW returns unreserved bandwidth against the node's peak.
-func (n *Node) FreeBW() float64 { return n.spec.PeakBandwidth - n.AllocBW() }
+func (n *Node) FreeBW() units.GBps { return n.spec.PeakBandwidth - n.AllocBW() }
 
-// AllocIO returns the total reserved file-system bandwidth in GB/s.
-func (n *Node) AllocIO() float64 {
-	b := 0.0
+// AllocIO returns the total reserved file-system bandwidth.
+func (n *Node) AllocIO() units.GBps {
+	b := units.GBps(0)
 	for i := range n.allocs {
 		b += n.allocs[i].IOBW
 	}
@@ -142,7 +143,7 @@ func (n *Node) AllocIO() float64 {
 }
 
 // FreeIO returns unreserved file-system bandwidth.
-func (n *Node) FreeIO() float64 { return n.spec.IOBandwidth - n.AllocIO() }
+func (n *Node) FreeIO() units.GBps { return n.spec.IOBandwidth - n.AllocIO() }
 
 // Idle reports whether no job holds any resource on the node.
 func (n *Node) Idle() bool { return len(n.allocs) == 0 }
@@ -196,13 +197,13 @@ type NodeAlloc struct {
 // counts, plus uniform ways/bandwidth/exclusivity. It validates every
 // node before touching any, so a failed allocation leaves the state
 // unchanged.
-func (s *State) Allocate(jobID int, nodes []NodeAlloc, ways int, bw float64, exclusive bool) error {
+func (s *State) Allocate(jobID int, nodes []NodeAlloc, ways units.Ways, bw units.GBps, exclusive bool) error {
 	return s.AllocateIO(jobID, nodes, ways, bw, 0, exclusive)
 }
 
 // AllocateIO is Allocate with an additional per-node file-system
 // bandwidth reservation.
-func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways int, bw, ioBW float64, exclusive bool) error {
+func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways units.Ways, bw, ioBW units.GBps, exclusive bool) error {
 	if len(nodes) == 0 {
 		return fmt.Errorf("cluster: job %d: empty placement", jobID)
 	}

@@ -6,6 +6,8 @@ import (
 	"testing/quick"
 
 	"spreadnshare/internal/hw"
+
+	"spreadnshare/internal/units"
 )
 
 func newState(t *testing.T) *State {
@@ -36,7 +38,7 @@ func TestAllocateAndRelease(t *testing.T) {
 	if got := n0.FreeWays(); got != 16 {
 		t.Errorf("FreeWays = %d, want 16", got)
 	}
-	if got := n0.FreeBW(); math.Abs(got-(118.26-30)) > 1e-9 {
+	if got := n0.FreeBW().Float64(); math.Abs(got-(118.26-30)) > 1e-9 {
 		t.Errorf("FreeBW = %g, want %g", got, 118.26-30)
 	}
 	if a, ok := n0.Alloc(1); !ok || a.Cores != 16 || a.Ways != 4 {
@@ -69,8 +71,8 @@ func TestAllocateFailuresAtomic(t *testing.T) {
 	cases := []struct {
 		name  string
 		nodes []NodeAlloc
-		ways  int
-		bw    float64
+		ways  units.Ways
+		bw    units.GBps
 		excl  bool
 	}{
 		{"empty", nil, 0, 0, false},
@@ -159,7 +161,7 @@ func TestStateInvariants(t *testing.T) {
 			}
 			node := int(op>>2) % 8
 			cores := int(op>>5)%30 + 1
-			ways := int(op >> 10 % 24)
+			ways := units.Ways(op >> 10 % 24)
 			if s.Allocate(nextID, []NodeAlloc{{Node: node, Cores: cores}}, ways, 0, op%7 == 0) == nil {
 				live[nextID] = true
 				nextID++

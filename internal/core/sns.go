@@ -8,6 +8,7 @@ package core
 import (
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/units"
 )
 
 // DefaultBeta is the extra weight the node-selection score gives to LLC
@@ -21,15 +22,15 @@ type Demand struct {
 	// Cores per node (the profile's placement).
 	Cores int
 	// Ways is the minimum LLC allocation achieving the tolerable IPC.
-	Ways int
+	Ways units.Ways
 	// BW is the estimated per-node memory bandwidth at that
-	// allocation, GB/s.
-	BW float64
+	// allocation.
+	BW units.GBps
 	// MemGB is the per-node main-memory requirement.
 	MemGB float64
 	// IOBW is the estimated per-node file-system bandwidth, from the
 	// profile's measured I/O (independent of the cache allocation).
-	IOBW float64
+	IOBW units.GBps
 }
 
 // EstimateDemand walks the profiled curves: starting from the IPC at full
@@ -46,9 +47,9 @@ func EstimateDemand(sp *profiler.ScaleProfile, alpha float64, spec hw.NodeSpec) 
 		alpha = 1
 	}
 	target := alpha * sp.IPCAt(full)
-	ways := full
-	for w := spec.MinWaysPerJob; w <= full; w++ {
-		if sp.IPCAt(w) >= target {
+	ways := units.WaysOf(full)
+	for w := spec.MinWaysPerJob; w <= units.WaysOf(full); w++ {
+		if sp.IPCAt(w.Int()) >= target {
 			ways = w
 			break
 		}
@@ -59,7 +60,7 @@ func EstimateDemand(sp *profiler.ScaleProfile, alpha float64, spec hw.NodeSpec) 
 	return Demand{
 		Cores: sp.CoresPerNode,
 		Ways:  ways,
-		BW:    sp.BWAt(ways),
-		IOBW:  sp.IOPerNode,
+		BW:    units.GBpsOf(sp.BWAt(ways.Int())),
+		IOBW:  units.GBpsOf(sp.IOPerNode),
 	}
 }

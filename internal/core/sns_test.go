@@ -33,7 +33,7 @@ func TestEstimateDemandWalksCurve(t *testing.T) {
 	if d.Cores != 16 {
 		t.Errorf("Cores = %d, want 16", d.Cores)
 	}
-	if want := 100 - 2*17.0; d.BW != want {
+	if want := 100 - 2*17.0; d.BW.Float64() != want {
 		t.Errorf("BW = %g, want %g (curve at demanded ways)", d.BW, want)
 	}
 }
@@ -87,7 +87,7 @@ func TestEstimateDemandMonotoneInAlpha(t *testing.T) {
 		if d1.Ways > d2.Ways {
 			return false
 		}
-		return sp.IPCAt(d2.Ways) >= a2*sp.IPCAt(20)-1e-9 || d2.Ways == spec.MinWaysPerJob
+		return sp.IPCAt(d2.Ways.Int()) >= a2*sp.IPCAt(20)-1e-9 || d2.Ways == spec.MinWaysPerJob
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)

@@ -15,6 +15,7 @@ import (
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/units"
 )
 
 // CoreSet is an ordered list of core ids bound to one job.
@@ -108,7 +109,7 @@ func (d *Daemon) pickCores(n int) (CoreSet, error) {
 		return nil, fmt.Errorf("daemon: node %d: %d cores requested, %d free",
 			d.NodeID, n, d.FreeCores())
 	}
-	half := d.spec.Cores / 2
+	half := d.spec.Cores.Int() / 2
 	var free0, free1 []int
 	for id, b := range d.busy {
 		if b {
@@ -154,12 +155,13 @@ func (d *Daemon) Actuate(jobID int, prog *app.Model, cores, ways int, bwCap floa
 	}
 	var mask hw.WayMask
 	if ways > 0 {
-		mask, err = d.ways.Allocate(jobID, ways)
-		if err != nil && d.ways.FreeWays() >= ways {
+		w := units.WaysOf(ways)
+		mask, err = d.ways.Allocate(jobID, w)
+		if err != nil && d.ways.FreeWays() >= w {
 			// Fragmented: repack the existing partitions (a cheap
 			// CLOS-mask rewrite) and retry.
 			d.ways.Defragment()
-			mask, err = d.ways.Allocate(jobID, ways)
+			mask, err = d.ways.Allocate(jobID, w)
 		}
 		if err != nil {
 			return nil, err

@@ -5,6 +5,8 @@ import (
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
+
+	"spreadnshare/internal/units"
 )
 
 // steadyStateEngine builds an engine with a contended node population and
@@ -37,7 +39,7 @@ func steadyStateEngine(t testing.TB) (*Engine, *Job) {
 	// Warm up: drive recomputes until the scratch buffers and the event
 	// free list have reached their working-set sizes.
 	for i := 0; i < 64; i++ {
-		if err := e.SetJobWays(last.ID, 1+i%4); err != nil {
+		if err := e.SetJobWays(last.ID, units.WaysOf(1+i%4)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -52,7 +54,7 @@ func steadyStateEngine(t testing.TB) (*Engine, *Job) {
 // reschedule through the queue — at zero steady-state heap allocations.
 func TestRecomputeZeroAllocs(t *testing.T) {
 	e, j := steadyStateEngine(t)
-	ways := 0
+	ways := units.Ways(0)
 	allocs := testing.AllocsPerRun(100, func() {
 		ways = ways%4 + 1
 		if err := e.SetJobWays(j.ID, ways); err != nil {

@@ -7,6 +7,7 @@ import (
 	"spreadnshare/internal/interconnect"
 	"spreadnshare/internal/pmu"
 	"spreadnshare/internal/sim"
+	"spreadnshare/internal/units"
 )
 
 // resident is one job's presence on one node: the job plus its cached
@@ -79,7 +80,7 @@ func New(spec hw.ClusterSpec) (*Engine, error) {
 	}
 	e := &Engine{
 		spec:      spec,
-		net:       interconnect.Model{BandwidthGB: spec.Node.NICBandwidth, LatencyUS: spec.Node.NICLatencyUS},
+		net:       interconnect.Model{BandwidthGB: spec.Node.NICBandwidth.Float64(), LatencyUS: spec.Node.NICLatencyUS},
 		q:         &sim.Queue{},
 		nodes:     make([][]resident, spec.Nodes),
 		jobs:      make(map[int]*Job),
@@ -137,9 +138,12 @@ func (e *Engine) removeResident(n, id int) {
 }
 
 // markDirty adds node n to the pending recompute set.
+//
+//sns:hotpath
 func (e *Engine) markDirty(n int) {
 	if !e.dirtyMark[n] {
 		e.dirtyMark[n] = true
+		//lint:allocfree dirty list grows to node count once, then stays at capacity
 		e.dirtyList = append(e.dirtyList, n)
 	}
 }
@@ -180,7 +184,7 @@ func (e *Engine) Launch(j *Job) error {
 			used += r.cores
 			ways += r.job.Ways
 		}
-		if used > e.spec.Node.Cores {
+		if used > e.spec.Node.Cores.Int() {
 			return fmt.Errorf("exec: node %d oversubscribed: %d cores > %d", n, used, e.spec.Node.Cores)
 		}
 		if ways > e.spec.Node.LLCWays {
@@ -211,6 +215,8 @@ func (e *Engine) Launch(j *Job) error {
 // flipPhase toggles the job between its high- and low-bandwidth phases
 // and arranges the next transition. The flip closure is created once at
 // launch, so steady-state phase simulation allocates nothing.
+//
+//sns:hotpath
 func (e *Engine) flipPhase(j *Job) {
 	if j.State != Running {
 		return
@@ -229,7 +235,7 @@ func (e *Engine) flipPhase(j *Job) {
 
 // SetJobWays forces the node-level LLC allocation of a running job — the
 // profiler's CAT manipulation. Passing 0 restores the launch allocation.
-func (e *Engine) SetJobWays(id, ways int) error {
+func (e *Engine) SetJobWays(id int, ways units.Ways) error {
 	j, ok := e.jobs[id]
 	if !ok || j.State != Running {
 		return fmt.Errorf("exec: job %d not running", id)
@@ -267,15 +273,15 @@ func (e *Engine) JobCounters(id int) (pmu.Counters, error) {
 }
 
 // NodeBandwidth returns the instantaneous achieved memory bandwidth on a
-// node in GB/s (traffic actually flowing, weighted by each job's compute
+// node (traffic actually flowing, weighted by each job's compute
 // fraction). Residents are summed in job-ID order, so the reading is
 // bit-reproducible across runs.
-func (e *Engine) NodeBandwidth(n int) float64 {
+func (e *Engine) NodeBandwidth(n int) units.GBps {
 	bw := 0.0
 	for _, r := range e.nodes[n] {
-		bw += r.job.shares[r.slot].grant * r.job.computeFrac
+		bw += r.job.shares[r.slot].grant.Float64() * r.job.computeFrac
 	}
-	return bw
+	return units.GBpsOf(bw)
 }
 
 // NodeActiveCores returns the number of occupied cores on a node.
@@ -290,8 +296,8 @@ func (e *Engine) NodeActiveCores(n int) int {
 // NodeAllocWays returns the summed CAT way allocation of the node's
 // residents (launch-time allocations; profiler way-overrides are
 // deliberate capacity violations and do not count).
-func (e *Engine) NodeAllocWays(n int) int {
-	w := 0
+func (e *Engine) NodeAllocWays(n int) units.Ways {
+	w := units.Ways(0)
 	for _, r := range e.nodes[n] {
 		w += r.job.Ways
 	}
@@ -327,9 +333,9 @@ func (e *Engine) Monitor(rec *pmu.Recorder, horizon float64) {
 		now := e.q.Now()
 		for n := range e.nodes {
 			rec.Record(pmu.NodeSample{
-				Time: now, Node: n,
+				Time: units.SecondsOf(now), Node: n,
 				BandwidthGB: e.NodeBandwidth(n),
-				ActiveCores: e.NodeActiveCores(n),
+				ActiveCores: units.CoresOf(e.NodeActiveCores(n)),
 			})
 		}
 		if horizon > 0 && now+rec.Interval > horizon {
@@ -347,6 +353,8 @@ func (e *Engine) Monitor(rec *pmu.Recorder, horizon float64) {
 func (e *Engine) Run(horizon float64) int { return e.q.Run(horizon) }
 
 // advance brings a running job's progress and counters up to now.
+//
+//sns:hotpath
 func (e *Engine) advance(j *Job) {
 	now := e.q.Now()
 	dt := now - j.lastT
@@ -358,21 +366,23 @@ func (e *Engine) advance(j *Job) {
 		j.remaining = 0
 	}
 	cores := float64(j.TotalCores())
-	j.counters.Elapsed += dt
-	j.counters.Cycles += e.spec.Node.FreqGHz * cores * dt
-	j.counters.Instructions += j.perCoreRate * j.computeFrac * cores * dt
-	j.counters.CommSeconds += (1 - j.computeFrac) * dt
+	j.counters.Elapsed += units.SecondsOf(dt)
+	j.counters.Cycles += units.CyclesOf(e.spec.Node.FreqGHz.Float64() * cores * dt)
+	j.counters.Instructions += units.InstrOf(j.perCoreRate * j.computeFrac * cores * dt)
+	j.counters.CommSeconds += units.SecondsOf((1 - j.computeFrac) * dt)
 	traffic := 0.0
 	for i := range j.shares {
-		traffic += j.shares[i].grant
+		traffic += j.shares[i].grant.Float64()
 	}
-	j.counters.TrafficGB += traffic * j.computeFrac * dt
+	j.counters.TrafficGB += units.GBOf(traffic * j.computeFrac * dt)
 	j.lastT = now
 }
 
 // insertionSortInts sorts s ascending. The inputs here (dirty nodes,
 // typically 1-2 entries) are tiny, and unlike sort.Ints this never
 // escapes to an interface value.
+//
+//sns:hotpath
 func insertionSortInts(s []int) {
 	for i := 1; i < len(s); i++ {
 		for k := i; k > 0 && s[k-1] > s[k]; k-- {
@@ -384,6 +394,8 @@ func insertionSortInts(s []int) {
 // insertionSortJobs sorts jobs by ID. The affected list is assembled
 // from per-node lists that are already ID-sorted, so it arrives nearly
 // sorted and insertion sort runs in close to linear time.
+//
+//sns:hotpath
 func insertionSortJobs(s []*Job) {
 	for i := 1; i < len(s); i++ {
 		for k := i; k > 0 && s[k-1].ID > s[k].ID; k-- {
@@ -397,6 +409,8 @@ func insertionSortJobs(s []*Job) {
 // advanced and refreshed in ascending ID order and nodes resolved in
 // ascending node order — the same deterministic order the event queue's
 // tie-breaking depends on.
+//
+//sns:hotpath
 func (e *Engine) recompute() {
 	e.epoch++
 	e.affected = e.affected[:0]
@@ -405,6 +419,7 @@ func (e *Engine) recompute() {
 		for _, r := range e.nodes[n] {
 			if r.job.seen != e.epoch {
 				r.job.seen = e.epoch
+				//lint:allocfree affected scratch reaches resident-job count during warm-up, then stable
 				e.affected = append(e.affected, r.job)
 			}
 		}
@@ -427,6 +442,7 @@ func (e *Engine) recompute() {
 		e.refreshJob(j)
 	}
 	if e.audit != nil {
+		//lint:allocfree auditor hook is nil in production; the runtime gate vets audited runs
 		e.audit()
 	}
 }
@@ -437,8 +453,11 @@ func (e *Engine) recompute() {
 func (e *Engine) SetAudit(fn func()) { e.audit = fn }
 
 // growFloats returns s resized to n, reusing capacity.
+//
+//sns:hotpath
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
+		//lint:allocfree capacity-miss growth path only; steady state reuses the backing array
 		return make([]float64, n)
 	}
 	return s[:n]
@@ -446,6 +465,8 @@ func growFloats(s []float64, n int) []float64 {
 
 // resolveNode computes every resident job's share of the node's LLC and
 // memory bandwidth. Residents are visited in job-ID order.
+//
+//sns:hotpath
 func (e *Engine) resolveNode(n int) {
 	res := e.nodes[n]
 	if len(res) == 0 {
@@ -478,17 +499,19 @@ func (e *Engine) resolveNode(n int) {
 			w = j.wayOverride
 		}
 		if w > 0 {
-			sc.ways[i] = float64(w)
-			managedTotal += float64(w)
+			sc.ways[i] = w.Float64()
+			managedTotal += w.Float64()
 			if j.wayOverride == 0 {
+				//lint:allocfree per-node scratch bounded by resident jobs, stable after warm-up
 				sc.giveaway = append(sc.giveaway, i)
 			}
 		} else {
 			sc.ways[i] = 0
+			//lint:allocfree per-node scratch bounded by resident jobs, stable after warm-up
 			sc.unmanaged = append(sc.unmanaged, i)
 		}
 	}
-	pool := float64(spec.LLCWays) - managedTotal
+	pool := spec.LLCWays.Float64() - managedTotal
 	if pool < 0 {
 		pool = 0
 	}
@@ -518,7 +541,7 @@ func (e *Engine) resolveNode(n int) {
 		eff := j.Prog.EffectiveWays(sc.ways[i], r.cores)
 		sc.effWays[i] = eff
 		spread := j.SpanNodes() > 1
-		d := float64(r.cores) * j.Prog.BWDemandPerCore(eff, totalCores, spec.Cores, spread)
+		d := float64(r.cores) * j.Prog.BWDemandPerCore(eff, totalCores, spec.Cores.Int(), spread)
 		if j.phaseMul > 0 {
 			d *= j.phaseMul
 		}
@@ -526,16 +549,17 @@ func (e *Engine) resolveNode(n int) {
 		// MBA throttling caps what the job may request; the slowdown
 		// from running under the cap shows up through the throttle
 		// ratio against the raw (unthrottled) demand below.
-		if j.BWCap > 0 && d > j.BWCap {
-			d = j.BWCap
+		if j.BWCap > 0 && d > j.BWCap.Float64() {
+			d = j.BWCap.Float64()
 		}
 		sc.demands[i] = d
 	}
 	sc.grants = growFloats(sc.grants, len(res))
 	if cap(sc.order) < len(res) {
+		//lint:allocfree capacity-miss growth path only; steady state reuses the backing array
 		sc.order = make([]int, len(res))
 	}
-	hw.WaterFillInto(sc.grants, spec.StreamBandwidth(totalCores), sc.demands, sc.order[:len(res)])
+	hw.WaterFillInto(sc.grants, spec.StreamBandwidth(units.CoresOf(totalCores)).Float64(), sc.demands, sc.order[:len(res)])
 
 	// I/O bandwidth to the shared file system is a third contended
 	// resource, water-filled against the node's injection limit.
@@ -544,7 +568,7 @@ func (e *Engine) resolveNode(n int) {
 		sc.ioDemands[i] = float64(r.cores) * r.job.Prog.IOBWPerCore
 	}
 	sc.ioGrants = growFloats(sc.ioGrants, len(res))
-	hw.WaterFillInto(sc.ioGrants, spec.IOBandwidth, sc.ioDemands, sc.order[:len(res)])
+	hw.WaterFillInto(sc.ioGrants, spec.IOBandwidth.Float64(), sc.ioDemands, sc.order[:len(res)])
 
 	for i, r := range res {
 		j := r.job
@@ -558,12 +582,12 @@ func (e *Engine) resolveNode(n int) {
 				throttle = t
 			}
 		}
-		ipc := j.Prog.IPC(sc.effWays[i], totalCores, spec.Cores)
+		ipc := j.Prog.IPC(sc.effWays[i], totalCores, spec.Cores.Int())
 		j.shares[r.slot] = nodeShare{
-			rate:    ipc * spec.FreqGHz * throttle,
-			grant:   sc.grants[i],
-			demand:  sc.rawDemands[i],
-			ioGrant: sc.ioGrants[i],
+			rate:    ipc * spec.FreqGHz.Float64() * throttle,
+			grant:   units.GBpsOf(sc.grants[i]),
+			demand:  units.GBpsOf(sc.rawDemands[i]),
+			ioGrant: units.GBpsOf(sc.ioGrants[i]),
 			missPct: j.Prog.MissPct(sc.effWays[i], spread),
 			effWays: sc.effWays[i],
 			cores:   r.cores,
@@ -573,6 +597,8 @@ func (e *Engine) resolveNode(n int) {
 
 // refreshJob recomputes a job's completion rate from its per-node shares
 // and reschedules its finish event.
+//
+//sns:hotpath
 func (e *Engine) refreshJob(j *Job) {
 	if j.State != Running {
 		return
@@ -586,8 +612,8 @@ func (e *Engine) refreshJob(j *Job) {
 			minRate = sh.rate
 		}
 		missSum += sh.missPct
-		grantSum += sh.grant
-		ioSum += sh.ioGrant
+		grantSum += sh.grant.Float64()
+		ioSum += sh.ioGrant.Float64()
 		wayseffSum += sh.effWays
 	}
 	nn := float64(len(j.Nodes))
@@ -611,10 +637,10 @@ func (e *Engine) refreshJob(j *Job) {
 		j.computeFrac = computeSec / total
 	}
 	j.metrics = pmu.Metrics{
-		IPC:           j.perCoreRate / e.spec.Node.FreqGHz * j.computeFrac,
-		BWPerNode:     grantSum / nn * j.computeFrac,
-		BWTotal:       grantSum * j.computeFrac,
-		IOPerNode:     ioSum / nn * j.computeFrac,
+		IPC:           units.IPCOf(j.perCoreRate / e.spec.Node.FreqGHz.Float64() * j.computeFrac),
+		BWPerNode:     units.GBpsOf(grantSum / nn * j.computeFrac),
+		BWTotal:       units.GBpsOf(grantSum * j.computeFrac),
+		IOPerNode:     units.GBpsOf(ioSum / nn * j.computeFrac),
 		MissPct:       missSum / nn,
 		ComputeFrac:   j.computeFrac,
 		EffectiveWays: wayseffSum / nn,
@@ -631,6 +657,8 @@ func (e *Engine) refreshJob(j *Job) {
 // commInflation estimates NIC contention: on each of the job's nodes, sum
 // the uncontended NIC-utilization fractions of all spread jobs; the worst
 // node stretches this job's communication.
+//
+//sns:hotpath
 func (e *Engine) commInflation(j *Job) float64 {
 	if j.SpanNodes() <= 1 {
 		return 1
@@ -648,8 +676,9 @@ func (e *Engine) commInflation(j *Job) float64 {
 			rr := other.perCoreRate
 			if rr <= 0 {
 				// Not yet rated (fresh launch): use solo rate.
-				rr = other.Prog.IPCMax * e.spec.Node.FreqGHz
+				rr = other.Prog.IPCMax * e.spec.Node.FreqGHz.Float64()
 			}
+			//lint:allocfree utils scratch reuses e.scratch.utils backing array after warm-up
 			utils = append(utils, c/(w/rr+c))
 		}
 		e.scratch.utils = utils

@@ -7,6 +7,8 @@ import (
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/pmu"
+
+	"spreadnshare/internal/units"
 )
 
 func catalog(t *testing.T) *app.Catalog {
@@ -129,7 +131,7 @@ func TestCATProtection(t *testing.T) {
 	cg := prog(t, cat, "CG")
 	bw := prog(t, cat, "BW")
 
-	run := func(cgWays, bwWays int) float64 {
+	run := func(cgWays, bwWays units.Ways) float64 {
 		e, err := New(spec)
 		if err != nil {
 			t.Fatal(err)
@@ -293,7 +295,7 @@ func TestSetJobWays(t *testing.T) {
 		t.Fatalf("SetJobWays restore: %v", err)
 	}
 	restored, _ := e.JobMetrics(1)
-	if math.Abs(restored.IPC-fullM.IPC) > 1e-9 {
+	if math.Abs((restored.IPC - fullM.IPC).Float64()) > 1e-9 {
 		t.Errorf("IPC after restore = %.4f, want %.4f", restored.IPC, fullM.IPC)
 	}
 	if err := e.SetJobWays(99, 4); err == nil {
@@ -318,15 +320,15 @@ func TestCountersConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(c.Elapsed-j.RunTime()) > 1e-6 {
+	if math.Abs(c.Elapsed.Float64()-j.RunTime()) > 1e-6 {
 		t.Errorf("Elapsed = %.3f, want run time %.3f", c.Elapsed, j.RunTime())
 	}
 	// Instructions must equal per-process work x processes.
 	wantInstr := mg.WorkGI * 16
-	if math.Abs(c.Instructions-wantInstr) > 1e-6*wantInstr {
+	if math.Abs(c.Instructions.Float64()-wantInstr) > 1e-6*wantInstr {
 		t.Errorf("Instructions = %.1f G, want %.1f G", c.Instructions, wantInstr)
 	}
-	if c.IPC() <= 0 || c.IPC() > mg.IPCMax {
+	if c.IPC() <= 0 || c.IPC().Float64() > mg.IPCMax {
 		t.Errorf("measured IPC %.3f outside (0, %.3f]", c.IPC(), mg.IPCMax)
 	}
 	// MG's measured bandwidth should be near the node's contended peak
@@ -525,7 +527,7 @@ func TestWorkConservation(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := bw.WorkGI * 14
-		if d := (c.Instructions - want) / want; d > 1e-6 || d < -1e-6 {
+		if d := (c.Instructions.Float64() - want) / want; d > 1e-6 || d < -1e-6 {
 			t.Errorf("job %d retired %.2f G instructions, want %.2f", id, c.Instructions, want)
 		}
 	}

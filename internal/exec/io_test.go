@@ -74,7 +74,7 @@ func TestIOMetricsReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 16 * ts.IOBWPerCore
-	if math.Abs(m.IOPerNode-want) > 0.2 {
+	if math.Abs(m.IOPerNode.Float64()-want) > 0.2 {
 		t.Errorf("TS I/O per node = %.2f GB/s, want ~%.2f", m.IOPerNode, want)
 	}
 	ep := prog(t, cat, "EP")

@@ -22,6 +22,7 @@ import (
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/pmu"
 	"spreadnshare/internal/sim"
+	"spreadnshare/internal/units"
 )
 
 // State is a job's lifecycle state.
@@ -75,13 +76,13 @@ type Job struct {
 	Nodes       []int
 	CoresByNode []int
 	// Ways is the per-node CAT allocation; 0 means unmanaged sharing.
-	Ways int
-	// BWCap is a per-node memory-bandwidth ceiling in GB/s enforced by
-	// Intel MBA throttling; 0 means uncapped. The engine clamps the
-	// job's demanded bandwidth to the cap before contention
-	// resolution, so a job can never exceed its reservation — the
-	// enforcement the paper's testbed lacked (Section 4.4).
-	BWCap float64
+	Ways units.Ways
+	// BWCap is a per-node memory-bandwidth ceiling enforced by Intel
+	// MBA throttling; 0 means uncapped. The engine clamps the job's
+	// demanded bandwidth to the cap before contention resolution, so a
+	// job can never exceed its reservation — the enforcement the
+	// paper's testbed lacked (Section 4.4).
+	BWCap units.GBps
 	// Exclusive marks the nodes as dedicated (informational; the
 	// scheduler enforces it).
 	Exclusive bool
@@ -112,7 +113,7 @@ type Job struct {
 	counters pmu.Counters
 	// wayOverride, when positive, forces the node-level way allocation
 	// (the profiler's CAT manipulation); it bypasses Ways.
-	wayOverride int
+	wayOverride units.Ways
 	// phaseMul is the current bandwidth-phase multiplier (1 when
 	// phase simulation is off).
 	phaseMul float64
@@ -132,10 +133,10 @@ type Job struct {
 // nodeShare is the outcome of contention resolution on one node for one
 // job.
 type nodeShare struct {
-	rate    float64 // per-core instruction rate, GIPS
-	grant   float64 // achieved memory bandwidth on this node, GB/s
-	demand  float64 // demanded bandwidth on this node, GB/s
-	ioGrant float64 // achieved file-system bandwidth, GB/s
+	rate    float64    // per-core instruction rate, GIPS
+	grant   units.GBps // achieved memory bandwidth on this node
+	demand  units.GBps // demanded bandwidth on this node
+	ioGrant units.GBps // achieved file-system bandwidth
 	missPct float64
 	effWays float64
 	cores   int

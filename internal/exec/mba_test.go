@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"spreadnshare/internal/hw"
+
+	"spreadnshare/internal/units"
 )
 
 // TestBWCapThrottlesHog: an MBA cap below a job's demand slows it to the
@@ -37,7 +39,7 @@ func TestBWCapThrottlesHog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Bandwidth(); got > 41 {
+	if got := c.Bandwidth(); got.Float64() > 41 {
 		t.Errorf("capped job consumed %.1f GB/s, cap was 40", got)
 	}
 }
@@ -51,7 +53,7 @@ func TestBWCapProtectsCorunner(t *testing.T) {
 	bw := prog(t, cat, "BW")
 	mg := prog(t, cat, "MG")
 
-	victimTime := func(hogCap float64) float64 {
+	victimTime := func(hogCap units.GBps) float64 {
 		e, err := New(spec)
 		if err != nil {
 			t.Fatal(err)

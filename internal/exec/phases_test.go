@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"spreadnshare/internal/hw"
+
+	"spreadnshare/internal/units"
 )
 
 func TestPhasesOffByDefault(t *testing.T) {
@@ -76,7 +78,7 @@ func TestPhaseBurstHurtsCorunnerWithoutMBA(t *testing.T) {
 	bw := prog(t, cat, "BW")
 	mg := prog(t, cat, "MG")
 
-	run := func(phases bool, cap float64) float64 {
+	run := func(phases bool, cap units.GBps) float64 {
 		e, err := New(spec)
 		if err != nil {
 			t.Fatal(err)

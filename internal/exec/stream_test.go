@@ -6,6 +6,8 @@ import (
 
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
+
+	"spreadnshare/internal/units"
 )
 
 // streamModel builds a synthetic STREAM benchmark: pure streaming triad
@@ -17,7 +19,7 @@ func streamModel(t *testing.T, spec hw.NodeSpec) *app.Model {
 		Name: "STREAM", Suite: "synthetic", Framework: app.Replicated,
 		MultiNode: true,
 		IPCMax:    0.4, FloorFrac: 0.95, LeastWays90: 2, LatSens: 0,
-		BWPerCoreRef: spec.SingleCoreBandwidth, MissPctRef: 95,
+		BWPerCoreRef: spec.SingleCoreBandwidth.Float64(), MissPctRef: 95,
 		MissFloorFrac: 1, WHalf: 10,
 		TargetSoloSec: 100, MemGBPerProc: 1,
 	}
@@ -50,9 +52,9 @@ func TestEngineReproducesStreamRoofline(t *testing.T) {
 		// Demand is k * 18.8 with a nearly flat cache curve; the
 		// measured bandwidth must sit within a few percent of
 		// min(demand, B(k)).
-		demand := float64(k) * spec.Node.SingleCoreBandwidth
-		want := math.Min(demand, spec.Node.StreamBandwidth(k))
-		if got := c.Bandwidth(); math.Abs(got-want)/want > 0.06 {
+		demand := float64(k) * spec.Node.SingleCoreBandwidth.Float64()
+		want := math.Min(demand, spec.Node.StreamBandwidth(units.CoresOf(k)).Float64())
+		if got := c.Bandwidth().Float64(); math.Abs(got-want)/want > 0.06 {
 			t.Errorf("STREAM with %d cores measured %.1f GB/s, want ~%.1f", k, got, want)
 		}
 	}
@@ -71,7 +73,7 @@ func TestStreamPerCoreDecline(t *testing.T) {
 		}
 		e.Run(0)
 		c, _ := e.JobCounters(1)
-		return c.Bandwidth() / float64(k)
+		return c.Bandwidth().Float64() / float64(k)
 	}
 	p1, p28 := perCore(1), perCore(28)
 	if p28 >= p1 {

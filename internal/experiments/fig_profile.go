@@ -34,7 +34,7 @@ func Fig12CacheSensitivity(env *Env) ([]Fig12Row, error) {
 		}
 		full := base.FullWays()
 		least := full
-		for w := env.Spec.Node.MinWaysPerJob; w <= full; w++ {
+		for w := env.Spec.Node.MinWaysPerJob.Int(); w <= full; w++ {
 			if base.IPCAt(w) >= 0.9*base.IPCAt(full) {
 				least = w
 				break

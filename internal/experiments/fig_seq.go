@@ -266,7 +266,7 @@ func Fig17LoadBalance(env *Env, seed int64) (*Fig17Result, error) {
 		Variance:      make(map[sched.Policy]float64),
 		Histogram:     make(map[sched.Policy][]int),
 		Matrix:        make(map[sched.Policy][][]float64),
-		PeakBandwidth: env.Spec.Node.PeakBandwidth,
+		PeakBandwidth: env.Spec.Node.PeakBandwidth.Float64(),
 	}
 	for _, p := range []sched.Policy{sched.CE, sched.SNS} {
 		s, err := sched.New(env.Spec, env.Cat, env.DB, sched.DefaultConfig(p))
@@ -287,13 +287,13 @@ func Fig17LoadBalance(env *Env, seed int64) (*Fig17Result, error) {
 		matrix := make([][]float64, env.Spec.Nodes)
 		for node, series := range rec.ByNode(env.Spec.Nodes) {
 			for _, sample := range series {
-				flat = append(flat, sample.BandwidthGB)
-				matrix[node] = append(matrix[node], sample.BandwidthGB)
+				flat = append(flat, sample.BandwidthGB.Float64())
+				matrix[node] = append(matrix[node], sample.BandwidthGB.Float64())
 			}
 		}
 		res.Samples[p] = flat
 		res.Variance[p] = stats.PeakNormVariance(flat)
-		res.Histogram[p] = stats.Histogram(flat, 0, env.Spec.Node.PeakBandwidth, 12)
+		res.Histogram[p] = stats.Histogram(flat, 0, env.Spec.Node.PeakBandwidth.Float64(), 12)
 		res.Matrix[p] = matrix
 	}
 	return res, nil

@@ -5,6 +5,7 @@ import (
 
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/sched"
+	"spreadnshare/internal/units"
 )
 
 // ScaleLabels name the paper's four standard placements of a 16-process
@@ -64,11 +65,11 @@ type Fig3Row struct {
 // Fig3Stream reproduces Figure 3 from the hardware model.
 func Fig3Stream(env *Env) []Fig3Row {
 	var rows []Fig3Row
-	for k := 1; k <= env.Spec.Node.Cores; k++ {
+	for k := 1; k <= env.Spec.Node.Cores.Int(); k++ {
 		rows = append(rows, Fig3Row{
 			Cores:     k,
-			OverallGB: env.Spec.Node.StreamBandwidth(k),
-			PerCoreGB: env.Spec.Node.PerCoreBandwidth(k),
+			OverallGB: env.Spec.Node.StreamBandwidth(units.CoresOf(k)).Float64(),
+			PerCoreGB: env.Spec.Node.PerCoreBandwidth(units.CoresOf(k)).Float64(),
 		})
 	}
 	return rows
@@ -102,7 +103,7 @@ func Fig4Bandwidth(env *Env) ([]Fig4Row, error) {
 				return nil, err
 			}
 			_ = j
-			row.PerNodeGB[i] = c.Bandwidth() / float64(n)
+			row.PerNodeGB[i] = c.Bandwidth().Float64() / float64(n)
 		}
 		rows = append(rows, row)
 	}
@@ -166,8 +167,8 @@ func Fig6WaySweep(env *Env) ([]Fig6Row, error) {
 	var rows []Fig6Row
 	for _, name := range []string{"MG", "CG", "EP", "BFS"} {
 		prog := env.Prog(name)
-		times := make([]float64, env.Spec.Node.LLCWays)
-		for w := 1; w <= env.Spec.Node.LLCWays; w++ {
+		times := make([]float64, env.Spec.Node.LLCWays.Int())
+		for w := 1; w <= env.Spec.Node.LLCWays.Int(); w++ {
 			e, err := exec.New(env.Spec)
 			if err != nil {
 				return nil, err
@@ -179,7 +180,7 @@ func Fig6WaySweep(env *Env) ([]Fig6Row, error) {
 			if err := e.Launch(j); err != nil {
 				return nil, err
 			}
-			if err := e.SetJobWays(j.ID, w); err != nil {
+			if err := e.SetJobWays(j.ID, units.WaysOf(w)); err != nil {
 				return nil, err
 			}
 			e.Run(0)
@@ -233,7 +234,7 @@ func Fig7CommBreakdown(env *Env) ([]Fig7Row, error) {
 			total := j.RunTime() / base.RunTime()
 			commFrac := 0.0
 			if c.Elapsed > 0 {
-				commFrac = c.CommSeconds / c.Elapsed
+				commFrac = c.CommSeconds.Float64() / c.Elapsed.Float64()
 			}
 			row.Comm[i] = total * commFrac
 			row.Compute[i] = total * (1 - commFrac)

@@ -1,9 +1,13 @@
 package hw
 
-import "math"
+import (
+	"math"
+
+	"spreadnshare/internal/units"
+)
 
 // StreamBandwidth returns the aggregate memory bandwidth B(k) achievable
-// with k cores issuing homogeneous streaming accesses, in GB/s.
+// with k cores issuing homogeneous streaming accesses.
 //
 // The curve is the saturating roofline
 //
@@ -14,24 +18,24 @@ import "math"
 // around 8 cores and reaching 118.26 GB/s at 28 cores. This early
 // saturation is exactly the self-contention that makes Compact-n-Exclusive
 // placement a bottleneck for bandwidth-hungry programs.
-func (s NodeSpec) StreamBandwidth(k int) float64 {
+func (s NodeSpec) StreamBandwidth(k units.Cores) units.GBps {
 	if k <= 0 {
 		return 0
 	}
 	if k >= s.Cores {
 		return s.PeakBandwidth
 	}
-	r := 1 - s.SingleCoreBandwidth/s.PeakBandwidth
-	return s.PeakBandwidth * (1 - math.Pow(r, float64(k)))
+	r := 1 - s.SingleCoreBandwidth.Float64()/s.PeakBandwidth.Float64()
+	return units.GBpsOf(s.PeakBandwidth.Float64() * (1 - math.Pow(r, k.Float64())))
 }
 
 // PerCoreBandwidth returns B(k)/k, the bandwidth available to each of k
 // homogeneous cores (the blue declining curve of Figure 3).
-func (s NodeSpec) PerCoreBandwidth(k int) float64 {
+func (s NodeSpec) PerCoreBandwidth(k units.Cores) units.GBps {
 	if k <= 0 {
 		return 0
 	}
-	return s.StreamBandwidth(k) / float64(k)
+	return units.GBpsOf(s.StreamBandwidth(k).Float64() / k.Float64())
 }
 
 // WaterFill distributes supply among demands using max-min fairness: every
@@ -52,6 +56,8 @@ func WaterFill(supply float64, demands []float64) []float64 {
 // WaterFillInto is WaterFill writing into caller-provided storage so hot
 // paths can reuse buffers: grants receives the result and order is index
 // scratch; both must have len(demands). It performs no allocations.
+//
+//sns:hotpath
 func WaterFillInto(grants []float64, supply float64, demands []float64, order []int) {
 	for i := range grants {
 		grants[i] = 0

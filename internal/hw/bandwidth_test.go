@@ -4,14 +4,16 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"spreadnshare/internal/units"
 )
 
 func TestStreamBandwidthCalibration(t *testing.T) {
 	s := DefaultNodeSpec()
-	if got := s.StreamBandwidth(1); math.Abs(got-18.80) > 1e-9 {
+	if got := s.StreamBandwidth(1); math.Abs(got.Float64()-18.80) > 1e-9 {
 		t.Errorf("B(1) = %g, want 18.80", got)
 	}
-	if got := s.StreamBandwidth(28); math.Abs(got-118.26) > 1e-9 {
+	if got := s.StreamBandwidth(28); math.Abs(got.Float64()-118.26) > 1e-9 {
 		t.Errorf("B(28) = %g, want 118.26", got)
 	}
 	// Two cores roughly double one core (paper measures 37.17).
@@ -26,8 +28,8 @@ func TestStreamBandwidthCalibration(t *testing.T) {
 
 func TestStreamBandwidthMonotone(t *testing.T) {
 	s := DefaultNodeSpec()
-	prev := 0.0
-	for k := 1; k <= s.Cores; k++ {
+	prev := units.GBps(0)
+	for k := units.Cores(1); k <= s.Cores; k++ {
 		b := s.StreamBandwidth(k)
 		if b <= prev {
 			t.Fatalf("B(%d) = %g not strictly above B(%d) = %g", k, b, k-1, prev)
@@ -41,8 +43,8 @@ func TestStreamBandwidthMonotone(t *testing.T) {
 
 func TestPerCoreBandwidthDeclines(t *testing.T) {
 	s := DefaultNodeSpec()
-	prev := math.Inf(1)
-	for k := 1; k <= s.Cores; k++ {
+	prev := units.GBpsOf(math.Inf(1))
+	for k := units.Cores(1); k <= s.Cores; k++ {
 		pc := s.PerCoreBandwidth(k)
 		if pc >= prev {
 			t.Fatalf("per-core bandwidth at %d cores = %g, not below %g", k, pc, prev)
@@ -50,7 +52,7 @@ func TestPerCoreBandwidthDeclines(t *testing.T) {
 		prev = pc
 	}
 	// Paper: at 28 cores per-core bandwidth dips to ~22%% of single-core.
-	ratio := s.PerCoreBandwidth(28) / s.PerCoreBandwidth(1)
+	ratio := s.PerCoreBandwidth(28).Float64() / s.PerCoreBandwidth(1).Float64()
 	if ratio < 0.15 || ratio > 0.35 {
 		t.Errorf("per-core ratio 28c/1c = %g, want around 0.22", ratio)
 	}

@@ -3,12 +3,14 @@ package hw
 import (
 	"math/rand"
 	"testing"
+
+	"spreadnshare/internal/units"
 )
 
 func BenchmarkStreamBandwidth(b *testing.B) {
 	spec := DefaultNodeSpec()
 	for i := 0; i < b.N; i++ {
-		_ = spec.StreamBandwidth(i%28 + 1)
+		_ = spec.StreamBandwidth(units.CoresOf(i%28 + 1))
 	}
 }
 

@@ -3,6 +3,8 @@ package hw
 import (
 	"fmt"
 	"sort"
+
+	"spreadnshare/internal/units"
 )
 
 // WayMask is a bitmask over LLC ways, mirroring the capacity bitmasks Intel
@@ -65,13 +67,13 @@ func NewWayAllocator(spec NodeSpec) *WayAllocator {
 }
 
 // FreeWays returns the number of ways not allocated to any job.
-func (a *WayAllocator) FreeWays() int {
+func (a *WayAllocator) FreeWays() units.Ways {
 	used := 0
 	//lint:ordered integer sum of per-partition way counts is commutative
 	for _, m := range a.alloc {
 		used += m.Count()
 	}
-	return a.spec.LLCWays - used
+	return a.spec.LLCWays - units.WaysOf(used)
 }
 
 // Partitions returns the number of active partitions.
@@ -86,7 +88,7 @@ func (a *WayAllocator) Mask(id int) (WayMask, bool) {
 // Allocate reserves n contiguous ways for job id. It fails if the job
 // already holds a partition, the node is out of CLOS entries, n is below
 // the per-job minimum, or no contiguous run of n free ways exists.
-func (a *WayAllocator) Allocate(id, n int) (WayMask, error) {
+func (a *WayAllocator) Allocate(id int, n units.Ways) (WayMask, error) {
 	if _, ok := a.alloc[id]; ok {
 		return 0, fmt.Errorf("hw: job %d already holds an LLC partition", id)
 	}
@@ -103,8 +105,8 @@ func (a *WayAllocator) Allocate(id, n int) (WayMask, error) {
 	for _, m := range a.alloc {
 		used |= m
 	}
-	for lo := 0; lo+n <= a.spec.LLCWays; lo++ {
-		m := ContiguousMask(lo, n)
+	for lo := 0; lo+n.Int() <= a.spec.LLCWays.Int(); lo++ {
+		m := ContiguousMask(lo, n.Int())
 		if !m.Overlaps(used) {
 			a.alloc[id] = m
 			return m, nil

@@ -1,8 +1,11 @@
 package hw
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"spreadnshare/internal/units"
 )
 
 func TestContiguousMask(t *testing.T) {
@@ -98,7 +101,7 @@ func TestWayAllocatorInvariants(t *testing.T) {
 		var masks []WayMask
 		for id, raw := range sizes {
 			n := int(raw%22) + 1 // 1..22, some invalid on purpose
-			m, err := a.Allocate(id, n)
+			m, err := a.Allocate(id, units.WaysOf(n))
 			if err != nil {
 				continue
 			}
@@ -116,7 +119,7 @@ func TestWayAllocatorInvariants(t *testing.T) {
 		for _, m := range masks {
 			total += m.Count()
 		}
-		return total <= 20 && a.FreeWays() == 20-total
+		return total <= 20 && a.FreeWays() == units.WaysOf(20-total)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -139,6 +142,30 @@ func TestSpecValidate(t *testing.T) {
 	bad.PeakBandwidth = 1
 	if err := bad.Validate(); err == nil {
 		t.Error("peak < single-core spec validated")
+	}
+	// Non-positive roofline and way-count inputs must be rejected with
+	// errors that name the physical quantity, not a zero digest later.
+	for _, peak := range []float64{0, -120} {
+		bad = DefaultNodeSpec()
+		bad.PeakBandwidth = units.GBpsOf(peak)
+		err := bad.Validate()
+		if err == nil {
+			t.Fatalf("peak bandwidth %g validated", peak)
+		}
+		if !strings.Contains(err.Error(), "peak STREAM bandwidth must be positive") {
+			t.Errorf("peak=%g: error %q does not name the failing quantity", peak, err)
+		}
+	}
+	for _, ways := range []int{0, -4} {
+		bad = DefaultNodeSpec()
+		bad.LLCWays = units.WaysOf(ways)
+		err := bad.Validate()
+		if err == nil {
+			t.Fatalf("LLC way count %d validated", ways)
+		}
+		if !strings.Contains(err.Error(), "at least one way") {
+			t.Errorf("ways=%d: error %q does not name the failing quantity", ways, err)
+		}
 	}
 	badCl := DefaultClusterSpec()
 	badCl.Nodes = 0

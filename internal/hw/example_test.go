@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"spreadnshare/internal/hw"
+
+	"spreadnshare/internal/units"
 )
 
 // The bandwidth roofline saturates early: four cores already draw more
@@ -12,7 +14,7 @@ import (
 func ExampleNodeSpec_StreamBandwidth() {
 	node := hw.DefaultNodeSpec()
 	for _, k := range []int{1, 4, 8, 28} {
-		fmt.Printf("%2d cores: %6.2f GB/s\n", k, node.StreamBandwidth(k))
+		fmt.Printf("%2d cores: %6.2f GB/s\n", k, node.StreamBandwidth(units.CoresOf(k)))
 	}
 	// Output:
 	//  1 cores:  18.80 GB/s

@@ -1,0 +1,82 @@
+package hw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzWaterFill drives the max-min water-filling kernel with randomized
+// supplies and demand vectors and checks its invariants: grants are
+// nonnegative, never exceed the (positive part of the) demand, sum to no
+// more than the supply, are insensitive to input order, and agree
+// between the allocating and the into-storage entry points.
+func FuzzWaterFill(f *testing.F) {
+	f.Add(10.0, int64(1), uint8(4))
+	f.Add(0.0, int64(2), uint8(3))
+	f.Add(1e6, int64(3), uint8(16))
+	f.Add(0.5, int64(4), uint8(1))
+	f.Fuzz(func(t *testing.T, supply float64, seed int64, n uint8) {
+		if math.IsNaN(supply) || math.IsInf(supply, 0) || math.Abs(supply) > 1e12 {
+			t.Skip("supply outside the physical range")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		demands := make([]float64, int(n))
+		for i := range demands {
+			// Mostly physical demands, with occasional zero and
+			// negative entries to probe the d <= 0 filtering.
+			switch rng.Intn(8) {
+			case 0:
+				demands[i] = 0
+			case 1:
+				demands[i] = -rng.Float64() * 10
+			default:
+				demands[i] = rng.Float64() * 100
+			}
+		}
+
+		grants := WaterFill(supply, demands)
+		if len(grants) != len(demands) {
+			t.Fatalf("got %d grants for %d demands", len(grants), len(demands))
+		}
+		const eps = 1e-9
+		sum := 0.0
+		for i, g := range grants {
+			if g < 0 {
+				t.Fatalf("grant[%d] = %v is negative", i, g)
+			}
+			if g > math.Max(demands[i], 0)+eps {
+				t.Fatalf("grant[%d] = %v exceeds demand %v", i, g, demands[i])
+			}
+			sum += g
+		}
+		if supply > 0 && sum > supply*(1+eps)+eps {
+			t.Fatalf("grants sum to %v, exceeding supply %v", sum, supply)
+		}
+
+		// The into-storage variant must agree exactly with the
+		// allocating wrapper.
+		into := make([]float64, len(demands))
+		WaterFillInto(into, supply, demands, make([]int, len(demands)))
+		for i := range into {
+			if into[i] != grants[i] {
+				t.Fatalf("WaterFillInto[%d] = %v, WaterFill = %v", i, into[i], grants[i])
+			}
+		}
+
+		// Max-min fairness is a property of the demand multiset, not
+		// its order: permuting the inputs permutes the grants.
+		perm := rng.Perm(len(demands))
+		shuffled := make([]float64, len(demands))
+		for j, src := range perm {
+			shuffled[j] = demands[src]
+		}
+		grants2 := WaterFill(supply, shuffled)
+		for j, src := range perm {
+			if math.Abs(grants2[j]-grants[src]) > eps {
+				t.Fatalf("order sensitivity: demand %v granted %v in place %d but %v after shuffle",
+					demands[src], grants[src], src, grants2[j])
+			}
+		}
+	})
+}

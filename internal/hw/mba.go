@@ -1,14 +1,18 @@
 package hw
 
-import "math"
+import (
+	"math"
 
-// MBACap quantizes a per-node bandwidth reservation (GB/s) up to the
-// nearest Intel MBA throttle level the hardware can program, returning
-// the enforceable cap in GB/s. MBA delays are coarse — roughly 10% steps
-// of peak bandwidth — so the cap rounds up: a job is never throttled
-// below its estimated demand. Returns 0 (uncapped) when the node has no
-// MBA support or the reservation is non-positive.
-func (s NodeSpec) MBACap(bw float64) float64 {
+	"spreadnshare/internal/units"
+)
+
+// MBACap quantizes a per-node bandwidth reservation up to the nearest
+// Intel MBA throttle level the hardware can program, returning the
+// enforceable cap. MBA delays are coarse — roughly 10% steps of peak
+// bandwidth — so the cap rounds up: a job is never throttled below its
+// estimated demand. Returns 0 (uncapped) when the node has no MBA
+// support or the reservation is non-positive.
+func (s NodeSpec) MBACap(bw units.GBps) units.GBps {
 	if !s.HasMBA || bw <= 0 {
 		return 0
 	}
@@ -17,7 +21,7 @@ func (s NodeSpec) MBACap(bw float64) float64 {
 		gran = 10
 	}
 	steps := 100.0 / float64(gran)
-	frac := bw / s.PeakBandwidth
+	frac := bw.Float64() / s.PeakBandwidth.Float64()
 	level := math.Ceil(frac*steps) / steps
 	if level > 1 {
 		level = 1
@@ -26,5 +30,5 @@ func (s NodeSpec) MBACap(bw float64) float64 {
 	if level < min {
 		level = min
 	}
-	return level * s.PeakBandwidth
+	return units.GBpsOf(level * s.PeakBandwidth.Float64())
 }

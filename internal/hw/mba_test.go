@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"spreadnshare/internal/units"
 )
 
 func TestMBACapDisabled(t *testing.T) {
@@ -16,11 +18,11 @@ func TestMBACapDisabled(t *testing.T) {
 func TestMBACapQuantization(t *testing.T) {
 	s := MBANodeSpec()
 	// 50 GB/s is 42.3% of 118.26 peak -> rounds up to the 50% level.
-	if got, want := s.MBACap(50), 0.5*s.PeakBandwidth; math.Abs(got-want) > 1e-9 {
+	if got, want := s.MBACap(50).Float64(), 0.5*s.PeakBandwidth.Float64(); math.Abs(got-want) > 1e-9 {
 		t.Errorf("MBACap(50) = %g, want %g", got, want)
 	}
 	// Tiny reservations get the minimum 10% level.
-	if got, want := s.MBACap(0.5), 0.1*s.PeakBandwidth; math.Abs(got-want) > 1e-9 {
+	if got, want := s.MBACap(0.5).Float64(), 0.1*s.PeakBandwidth.Float64(); math.Abs(got-want) > 1e-9 {
 		t.Errorf("MBACap(0.5) = %g, want floor %g", got, want)
 	}
 	// At or beyond peak: full level.
@@ -39,7 +41,7 @@ func TestMBACapBadGranularity(t *testing.T) {
 	s := MBANodeSpec()
 	s.MBAGranularityPct = 0
 	// Falls back to 10% steps rather than dividing by zero.
-	if got, want := s.MBACap(50), 0.5*s.PeakBandwidth; math.Abs(got-want) > 1e-9 {
+	if got, want := s.MBACap(50).Float64(), 0.5*s.PeakBandwidth.Float64(); math.Abs(got-want) > 1e-9 {
 		t.Errorf("MBACap with zero granularity = %g, want %g", got, want)
 	}
 	s.MBAGranularityPct = 500
@@ -55,9 +57,9 @@ func TestMBACapProperties(t *testing.T) {
 	f := func(aRaw, bRaw uint16) bool {
 		a := float64(aRaw%2000) / 10 // 0..200 GB/s
 		b := float64(bRaw%2000) / 10
-		ca, cb := s.MBACap(a), s.MBACap(b)
+		ca, cb := s.MBACap(units.GBpsOf(a)).Float64(), s.MBACap(units.GBpsOf(b)).Float64()
 		if a > 0 {
-			if ca < math.Min(a, s.PeakBandwidth)-1e-9 || ca > s.PeakBandwidth+1e-9 {
+			if ca < math.Min(a, s.PeakBandwidth.Float64())-1e-9 || ca > s.PeakBandwidth.Float64()+1e-9 {
 				return false
 			}
 		}

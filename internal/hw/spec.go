@@ -9,35 +9,41 @@
 // 6.8 GB/s per node.
 package hw
 
-import "fmt"
+import (
+	"fmt"
 
-// NodeSpec describes the hardware of a single compute node. All bandwidth
-// figures are in GB/s. The zero value is not useful; start from
-// DefaultNodeSpec and override fields as needed.
+	"spreadnshare/internal/units"
+)
+
+// NodeSpec describes the hardware of a single compute node. Quantities
+// carry their physical unit as a defined type (internal/units), so a
+// GB/s figure cannot silently land in a way-count field or vice versa.
+// The zero value is not useful; start from DefaultNodeSpec and override
+// fields as needed.
 type NodeSpec struct {
 	// Cores is the number of CPU cores per node.
-	Cores int
+	Cores units.Cores
 	// FreqGHz is the nominal core clock in GHz; together with a
 	// program's IPC it yields instructions per second per core.
-	FreqGHz float64
+	FreqGHz units.GHz
 	// LLCWays is the number of last-level-cache ways that CAT can
 	// distribute among jobs. The paper's processors expose 20 ways.
-	LLCWays int
+	LLCWays units.Ways
 	// LLCSizeMB is the total LLC capacity in MB (both sockets).
 	LLCSizeMB float64
 	// PeakBandwidth is the aggregate STREAM bandwidth with all cores
 	// active (B(Cores)).
-	PeakBandwidth float64
+	PeakBandwidth units.GBps
 	// SingleCoreBandwidth is the STREAM bandwidth a single sequential
 	// reader achieves (B(1)).
-	SingleCoreBandwidth float64
+	SingleCoreBandwidth units.GBps
 	// NICBandwidth is the per-node network bandwidth.
-	NICBandwidth float64
+	NICBandwidth units.GBps
 	// IOBandwidth is the per-node bandwidth to the shared parallel
-	// file system in GB/s (supercomputers have no node-local disks;
+	// file system (supercomputers have no node-local disks;
 	// Section 3.3). It is the third manageable resource dimension the
 	// paper's extensibility claim names.
-	IOBandwidth float64
+	IOBandwidth units.GBps
 	// NICLatencyUS is the one-way network latency in microseconds.
 	NICLatencyUS float64
 	// MemoryGB is the main-memory capacity.
@@ -49,7 +55,7 @@ type NodeSpec struct {
 	// MinWaysPerJob is the smallest LLC allocation the scheduler will
 	// hand out; the paper uses 2 because a single way loses almost all
 	// associativity.
-	MinWaysPerJob int
+	MinWaysPerJob units.Ways
 	// HasMBA reports whether the processor supports Intel Memory
 	// Bandwidth Allocation. The paper's 2018 testbed lacked it and
 	// had to rely on profile-estimated bandwidth accounting (Section
@@ -89,7 +95,11 @@ func MBANodeSpec() NodeSpec {
 	return s
 }
 
-// Validate reports whether the spec is internally consistent.
+// Validate reports whether the spec is internally consistent. A spec
+// with a non-positive peak bandwidth or way count is rejected with a
+// descriptive error rather than flowing a zero roofline or an empty LLC
+// into the contention model, where it would only surface as a silently
+// wrong digest.
 func (s NodeSpec) Validate() error {
 	switch {
 	case s.Cores <= 0:
@@ -97,7 +107,9 @@ func (s NodeSpec) Validate() error {
 	case s.FreqGHz <= 0:
 		return fmt.Errorf("hw: frequency must be positive, got %g", s.FreqGHz)
 	case s.LLCWays <= 0:
-		return fmt.Errorf("hw: LLC must have at least one way, got %d", s.LLCWays)
+		return fmt.Errorf("hw: LLC must have at least one way, got %d (a zero-way cache cannot be partitioned)", s.LLCWays)
+	case s.PeakBandwidth <= 0:
+		return fmt.Errorf("hw: peak STREAM bandwidth must be positive, got %g GB/s (the roofline B(k) collapses at zero)", s.PeakBandwidth)
 	case s.PeakBandwidth < s.SingleCoreBandwidth:
 		return fmt.Errorf("hw: peak bandwidth %g below single-core bandwidth %g",
 			s.PeakBandwidth, s.SingleCoreBandwidth)
@@ -133,4 +145,4 @@ func (c ClusterSpec) Validate() error {
 }
 
 // TotalCores returns the core count of the whole cluster.
-func (c ClusterSpec) TotalCores() int { return c.Nodes * c.Node.Cores }
+func (c ClusterSpec) TotalCores() int { return c.Nodes * c.Node.Cores.Int() }

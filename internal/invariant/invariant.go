@@ -25,6 +25,7 @@ import (
 	"spreadnshare/internal/cluster"
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/placement"
+	"spreadnshare/internal/units"
 )
 
 // mode is the activation override: 0 = default (on under `go test`),
@@ -106,16 +107,17 @@ func (a *Auditor) CheckEngine(e *exec.Engine) {
 	spec := e.Spec()
 	for n := 0; n < spec.Nodes; n++ {
 		c := e.NodeActiveCores(n)
-		if c < 0 || c > spec.Node.Cores {
+		if c < 0 || c > spec.Node.Cores.Int() {
 			a.failf("node %d holds %d active cores, capacity %d", n, c, spec.Node.Cores)
 		}
 		w := e.NodeAllocWays(n)
 		if w < 0 || w > spec.Node.LLCWays {
 			a.failf("node %d holds %d allocated ways, capacity %d", n, w, spec.Node.LLCWays)
 		}
-		bw := e.NodeBandwidth(n)
-		if bw < -a.Eps || bw > spec.Node.StreamBandwidth(c)+a.Eps {
-			a.failf("node %d bandwidth %g GB/s outside [0, %g]", n, bw, spec.Node.StreamBandwidth(c))
+		bw := e.NodeBandwidth(n).Float64()
+		roof := spec.Node.StreamBandwidth(units.CoresOf(c)).Float64()
+		if bw < -a.Eps || bw > roof+a.Eps {
+			a.failf("node %d bandwidth %g GB/s outside [0, %g]", n, bw, roof)
 		}
 		if !e.NodeResidentsConsistent(n) {
 			a.failf("node %d resident list broken (ID order, cores, or slot back-pointers)", n)
@@ -131,26 +133,27 @@ func (a *Auditor) CheckCluster(cl *cluster.State) {
 	spec := cl.Spec.Node
 	for _, n := range cl.Nodes {
 		used := n.UsedCores()
-		if used < 0 || used > spec.Cores {
+		if used < 0 || used > spec.Cores.Int() {
 			a.failf("node %d uses %d cores, capacity %d", n.ID, used, spec.Cores)
 		}
 		if w := n.AllocWays(); w < 0 || w > spec.LLCWays {
 			a.failf("node %d allocates %d ways, capacity %d", n.ID, w, spec.LLCWays)
 		}
-		if bw := n.AllocBW(); bw < -a.Eps || bw > spec.PeakBandwidth+a.Eps {
+		if bw := n.AllocBW().Float64(); bw < -a.Eps || bw > spec.PeakBandwidth.Float64()+a.Eps {
 			a.failf("node %d reserves %g GB/s bandwidth, peak %g", n.ID, bw, spec.PeakBandwidth)
 		}
 		if m := n.AllocMem(); m < -a.Eps || m > spec.MemoryGB+a.Eps {
 			a.failf("node %d reserves %g GB memory, capacity %g", n.ID, m, spec.MemoryGB)
 		}
-		if io := n.AllocIO(); io < -a.Eps || io > spec.IOBandwidth+a.Eps {
+		if io := n.AllocIO().Float64(); io < -a.Eps || io > spec.IOBandwidth.Float64()+a.Eps {
 			a.failf("node %d reserves %g GB/s I/O, capacity %g", n.ID, io, spec.IOBandwidth)
 		}
 		jobs := n.Jobs()
 		if n.Exclusive() && len(jobs) != 1 {
 			a.failf("node %d is exclusive but hosts %d jobs", n.ID, len(jobs))
 		}
-		cores, ways, prev := 0, 0, -1
+		cores, prev := 0, -1
+		ways := units.Ways(0)
 		for _, id := range jobs {
 			if id <= prev {
 				a.failf("node %d allocation list out of job-ID order at job %d", n.ID, id)
@@ -231,13 +234,13 @@ func (a *Auditor) CheckSimState(s *placement.SimState) {
 		if w := s.FreeWays(id); w < 0 || w > spec.LLCWays {
 			a.failf("node %d has %d free ways outside [0, %d]", id, w, spec.LLCWays)
 		}
-		if bw := s.FreeBW(id); bw < -a.Eps || bw > spec.PeakBandwidth+a.Eps {
+		if bw := s.FreeBW(id).Float64(); bw < -a.Eps || bw > spec.PeakBandwidth.Float64()+a.Eps {
 			a.failf("node %d has %g GB/s free bandwidth outside [0, %g]", id, bw, spec.PeakBandwidth)
 		}
 		if m := s.FreeMem(id); m < -a.Eps || m > spec.MemoryGB+a.Eps {
 			a.failf("node %d has %g GB free memory outside [0, %g]", id, m, spec.MemoryGB)
 		}
-		if io := s.FreeIO(id); io < -a.Eps || io > spec.IOBandwidth+a.Eps {
+		if io := s.FreeIO(id).Float64(); io < -a.Eps || io > spec.IOBandwidth.Float64()+a.Eps {
 			a.failf("node %d has %g GB/s free I/O outside [0, %g]", id, io, spec.IOBandwidth)
 		}
 		if s.IntensiveCount(id) < 0 {

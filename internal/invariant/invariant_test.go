@@ -88,7 +88,7 @@ func TestCheckIndexAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := placement.NewCoreIndex(spec.Nodes, spec.Node.Cores)
+	idx := placement.NewCoreIndex(spec.Nodes, spec.Node.Cores.Int())
 	a := New("t")
 	a.CheckIndex(idx)
 	a.CheckIndexAgainstCluster(idx, cl)

@@ -1,0 +1,44 @@
+package lint
+
+import "testing"
+
+// BenchmarkLoadRepo measures the one-time cost the cached loader pays:
+// go list + parsing + type-checking the whole module. LoadRepoProgram
+// amortizes this across every pass and test in the process, so the CI
+// time budget charges it once (see .github/workflows/ci.yml).
+func BenchmarkLoadRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("no packages loaded")
+		}
+	}
+}
+
+// BenchmarkAnalyzeRepo measures the marginal cost of the analysis suite
+// itself once the program is loaded and its interprocedural indexes are
+// warm — the part that reruns per analyzer, not per process.
+func BenchmarkAnalyzeRepo(b *testing.B) {
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, p := range prog.Packages {
+			if !DeterministicPackages[p.Path] {
+				continue
+			}
+			for _, a := range Analyzers() {
+				n += len(Run(a, prog, p))
+			}
+		}
+		if n != 0 {
+			b.Fatalf("repo is not lint-clean: %d findings", n)
+		}
+	}
+}

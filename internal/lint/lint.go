@@ -1,7 +1,7 @@
 // Package lint is the determinism linter of the simulator: a small
 // go/analysis-shaped static-analysis framework (stdlib only, so it
-// builds offline) plus the three passes that turn DESIGN.md's
-// determinism rules into machine-checked law:
+// builds offline) plus the passes that turn DESIGN.md's determinism and
+// dimensional rules into machine-checked law:
 //
 //   - mapiter: `for range` over a map in a deterministic package leaks
 //     runtime-randomized iteration order into simulation state unless
@@ -13,6 +13,18 @@
 //   - floateq: ==/!= between computed floats, and float accumulation
 //     over map iteration order, silently break the bit-identical golden
 //     digests.
+//   - unitflow: arithmetic and conversions may not mix distinct
+//     //sns:unit-marked physical quantity types (internal/units), and
+//     unit values may enter or leave the typed world only through the
+//     constructors/accessors of a //sns:unitctor-annotated function.
+//   - allocfree: every //sns:hotpath-annotated function must be
+//     provably free of allocation-inducing constructs, transitively
+//     across the call graph — the static form of the runtime zero-alloc
+//     gates in internal/exec/alloc_test.go.
+//
+// The last two passes are interprocedural: they run over a Program (all
+// packages type-checked once, with shared cross-package indexes) rather
+// than one package at a time.
 //
 // A finding can be suppressed with a justified directive comment on the
 // offending line or the line above:
@@ -20,6 +32,7 @@
 //	//lint:ordered ids are sorted before use
 //	//lint:floateq exact sentinel comparison, both sides same computation
 //	//lint:walltime operator-facing log timestamp, not simulation state
+//	//lint:allocfree scratch append; capacity is stable after warm-up
 //
 // The justification text is mandatory: a bare directive is itself a
 // diagnostic. cmd/snslint wires the passes into a multichecker run by
@@ -61,13 +74,15 @@ type directive struct {
 }
 
 // A Pass holds one analyzer run over one package: the syntax, the type
-// information, and the diagnostic sink.
+// information, the surrounding program, and the diagnostic sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the whole loaded program, for the interprocedural passes.
+	Prog *Program
 
 	diags      []Diagnostic
 	directives map[string]map[int][]*directive // file -> line -> directives
@@ -161,12 +176,14 @@ func (p *Pass) Suppressed(pos token.Pos) bool {
 	return false
 }
 
-// Run executes one analyzer over a type-checked package and returns its
+// Run executes one analyzer over one package of prog and returns its
 // findings sorted by position. Bare (unjustified) directives matching
 // the analyzer are reported as findings too, so the escape hatch cannot
-// rot into a blanket mute.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
-	p := newPass(a, fset, files, pkg, info)
+// rot into a blanket mute. The interprocedural passes consult prog but
+// still report per package, so directive suppression works uniformly.
+func Run(a *Analyzer, prog *Program, pkg *Package) []Diagnostic {
+	p := newPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	p.Prog = prog
 	a.Run(p)
 	dirName := a.Directive
 	if dirName == "" {
@@ -177,7 +194,7 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 			for _, d := range ds {
 				if d.name == dirName && d.reason == "" {
 					p.diags = append(p.diags, Diagnostic{
-						Pos:      fset.Position(d.pos),
+						Pos:      pkg.Fset.Position(d.pos),
 						Analyzer: a.Name,
 						Message:  fmt.Sprintf("//lint:%s directive needs a justification", dirName),
 					})
@@ -198,9 +215,10 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	return p.diags
 }
 
-// Analyzers returns the full determinism suite in report order.
+// Analyzers returns the full suite in report order: the three
+// determinism passes, then the two interprocedural semantic passes.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Mapiter, Walltime, Floateq}
+	return []*Analyzer{Mapiter, Walltime, Floateq, Unitflow, Allocfree}
 }
 
 // DeterministicPackages is the set of import paths whose runtime code
@@ -219,6 +237,7 @@ var DeterministicPackages = map[string]bool{
 	"spreadnshare/internal/pmu":         true,
 	"spreadnshare/internal/experiments": true,
 	"spreadnshare/internal/core":        true,
+	"spreadnshare/internal/units":       true,
 }
 
 // isFloat reports whether t is a floating-point type (after unaliasing).

@@ -50,7 +50,7 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	diags := Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	diags := Run(a, NewProgram([]*Package{pkg}), pkg)
 
 	wants := loadWants(t, dir)
 	matched := map[string]int{} // key -> how many wants satisfied
@@ -79,9 +79,11 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestMapiterFixture(t *testing.T)  { runFixture(t, Mapiter, "mapiterfix") }
-func TestWalltimeFixture(t *testing.T) { runFixture(t, Walltime, "walltimefix") }
-func TestFloateqFixture(t *testing.T)  { runFixture(t, Floateq, "floateqfix") }
+func TestMapiterFixture(t *testing.T)   { runFixture(t, Mapiter, "mapiterfix") }
+func TestWalltimeFixture(t *testing.T)  { runFixture(t, Walltime, "walltimefix") }
+func TestFloateqFixture(t *testing.T)   { runFixture(t, Floateq, "floateqfix") }
+func TestUnitflowFixture(t *testing.T)  { runFixture(t, Unitflow, "unitflowfix") }
+func TestAllocfreeFixture(t *testing.T) { runFixture(t, Allocfree, "allocfreefix") }
 
 // TestRepoIsClean runs the full suite over the deterministic packages —
 // the same gate `make lint` enforces, kept inside `go test ./...` so
@@ -90,24 +92,65 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide lint needs go list + full type-checking")
 	}
-	pkgs, err := Load("spreadnshare/...")
+	prog, err := LoadRepoProgram()
 	if err != nil {
 		t.Fatalf("loading repo: %v", err)
 	}
 	checked := 0
-	for _, p := range pkgs {
+	for _, p := range prog.Packages {
 		if !DeterministicPackages[p.Path] {
 			continue
 		}
 		checked++
 		for _, a := range Analyzers() {
-			for _, d := range Run(a, p.Fset, p.Files, p.Types, p.Info) {
+			for _, d := range Run(a, prog, p) {
 				t.Errorf("%s", d)
 			}
 		}
 	}
 	if checked != len(DeterministicPackages) {
 		t.Errorf("checked %d deterministic packages, want %d", checked, len(DeterministicPackages))
+	}
+}
+
+// TestHotpathCoverage pins the allocfree pass to the runtime zero-alloc
+// gates: every function those gates exercise (engine recompute, the
+// water-filling kernel, the sim queue ops, the placement search) must be
+// reachable from a //sns:hotpath root and therefore statically analyzed.
+func TestHotpathCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint needs go list + full type-checking")
+	}
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	covered := map[string]bool{}
+	for _, name := range prog.AllocfreeCovered() {
+		covered[name] = true
+	}
+	required := []string{
+		"(*spreadnshare/internal/exec.Engine).recompute",
+		"(*spreadnshare/internal/exec.Engine).resolveNode",
+		"(*spreadnshare/internal/exec.Engine).refreshJob",
+		"(*spreadnshare/internal/exec.Engine).advance",
+		"spreadnshare/internal/hw.WaterFillInto",
+		"(*spreadnshare/internal/sim.Queue).At",
+		"(*spreadnshare/internal/sim.Queue).Cancel",
+		"(*spreadnshare/internal/sim.Queue).Step",
+		"(*spreadnshare/internal/sim.Queue).Run",
+		"(*spreadnshare/internal/placement.Search).FindDemand",
+		"(*spreadnshare/internal/placement.Search).selectIdlest",
+		"(*spreadnshare/internal/placement.Search).score",
+		"(*spreadnshare/internal/placement.Search).fits",
+	}
+	for _, name := range required {
+		if !covered[name] {
+			t.Errorf("runtime-gated hot function %s is not covered by the allocfree pass", name)
+		}
+	}
+	if len(covered) < len(required) {
+		t.Errorf("allocfree covers %d functions, expected at least %d", len(covered), len(required))
 	}
 }
 
@@ -119,7 +162,7 @@ func TestDirectiveJustificationRequired(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(Mapiter, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	diags := Run(Mapiter, NewProgram([]*Package{pkg}), pkg)
 	bare := 0
 	for _, d := range diags {
 		if strings.Contains(d.Message, "needs a justification") {

@@ -105,9 +105,10 @@ func check(fset *token.FileSet, conf *types.Config, lp listedPackage) (*Package,
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
 	if err != nil {

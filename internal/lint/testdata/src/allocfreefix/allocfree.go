@@ -1,0 +1,67 @@
+// Package allocfreefix exercises the allocfree analyzer: a //sns:hotpath
+// root whose transitive call graph contains every allocation construct
+// the pass flags, plus the shapes it must prove clean (local inlined
+// closures, devirtualized interface calls, unreached cold code).
+package allocfreefix
+
+// View is implemented by arr below; the hotpath call through it must
+// devirtualize rather than give up.
+type View interface {
+	At(i int) int
+}
+
+type arr struct{ xs [4]int }
+
+func (a *arr) At(i int) int { return a.xs[i] }
+
+var fnVar = func() {}
+
+func takeAny(v any) {}
+
+// Hot is the root; everything it reaches must be allocation-free.
+//
+//sns:hotpath
+func Hot(xs []int, m map[string]int, v View) int {
+	xs = append(xs, 1) // want "append may grow its backing array"
+	p := new(int)      // want "new allocates"
+	go fnVar()         // want "go statement allocates" // want "dynamic call through func value fnVar"
+	helper(m)
+	takeAny(*p) // want "argument boxes into interface parameter"
+	fnVar()     // want "dynamic call through func value fnVar"
+	return v.At(0) + sum(xs)
+}
+
+// helper is reached transitively from Hot; its findings carry its name.
+func helper(m map[string]int) {
+	mm := map[string]int{} // want "map literal allocates"
+	_ = mm
+	m["k"] = 1 // want "map assignment may grow the map"
+}
+
+// sum shows the clean shapes: a once-bound local closure used only in
+// call position is stack-allocated and walked in place.
+func sum(xs []int) int {
+	add := func(a, b int) int { return a + b }
+	t := 0
+	for _, x := range xs {
+		t = add(t, x)
+	}
+	return t
+}
+
+// warm is reached from Hot? No — it is cold, so its allocations are
+// invisible to the pass; the runtime gates cover non-hot code.
+func warm() []int {
+	return make([]int, 128) // no want: unreached from any hotpath root
+}
+
+// Justified is a second root with a suppressed finding and a bare
+// directive that is itself a finding.
+//
+//sns:hotpath
+func Justified(buf []byte) []byte {
+	//lint:allocfree scratch append; capacity is stable after warm-up
+	buf = append(buf, 0)
+	//lint:allocfree // want "needs a justification"
+	return append(buf, 1) // want "append may grow its backing array"
+}

@@ -1,0 +1,65 @@
+// Package unitflowfix exercises the unitflow analyzer: local //sns:unit
+// types standing in for internal/units, a //sns:unitctor boundary, and
+// the four mixing rules the pass enforces.
+package unitflowfix
+
+// GBps is bandwidth in gigabytes per second.
+//
+//sns:unit
+type GBps float64
+
+// Seconds is elapsed simulated time.
+//
+//sns:unit
+type Seconds float64
+
+// Plain is a defined float with no unit marker; it mixes freely.
+type Plain float64
+
+// GBpsOf is the typed construction boundary.
+//
+//sns:unitctor typed construction boundary
+func GBpsOf(v float64) GBps { return GBps(v) }
+
+// Float64 is the typed escape boundary.
+//
+//sns:unitctor typed escape boundary
+func (b GBps) Float64() float64 { return float64(b) }
+
+func crossUnit(t Seconds) GBps {
+	return GBps(t) // want "cross-unit conversion"
+}
+
+func escapes(b GBps) float64 {
+	return float64(b) // want "escapes to"
+}
+
+func constructs(raw float64) GBps {
+	return GBps(raw) // want "non-constant"
+}
+
+func dimensioned(a, b GBps) GBps {
+	return a * b // want "dimensioned"
+}
+
+func allowed(raw float64) {
+	_ = GBps(0)     // untyped constants construct freely
+	_ = GBps(3.5)   // likewise
+	_ = GBpsOf(raw) // the annotated constructor is the legal door
+	_ = Plain(raw)  // unmarked defined types are not units
+	var p Plain = 2
+	_ = p * p // no unit operands, no finding
+	b := GBpsOf(raw)
+	_ = b + b // additive ops on one unit are dimensionally sound
+	_ = b.Float64() * raw
+}
+
+func suppressed(b GBps) float64 {
+	//lint:unitflow report axis needs a bare float and owns the rounding
+	return float64(b)
+}
+
+func bare(b GBps) float64 {
+	//lint:unitflow // want "needs a justification"
+	return float64(b) // want "escapes to"
+}

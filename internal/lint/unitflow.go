@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unitflow enforces the dimensional discipline of internal/units across
+// the whole program. Defined types marked //sns:unit (GBps, Ways, Cores,
+// Instr, Cycles, Seconds, GB, GHz, IPC) carry physical dimensions; the
+// pass forbids the conversions and arithmetic that would silently launder
+// one dimension into another:
+//
+//   - cross-unit conversion, e.g. GBps(someSeconds) — two quantities with
+//     different dimensions never interconvert directly;
+//   - a unit value escaping to a bare numeric type, e.g. float64(bw),
+//     outside a //sns:unitctor-annotated constructor site — escape goes
+//     through the accessor methods (.Float64(), .Int());
+//   - a non-constant bare value converted into a unit type, e.g.
+//     GBps(someFloat), outside a constructor site — construction goes
+//     through the units constructors (GBpsOf, WaysOf, ...). Untyped
+//     constants (GBps(0), literals in specs) stay free;
+//   - multiplication or division of two unit-typed operands — the result
+//     type the compiler infers is dimensionally wrong (GBps*GBps is not
+//     a GBps); derived quantities go through the units helpers
+//     (PerCycle, Times, Per) or bare-float math at an annotated site.
+//
+// Functions that genuinely sit on the typed/untyped boundary — the units
+// package's own constructors, accessors, and helpers — are annotated
+// //sns:unitctor and exempt from the escape/construction rules (never
+// from the cross-unit and dimensioned-arithmetic rules).
+var Unitflow = &Analyzer{
+	Name: "unitflow",
+	Doc: "forbids conversions and arithmetic mixing distinct physical unit " +
+		"types (//sns:unit); unit values are constructed and escaped only " +
+		"through //sns:unitctor sites (the units constructors/accessors)",
+	Run: runUnitflow,
+}
+
+func runUnitflow(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			exempt := false
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				exempt = hasMarker(fd.Doc, "sns:unitctor")
+			}
+			checkUnitflow(pass, decl, exempt)
+		}
+	}
+}
+
+// unitName renders a unit type for diagnostics as "pkgname.Type".
+func unitName(tn *types.TypeName) string {
+	return tn.Pkg().Name() + "." + tn.Name()
+}
+
+func checkUnitflow(pass *Pass, root ast.Node, exempt bool) {
+	prog := pass.Prog
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			tv, ok := pass.Info.Types[x.Fun]
+			if !ok || !tv.IsType() || len(x.Args) != 1 {
+				return true
+			}
+			dst := tv.Type
+			argTV := pass.Info.Types[x.Args[0]]
+			if argTV.Type == nil {
+				return true
+			}
+			dstTN, dstKey, dstUnit := prog.UnitType(dst)
+			argTN, argKey, argUnit := prog.UnitType(argTV.Type)
+			switch {
+			case dstUnit && argUnit && dstKey != argKey:
+				pass.Reportf(x.Pos(),
+					"cross-unit conversion %s(%s) changes physical dimension; go through the accessor and the target constructor",
+					unitName(dstTN), unitName(argTN))
+			case dstUnit && !argUnit && argTV.Value == nil && !exempt:
+				pass.Reportf(x.Pos(),
+					"non-constant %s converted to %s outside a constructor site; use the units constructor (or annotate the function //sns:unitctor)",
+					types.TypeString(argTV.Type, nil), unitName(dstTN))
+			case !dstUnit && argUnit && !exempt && isBareNumeric(dst):
+				pass.Reportf(x.Pos(),
+					"unit value %s escapes to %s outside a constructor site; use its accessor method",
+					unitName(argTN), types.TypeString(dst, nil))
+			}
+		case *ast.BinaryExpr:
+			if x.Op != token.MUL && x.Op != token.QUO {
+				return true
+			}
+			xTN, _, xUnit := prog.UnitType(pass.Info.Types[x.X].Type)
+			yTN, _, yUnit := prog.UnitType(pass.Info.Types[x.Y].Type)
+			if xUnit && yUnit {
+				pass.Reportf(x.OpPos,
+					"dimensioned %s between %s and %s yields a mistyped quantity; use a units helper or bare-float math at a constructor site",
+					x.Op, unitName(xTN), unitName(yTN))
+			}
+		}
+		return true
+	})
+}
+
+// isBareNumeric reports whether t is an unnamed basic numeric type — the
+// escape destinations the unitflow rule guards (float64(bw), int(ways)).
+func isBareNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}

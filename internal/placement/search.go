@@ -6,6 +6,7 @@ import (
 	"spreadnshare/internal/core"
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/units"
 )
 
 // Request describes one job to place, independent of which layer submits
@@ -68,9 +69,9 @@ type Plan struct {
 	Cores []int
 	// Ways, BW, IOBW are the per-node SNS reservations (zero for the
 	// unmanaged-sharing policies).
-	Ways int
-	BW   float64
-	IOBW float64
+	Ways units.Ways
+	BW   units.GBps
+	IOBW units.GBps
 	// Exclusive dedicates every placed node.
 	Exclusive bool
 	// K is the chosen scale factor (1 when the policy never scales).
@@ -182,11 +183,11 @@ func (s *Search) Place(p Policy, req Request) *Plan {
 
 // Idle returns the n lowest-id fully-free nodes, or nil if fewer exist.
 func (s *Search) Idle(n int) []int {
-	if n <= 0 || s.Idx.Count(s.Spec.Cores) < n {
+	if n <= 0 || s.Idx.Count(s.Spec.Cores.Int()) < n {
 		return nil
 	}
 	out := make([]int, 0, n)
-	s.Idx.Scan(s.Spec.Cores, func(id int) bool {
+	s.Idx.Scan(s.Spec.Cores.Int(), func(id int) bool {
 		out = append(out, id)
 		return len(out) < n
 	})
@@ -235,7 +236,7 @@ func (s *Search) ascendFree(minFree, n int, mem float64) []int {
 		return nil
 	}
 	out := make([]int, 0, n)
-	for f := minFree; f <= s.Spec.Cores; f++ {
+	for f := minFree; f <= s.Spec.Cores.Int(); f++ {
 		if s.Idx.Count(f) == 0 {
 			continue
 		}
@@ -316,6 +317,8 @@ func uniform(v, n int) []int {
 // consumption even within groups); failing that it falls back to the
 // whole cluster. Within the chosen set it returns the n idlest nodes by
 // the Co + Bo + beta*Wo score. It returns nil when fewer than n qualify.
+//
+//sns:hotpath
 func (s *Search) FindDemand(n int, d core.Demand) []int {
 	if n <= 0 {
 		return nil
@@ -325,11 +328,12 @@ func (s *Search) FindDemand(n int, d core.Demand) []int {
 		minFree = 0
 	}
 	all := s.scratch.ids[:0]
-	for f := minFree; f <= s.Spec.Cores; f++ {
+	for f := minFree; f <= s.Spec.Cores.Int(); f++ {
 		if s.Idx.Count(f) == 0 {
 			continue
 		}
 		start := len(all)
+		//lint:allocfree closure does not escape Scan; the runtime alloc gate verifies stack allocation
 		s.Idx.Scan(f, func(id int) bool {
 			if s.fits(id, d) {
 				all = append(all, id)
@@ -353,6 +357,8 @@ func (s *Search) FindDemand(n int, d core.Demand) []int {
 
 // fits checks the non-core demand dimensions (cores are pre-filtered by
 // the index bucket). Each dimension binds only when requested (> 0).
+//
+//sns:hotpath
 func (s *Search) fits(id int, d core.Demand) bool {
 	if d.Ways > 0 && s.View.FreeWays(id) < d.Ways {
 		return false
@@ -373,10 +379,12 @@ func (s *Search) fits(id int, d core.Demand) bool {
 // the occupied fractions of cores, bandwidth, and LLC ways. Lower is
 // idler. The expression shape matches the cluster bookkeeping's original
 // so readings are bit-identical.
+//
+//sns:hotpath
 func (s *Search) score(id int, beta float64) float64 {
-	co := float64(s.View.UsedCores(id)) / float64(s.Spec.Cores)
-	bo := s.View.AllocBW(id) / s.Spec.PeakBandwidth
-	wo := float64(s.View.AllocWays(id)) / float64(s.Spec.LLCWays)
+	co := float64(s.View.UsedCores(id)) / s.Spec.Cores.Float64()
+	bo := s.View.AllocBW(id).Float64() / s.Spec.PeakBandwidth.Float64()
+	wo := s.View.AllocWays(id).Float64() / s.Spec.LLCWays.Float64()
 	return co + bo + beta*wo
 }
 
@@ -387,6 +395,8 @@ func (s *Search) score(id int, beta float64) float64 {
 // O(C log n) instead of sorting all C candidates. Large-cluster
 // placement passes hit this with C in the tens of thousands and n of a
 // few dozen, where the full sort dominated replay time.
+//
+//sns:hotpath
 func (s *Search) selectIdlest(candidates []int, n int) []int {
 	beta := s.beta()
 	// after reports a ranking after b in the ascending (score, id) order.
@@ -420,6 +430,7 @@ func (s *Search) selectIdlest(candidates []int, n int) []int {
 		// Build the heap in one Floyd pass and fall through to the
 		// drain — a plain heapsort.
 		for _, id := range candidates {
+			//lint:allocfree heap scratch reuses s.scratch.heap backing array after warm-up
 			h = append(h, scoredNode{id: id, score: s.score(id, beta)})
 		}
 		for i := len(h)/2 - 1; i >= 0; i-- {
@@ -429,6 +440,7 @@ func (s *Search) selectIdlest(candidates []int, n int) []int {
 		for _, id := range candidates {
 			c := scoredNode{id: id, score: s.score(id, beta)}
 			if len(h) < n {
+				//lint:allocfree heap scratch reuses s.scratch.heap backing array after warm-up
 				h = append(h, c)
 				for i := len(h) - 1; i > 0; {
 					p := (i - 1) / 2
@@ -448,6 +460,7 @@ func (s *Search) selectIdlest(candidates []int, n int) []int {
 	// Drain the heap: each pop yields the worst remaining pick, so
 	// filling the result back to front leaves it in ascending
 	// (score, id) order without a comparison-sort pass.
+	//lint:allocfree result slice is the caller's product, not reusable scratch
 	out := make([]int, len(h))
 	for len(h) > 0 {
 		last := len(h) - 1
@@ -468,7 +481,7 @@ func (s *Search) placeTwoSlot(req Request) *Plan {
 	if procs <= 0 {
 		procs = req.CoresPerNode * req.BaseNodes
 	}
-	half := s.Spec.Cores / 2
+	half := s.Spec.Cores.Int() / 2
 	if half <= 0 || procs <= 0 {
 		return nil
 	}

@@ -6,6 +6,8 @@ import (
 	"spreadnshare/internal/core"
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/profiler"
+
+	"spreadnshare/internal/units"
 )
 
 // newTestSearch builds an 8-node default-hardware cluster backend, the
@@ -21,7 +23,7 @@ func newTestSearch(nodes int) (*SimState, *Search) {
 }
 
 func reserve(st *SimState, id, cores, ways int, bw, mem float64) {
-	st.Reserve(id, Reservation{Cores: cores, Ways: ways, BW: bw, MemGB: mem})
+	st.Reserve(id, Reservation{Cores: cores, Ways: units.WaysOf(ways), BW: units.GBpsOf(bw), MemGB: mem})
 }
 
 func TestFindDemandBasic(t *testing.T) {

@@ -1,6 +1,9 @@
 package placement
 
-import "spreadnshare/internal/hw"
+import (
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/units"
+)
 
 // SimState is the lightweight cluster backend of the large-scale trace
 // simulator: flat per-node capacity arrays plus the kernel's core index,
@@ -11,10 +14,10 @@ import "spreadnshare/internal/hw"
 type SimState struct {
 	spec      hw.NodeSpec
 	idx       *CoreIndex
-	freeWays  []int
-	freeBW    []float64
+	freeWays  []units.Ways
+	freeBW    []units.GBps
 	freeMem   []float64
-	freeIO    []float64
+	freeIO    []units.GBps
 	intensive []int // running intensive-job count per node (TwoSlot)
 }
 
@@ -22,11 +25,11 @@ type SimState struct {
 func NewSimState(spec hw.NodeSpec, nodes int) *SimState {
 	s := &SimState{
 		spec:      spec,
-		idx:       NewCoreIndex(nodes, spec.Cores),
-		freeWays:  make([]int, nodes),
-		freeBW:    make([]float64, nodes),
+		idx:       NewCoreIndex(nodes, spec.Cores.Int()),
+		freeWays:  make([]units.Ways, nodes),
+		freeBW:    make([]units.GBps, nodes),
 		freeMem:   make([]float64, nodes),
-		freeIO:    make([]float64, nodes),
+		freeIO:    make([]units.GBps, nodes),
 		intensive: make([]int, nodes),
 	}
 	for i := 0; i < nodes; i++ {
@@ -61,25 +64,25 @@ func (s *SimState) HasIntensive(id int) bool { return s.intensive[id] > 0 }
 // NodeView.
 
 // UsedCores returns the reserved core count.
-func (s *SimState) UsedCores(id int) int { return s.spec.Cores - s.idx.Free(id) }
+func (s *SimState) UsedCores(id int) int { return s.spec.Cores.Int() - s.idx.Free(id) }
 
 // AllocWays returns the CAT-allocated LLC ways.
-func (s *SimState) AllocWays(id int) int { return s.spec.LLCWays - s.freeWays[id] }
+func (s *SimState) AllocWays(id int) units.Ways { return s.spec.LLCWays - s.freeWays[id] }
 
-// AllocBW returns the reserved memory bandwidth in GB/s.
-func (s *SimState) AllocBW(id int) float64 { return s.spec.PeakBandwidth - s.freeBW[id] }
+// AllocBW returns the reserved memory bandwidth.
+func (s *SimState) AllocBW(id int) units.GBps { return s.spec.PeakBandwidth - s.freeBW[id] }
 
 // FreeWays returns unallocated LLC ways.
-func (s *SimState) FreeWays(id int) int { return s.freeWays[id] }
+func (s *SimState) FreeWays(id int) units.Ways { return s.freeWays[id] }
 
 // FreeBW returns unreserved memory bandwidth.
-func (s *SimState) FreeBW(id int) float64 { return s.freeBW[id] }
+func (s *SimState) FreeBW(id int) units.GBps { return s.freeBW[id] }
 
 // FreeMem returns unreserved main memory.
 func (s *SimState) FreeMem(id int) float64 { return s.freeMem[id] }
 
 // FreeIO returns unreserved file-system bandwidth.
-func (s *SimState) FreeIO(id int) float64 { return s.freeIO[id] }
+func (s *SimState) FreeIO(id int) units.GBps { return s.freeIO[id] }
 
 // Txn.
 

@@ -25,7 +25,7 @@ func newSpeedupState(tb testing.TB) (*SimState, *Search) {
 	spec := hw.DefaultNodeSpec()
 	state := NewSimState(spec, speedupNodes)
 	for id := 0; id < speedupNodes; id++ {
-		if use := (id * 5) % spec.Cores; use > 0 {
+		if use := (id * 5) % spec.Cores.Int(); use > 0 {
 			state.Reserve(id, Reservation{Cores: use})
 		}
 	}
@@ -50,7 +50,7 @@ func linearFindDemand(s *Search, n int, d core.Demand) []int {
 	if minFree < 0 {
 		minFree = 0
 	}
-	buckets := make([][]int, s.Spec.Cores+1)
+	buckets := make([][]int, s.Spec.Cores.Int()+1)
 	for id := 0; id < s.Nodes; id++ {
 		f := s.Idx.Free(id)
 		if f >= minFree && s.fits(id, d) {
@@ -58,7 +58,7 @@ func linearFindDemand(s *Search, n int, d core.Demand) []int {
 		}
 	}
 	var all []int
-	for f := minFree; f <= s.Spec.Cores; f++ {
+	for f := minFree; f <= s.Spec.Cores.Int(); f++ {
 		if len(buckets[f]) == 0 {
 			continue
 		}

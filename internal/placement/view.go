@@ -1,5 +1,7 @@
 package placement
 
+import "spreadnshare/internal/units"
+
 // NodeView is the read side of a cluster backend: per-node occupancy and
 // free capacity, addressed by node id in [0, nodes).
 //
@@ -17,17 +19,17 @@ type NodeView interface {
 	// UsedCores returns the reserved core count.
 	UsedCores(id int) int
 	// AllocWays returns the CAT-allocated LLC ways.
-	AllocWays(id int) int
-	// AllocBW returns the reserved memory bandwidth in GB/s.
-	AllocBW(id int) float64
+	AllocWays(id int) units.Ways
+	// AllocBW returns the reserved memory bandwidth.
+	AllocBW(id int) units.GBps
 	// FreeWays returns unallocated LLC ways.
-	FreeWays(id int) int
-	// FreeBW returns unreserved memory bandwidth in GB/s.
-	FreeBW(id int) float64
+	FreeWays(id int) units.Ways
+	// FreeBW returns unreserved memory bandwidth.
+	FreeBW(id int) units.GBps
 	// FreeMem returns unreserved main memory in GB.
 	FreeMem(id int) float64
-	// FreeIO returns unreserved file-system bandwidth in GB/s.
-	FreeIO(id int) float64
+	// FreeIO returns unreserved file-system bandwidth.
+	FreeIO(id int) units.GBps
 }
 
 // Reservation is one job's per-node resource take, the write-side unit of
@@ -38,13 +40,13 @@ type Reservation struct {
 	// count so the caller can release exactly what was taken.
 	Cores int
 	// Ways is the CAT-partitioned LLC allocation (0 = unmanaged).
-	Ways int
-	// BW is the memory-bandwidth reservation in GB/s (0 = unaccounted).
-	BW float64
+	Ways units.Ways
+	// BW is the memory-bandwidth reservation (0 = unaccounted).
+	BW units.GBps
 	// MemGB is the main-memory reservation (0 = unaccounted).
 	MemGB float64
 	// IOBW is the file-system bandwidth reservation (0 = unaccounted).
-	IOBW float64
+	IOBW units.GBps
 	// Exclusive dedicates the node: all free cores are taken.
 	Exclusive bool
 	// Intensive marks the owning job as shared-resource intensive for

@@ -2,25 +2,30 @@
 // the execution engine produces and the Kunafa profiler consumes. The
 // quantities mirror the hardware events Uberun samples on real nodes:
 // Instructions Retired and Unhalted Core Cycles for IPC, and Home-Agent
-// REQUESTS for memory bandwidth (Section 5.1 of the paper).
+// REQUESTS for memory bandwidth (Section 5.1 of the paper). Every
+// reading carries its physical unit as a defined type (internal/units),
+// so an instruction count cannot be mistaken for a cycle count nor a
+// per-node bandwidth for a total.
 package pmu
+
+import "spreadnshare/internal/units"
 
 // Counters accumulate over a job's lifetime (or a sampling window, by
 // differencing two snapshots). Instruction and cycle counts are in units
 // of 1e9 (giga); traffic is in GB.
 type Counters struct {
 	// Instructions retired across all the job's cores.
-	Instructions float64
+	Instructions units.Instr
 	// Cycles elapsed across all the job's cores (cores stall but keep
 	// cycling while memory-throttled, exactly as real counters read).
-	Cycles float64
+	Cycles units.Cycles
 	// TrafficGB is memory traffic attributed to the job, summed over
 	// nodes.
-	TrafficGB float64
+	TrafficGB units.GB
 	// CommSeconds is wall time attributed to inter-node communication.
-	CommSeconds float64
+	CommSeconds units.Seconds
 	// Elapsed is wall-clock seconds the job has been running.
-	Elapsed float64
+	Elapsed units.Seconds
 }
 
 // Sub returns the window c - prev, for differencing two snapshots.
@@ -35,19 +40,19 @@ func (c Counters) Sub(prev Counters) Counters {
 }
 
 // IPC returns instructions per cycle over the window, zero if no cycles.
-func (c Counters) IPC() float64 {
+func (c Counters) IPC() units.IPC {
 	if c.Cycles <= 0 {
 		return 0
 	}
-	return c.Instructions / c.Cycles
+	return units.PerCycle(c.Instructions, c.Cycles)
 }
 
-// Bandwidth returns the average memory bandwidth over the window in GB/s.
-func (c Counters) Bandwidth() float64 {
+// Bandwidth returns the average memory bandwidth over the window.
+func (c Counters) Bandwidth() units.GBps {
 	if c.Elapsed <= 0 {
 		return 0
 	}
-	return c.TrafficGB / c.Elapsed
+	return c.TrafficGB.Per(c.Elapsed)
 }
 
 // Metrics is an instantaneous reading of one running job, the quantity a
@@ -55,14 +60,13 @@ func (c Counters) Bandwidth() float64 {
 type Metrics struct {
 	// IPC is per-core instructions per cycle, including throttling
 	// stalls.
-	IPC float64
-	// BWPerNode is achieved memory bandwidth per occupied node, GB/s.
-	BWPerNode float64
+	IPC units.IPC
+	// BWPerNode is achieved memory bandwidth per occupied node.
+	BWPerNode units.GBps
 	// BWTotal is achieved bandwidth summed over the job's nodes.
-	BWTotal float64
-	// IOPerNode is achieved parallel-file-system bandwidth per node,
-	// GB/s.
-	IOPerNode float64
+	BWTotal units.GBps
+	// IOPerNode is achieved parallel-file-system bandwidth per node.
+	IOPerNode units.GBps
 	// MissPct is the LLC miss rate in percent.
 	MissPct float64
 	// ComputeFrac is the fraction of wall time in computation (the
@@ -70,17 +74,17 @@ type Metrics struct {
 	ComputeFrac float64
 	// EffectiveWays is the cache allocation driving the reading, in
 	// reference-concurrency terms (exposed for tests; real PMUs do
-	// not report it).
+	// not report it). Fractional, so it is not a units.Ways count.
 	EffectiveWays float64
 }
 
 // NodeSample records one node's utilization during a monitoring episode
 // (the cells of the paper's Figure 17 heat map).
 type NodeSample struct {
-	Time        float64
+	Time        units.Seconds
 	Node        int
-	BandwidthGB float64
-	ActiveCores int
+	BandwidthGB units.GBps
+	ActiveCores units.Cores
 }
 
 // Recorder accumulates periodic node samples.

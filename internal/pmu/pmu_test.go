@@ -28,7 +28,7 @@ func TestCountersSub(t *testing.T) {
 		t.Errorf("Sub = %+v", w)
 	}
 	// Windowed IPC differs from cumulative when rates change.
-	if got := w.IPC(); math.Abs(got-0.375) > 1e-12 {
+	if got := w.IPC(); math.Abs(got.Float64()-0.375) > 1e-12 {
 		t.Errorf("window IPC = %g, want 0.375", got)
 	}
 }

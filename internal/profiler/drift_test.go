@@ -88,7 +88,7 @@ func TestDriftDetectsChangedProgram(t *testing.T) {
 			t.Fatal(err)
 		}
 		m.Observe("CG", 16, Reading{
-			IPC: metrics.IPC, BWPerNode: metrics.BWPerNode, MissPct: metrics.MissPct,
+			IPC: metrics.IPC.Float64(), BWPerNode: metrics.BWPerNode.Float64(), MissPct: metrics.MissPct,
 		})
 	}
 	if !m.NeedsReprofile(p) {

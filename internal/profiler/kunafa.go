@@ -7,6 +7,7 @@ import (
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/hw"
+	"spreadnshare/internal/units"
 )
 
 // Kunafa profiles programs on a simulated cluster the way the paper's
@@ -37,7 +38,7 @@ type Kunafa struct {
 func New(spec hw.ClusterSpec) *Kunafa {
 	return &Kunafa{
 		Spec:               spec,
-		SampleWays:         []int{2, 4, 8, spec.Node.LLCWays},
+		SampleWays:         []int{2, 4, 8, spec.Node.LLCWays.Int()},
 		EpisodeSec:         5,
 		CandidateKs:        []int{1, 2, 4, 8},
 		SaturationSlowdown: 0.15,
@@ -48,7 +49,7 @@ func New(spec hw.ClusterSpec) *Kunafa {
 // footprint computes the node count and max cores per node for a process
 // count at scale factor k on the profiler's node size.
 func (k *Kunafa) footprint(procs, scale int) (nodes, cores int) {
-	minNodes := (procs + k.Spec.Node.Cores - 1) / k.Spec.Node.Cores
+	minNodes := (procs + k.Spec.Node.Cores.Int() - 1) / k.Spec.Node.Cores.Int()
 	nodes = scale * minNodes
 	cores = (procs + nodes - 1) / nodes
 	return nodes, cores
@@ -97,7 +98,7 @@ func (k *Kunafa) profileScale(prog *app.Model, procs, scale, nodes, cores int) (
 	if err != nil {
 		return nil, err
 	}
-	maxW := k.Spec.Node.LLCWays
+	maxW := k.Spec.Node.LLCWays.Int()
 	return &ScaleProfile{
 		K:            scale,
 		Nodes:        nodes,
@@ -144,7 +145,7 @@ func (k *Kunafa) instrumentedRun(prog *app.Model, procs, nodes int) (ipc, bw, mi
 		}
 		ways := k.SampleWays[idx%len(k.SampleWays)]
 		idx++
-		if err := e.SetJobWays(j.ID, ways); err != nil {
+		if err := e.SetJobWays(j.ID, units.WaysOf(ways)); err != nil {
 			return
 		}
 		// Sample mid-episode (conditions are constant within one).
@@ -165,12 +166,12 @@ func (k *Kunafa) instrumentedRun(prog *app.Model, procs, nodes int) (ipc, bw, mi
 				return a
 			}
 			a := get(ipcA)
-			a.sum += m.IPC
+			a.sum += m.IPC.Float64()
 			a.count++
-			ioSum += m.IOPerNode
+			ioSum += m.IOPerNode.Float64()
 			ioCount++
 			b := get(bwA)
-			b.sum += m.BWPerNode
+			b.sum += m.BWPerNode.Float64()
 			b.count++
 			c := get(missA)
 			c.sum += m.MissPct
@@ -231,7 +232,7 @@ func (k *Kunafa) classify(p *Profile) {
 // needing most of the LLC for 90% performance is cache-bound.
 func (k *Kunafa) constraint(base *ScaleProfile) string {
 	full := base.FullWays()
-	bwBound := base.BWAt(full) > 0.6*k.Spec.Node.PeakBandwidth
+	bwBound := base.BWAt(full) > 0.6*k.Spec.Node.PeakBandwidth.Float64()
 	needed := full
 	for w := 1; w <= full; w++ {
 		if base.IPCAt(w) >= 0.9*base.IPCAt(full) {

@@ -68,8 +68,8 @@ func FromJobs(policy string, clusterNodes int, jobs []*exec.Job) *RunReport {
 			Procs:   j.Procs,
 			Nodes:   j.Nodes,
 			Cores:   j.CoresByNode,
-			Ways:    j.Ways,
-			BWCap:   j.BWCap,
+			Ways:    j.Ways.Int(),
+			BWCap:   j.BWCap.Float64(),
 
 			Exclusive:  j.Exclusive,
 			State:      j.State.String(),

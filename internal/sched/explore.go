@@ -5,6 +5,7 @@ import (
 
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/units"
 )
 
 // Piggy-backed profiling (Section 4.2): with an Explorer attached, a job
@@ -39,7 +40,7 @@ type acc struct {
 // {2, 4, 8, full} at 5 s when zero values are passed.
 func (s *Scheduler) AttachExplorer(ex *profiler.Explorer, sampleWays []int, episodeSec float64) {
 	if len(sampleWays) == 0 {
-		sampleWays = []int{2, 4, 8, s.spec.Node.LLCWays}
+		sampleWays = []int{2, 4, 8, s.spec.Node.LLCWays.Int()}
 	}
 	if episodeSec <= 0 {
 		episodeSec = 5
@@ -99,7 +100,7 @@ func (s *Scheduler) startTrialInstrumentation(j *exec.Job, k int) {
 		}
 		ways := st.sampleWays[idx%len(st.sampleWays)]
 		idx++
-		if err := s.eng.SetJobWays(j.ID, ways); err != nil {
+		if err := s.eng.SetJobWays(j.ID, units.WaysOf(ways)); err != nil {
 			return
 		}
 		s.eng.Queue().At(s.eng.Now()+st.episodeSec/2, func() {
@@ -119,8 +120,8 @@ func (s *Scheduler) startTrialInstrumentation(j *exec.Job, k int) {
 				a.sum += v
 				a.count++
 			}
-			add(tr.ipc, metrics.IPC)
-			add(tr.bw, metrics.BWPerNode)
+			add(tr.ipc, metrics.IPC.Float64())
+			add(tr.bw, metrics.BWPerNode.Float64())
 			add(tr.m, metrics.MissPct)
 		})
 		s.eng.Queue().At(s.eng.Now()+st.episodeSec, episode)
@@ -146,7 +147,7 @@ func (s *Scheduler) finishTrial(j *exec.Job) {
 		}
 		return out
 	}
-	maxW := s.spec.Node.LLCWays
+	maxW := s.spec.Node.LLCWays.Int()
 	sp := profiler.ScaleProfile{
 		K:            tr.k,
 		Nodes:        j.SpanNodes(),

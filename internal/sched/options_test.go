@@ -5,6 +5,8 @@ import (
 
 	"spreadnshare/internal/exec"
 	"spreadnshare/internal/profiler"
+
+	"spreadnshare/internal/units"
 )
 
 func TestExclusiveSpreadDedicatesNodes(t *testing.T) {
@@ -206,7 +208,7 @@ func TestLaunchPlansRecorded(t *testing.T) {
 		if len(p.Cores) == 0 {
 			t.Error("plan has no core binding")
 		}
-		if j.Ways > 0 && p.WayMask.Count() != j.Ways {
+		if j.Ways > 0 && units.WaysOf(p.WayMask.Count()) != j.Ways {
 			t.Errorf("plan mask %v has %d ways, job allocated %d",
 				p.WayMask, p.WayMask.Count(), j.Ways)
 		}

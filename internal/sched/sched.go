@@ -31,6 +31,7 @@ import (
 	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
+	"spreadnshare/internal/units"
 )
 
 // Policy selects the placement strategy. It is the shared kernel enum, so
@@ -155,13 +156,13 @@ type Scheduler struct {
 // directly.
 type clusterView struct{ cl *cluster.State }
 
-func (v clusterView) UsedCores(id int) int   { return v.cl.Nodes[id].UsedCores() }
-func (v clusterView) AllocWays(id int) int   { return v.cl.Nodes[id].AllocWays() }
-func (v clusterView) AllocBW(id int) float64 { return v.cl.Nodes[id].AllocBW() }
-func (v clusterView) FreeWays(id int) int    { return v.cl.Nodes[id].FreeWays() }
-func (v clusterView) FreeBW(id int) float64  { return v.cl.Nodes[id].FreeBW() }
-func (v clusterView) FreeMem(id int) float64 { return v.cl.Nodes[id].FreeMem() }
-func (v clusterView) FreeIO(id int) float64  { return v.cl.Nodes[id].FreeIO() }
+func (v clusterView) UsedCores(id int) int        { return v.cl.Nodes[id].UsedCores() }
+func (v clusterView) AllocWays(id int) units.Ways { return v.cl.Nodes[id].AllocWays() }
+func (v clusterView) AllocBW(id int) units.GBps   { return v.cl.Nodes[id].AllocBW() }
+func (v clusterView) FreeWays(id int) units.Ways  { return v.cl.Nodes[id].FreeWays() }
+func (v clusterView) FreeBW(id int) units.GBps    { return v.cl.Nodes[id].FreeBW() }
+func (v clusterView) FreeMem(id int) float64      { return v.cl.Nodes[id].FreeMem() }
+func (v clusterView) FreeIO(id int) units.GBps    { return v.cl.Nodes[id].FreeIO() }
 
 // LaunchPlans returns every node-local actuation issued so far: cpuset
 // bindings, CAT masks, MBA caps, and framework launch commands, in issue
@@ -184,7 +185,7 @@ func (s *Scheduler) observeDrift(j *exec.Job) {
 		return
 	}
 	s.drift.Observe(j.Prog.Name, j.Procs, profiler.Reading{
-		IPC: m.IPC, BWPerNode: m.BWPerNode, MissPct: m.MissPct,
+		IPC: m.IPC.Float64(), BWPerNode: m.BWPerNode.Float64(), MissPct: m.MissPct,
 	})
 }
 
@@ -220,7 +221,7 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 	}
 	s := &Scheduler{
 		cfg: cfg, spec: spec, cat: cat, db: db, eng: eng, cl: cl,
-		idx:  placement.NewCoreIndex(spec.Nodes, spec.Node.Cores),
+		idx:  placement.NewCoreIndex(spec.Nodes, spec.Node.Cores.Int()),
 		byID: make(map[int]*exec.Job),
 		queue: &placement.Pending{
 			AgingPeriodSec: cfg.AgingPeriodSec,
@@ -308,7 +309,7 @@ func (s *Scheduler) Submit(js JobSpec) error {
 	if js.Procs <= 0 {
 		return fmt.Errorf("sched: job needs processes, got %d", js.Procs)
 	}
-	if !prog.MultiNode && js.Procs > s.spec.Node.Cores {
+	if !prog.MultiNode && js.Procs > s.spec.Node.Cores.Int() {
 		return fmt.Errorf("sched: %s is single-node but wants %d processes", js.Program, js.Procs)
 	}
 	if js.Procs > s.spec.TotalCores() {
@@ -395,7 +396,7 @@ func (s *Scheduler) tryPlace(j *exec.Job) bool {
 	// framework launch line. The daemons double as an independent
 	// consistency check on the placement search.
 	for i, n := range pl.nodes {
-		plan, err := s.daemons[n].Actuate(j.ID, j.Prog, pl.cores[i], pl.ways, pl.bwCap)
+		plan, err := s.daemons[n].Actuate(j.ID, j.Prog, pl.cores[i], pl.ways.Int(), pl.bwCap.Float64())
 		if err != nil {
 			panic(fmt.Sprintf("sched: daemon rejected placement: %v", err))
 		}
@@ -414,10 +415,10 @@ func (s *Scheduler) tryPlace(j *exec.Job) bool {
 type decision struct {
 	nodes     []int
 	cores     []int
-	ways      int
-	bw        float64
-	ioBW      float64
-	bwCap     float64
+	ways      units.Ways
+	bw        units.GBps
+	ioBW      units.GBps
+	bwCap     units.GBps
 	exclusive bool
 	// trialK marks a piggy-backed profiling trial at that scale.
 	trialK int
@@ -437,7 +438,7 @@ func fromPlan(pl *placement.Plan) *decision {
 
 // minFootprint returns the CE node count for a process count.
 func (s *Scheduler) minFootprint(procs int) int {
-	return (procs + s.spec.Node.Cores - 1) / s.spec.Node.Cores
+	return (procs + s.spec.Node.Cores.Int() - 1) / s.spec.Node.Cores.Int()
 }
 
 // scaleRunnable reports whether the program can run spread over n nodes.

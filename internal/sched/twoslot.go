@@ -22,12 +22,12 @@ func (s *Scheduler) bwIntensive(j *exec.Job) bool {
 	if s.db != nil {
 		if p, ok := s.db.Get(j.Prog.Name, j.Procs); ok {
 			if base, ok := p.AtK(1); ok {
-				return base.BWAt(base.FullWays()) > s.spec.Node.PeakBandwidth/3
+				return base.BWAt(base.FullWays()) > s.spec.Node.PeakBandwidth.Float64()/3
 			}
 		}
 	}
-	return j.Prog.BWPerCoreRef*float64(minInt(j.Procs, s.spec.Node.Cores)) >
-		s.spec.Node.PeakBandwidth/3
+	return j.Prog.BWPerCoreRef*float64(minInt(j.Procs, s.spec.Node.Cores.Int())) >
+		s.spec.Node.PeakBandwidth.Float64()/3
 }
 
 func minInt(a, b int) int {

@@ -27,7 +27,12 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 
 type eventHeap []*Event
 
+//
+//sns:hotpath
 func (h eventHeap) Len() int { return len(h) }
+
+//
+//sns:hotpath
 func (h eventHeap) Less(i, j int) bool {
 	//lint:floateq exact tie detection so equal-time events fall to seq order
 	if h[i].Time != h[j].Time {
@@ -35,16 +40,26 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
+
+//
+//sns:hotpath
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
+
+//
+//sns:hotpath
 func (h *eventHeap) Push(x any) {
 	e := x.(*Event)
 	e.index = len(*h)
+	//lint:allocfree heap growth is amortized; the free list recycles events in steady state
 	*h = append(*h, e)
 }
+
+//
+//sns:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -83,6 +98,8 @@ func (q *Queue) Len() int { return len(q.h) - q.dead }
 
 // At schedules fn at time t. Scheduling in the past (before Now) is a
 // programming error and panics, as it would corrupt causality.
+//
+//sns:hotpath
 func (q *Queue) At(t float64, fn func()) *Event {
 	if t < q.now {
 		panic("sim: event scheduled in the past")
@@ -94,6 +111,7 @@ func (q *Queue) At(t float64, fn func()) *Event {
 		q.free = q.free[:n-1]
 		e.cancelled = false
 	} else {
+		//lint:allocfree free-list miss only; steady state recycles pooled events
 		e = &Event{}
 	}
 	e.Time, e.Fn, e.seq = t, fn, q.seq
@@ -105,6 +123,8 @@ func (q *Queue) At(t float64, fn func()) *Event {
 // Cancel marks an event so it will be skipped when reached. Cancelling
 // nil, an already-cancelled event, or the currently-firing event is a
 // no-op.
+//
+//sns:hotpath
 func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.cancelled {
 		return
@@ -117,14 +137,19 @@ func (q *Queue) Cancel(e *Event) {
 }
 
 // release returns a dead event to the free list.
+//
+//sns:hotpath
 func (q *Queue) release(e *Event) {
 	e.Fn = nil
+	//lint:allocfree free list grows to the peak live-event count once
 	q.free = append(q.free, e)
 }
 
 // maybeCompact rebuilds the heap without its cancelled events once they
 // outnumber the live ones, so reschedule-heavy runs (every finish-event
 // reschedule cancels a predecessor) do not accumulate dead weight.
+//
+//sns:hotpath
 func (q *Queue) maybeCompact() {
 	if len(q.h) < compactMin || q.dead*2 <= len(q.h) {
 		return
@@ -135,6 +160,7 @@ func (q *Queue) maybeCompact() {
 			q.release(e)
 		} else {
 			e.index = len(kept)
+			//lint:allocfree compaction appends into the heap's own backing array (kept := q.h[:0])
 			kept = append(kept, e)
 		}
 	}
@@ -150,6 +176,8 @@ func (q *Queue) maybeCompact() {
 
 // Step pops and runs the next pending event, returning false when the
 // queue is empty.
+//
+//sns:hotpath
 func (q *Queue) Step() bool {
 	for len(q.h) > 0 {
 		e := heap.Pop(&q.h).(*Event)
@@ -159,6 +187,7 @@ func (q *Queue) Step() bool {
 			continue
 		}
 		q.now = e.Time
+		//lint:allocfree event callbacks are the simulation's work, vetted by their own gates
 		e.Fn()
 		// Recycle only after Fn returns: the callback may legally
 		// cancel or inspect the event that invoked it.
@@ -170,6 +199,8 @@ func (q *Queue) Step() bool {
 
 // Run drives the queue until empty or until the clock passes horizon
 // (horizon <= 0 means no limit). It returns the number of events fired.
+//
+//sns:hotpath
 func (q *Queue) Run(horizon float64) int {
 	fired := 0
 	for len(q.h) > 0 {

@@ -127,7 +127,7 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 	if cfg.ClusterNodes <= 0 {
 		return nil, fmt.Errorf("trace: cluster needs nodes, got %d", cfg.ClusterNodes)
 	}
-	if cfg.CoresPerJobNode <= 0 || cfg.CoresPerJobNode > node.Cores {
+	if cfg.CoresPerJobNode <= 0 || cfg.CoresPerJobNode > node.Cores.Int() {
 		return nil, fmt.Errorf("trace: bad CoresPerJobNode %d", cfg.CoresPerJobNode)
 	}
 	state := placement.NewSimState(node, cfg.ClusterNodes)
@@ -314,7 +314,7 @@ func (s *simulator) runtime(rj *runJob, pl *placement.Plan) float64 {
 		}
 		return tj.RuntimeSec * ratio * cachePenalty(sp, fairWays(s.spec, pl.Cores[0]))
 	case TwoSlot:
-		return tj.RuntimeSec * cachePenalty(baseScale(rj.prof), s.spec.LLCWays/2)
+		return tj.RuntimeSec * cachePenalty(baseScale(rj.prof), s.spec.LLCWays.Int()/2)
 	}
 	return tj.RuntimeSec
 }
@@ -330,7 +330,7 @@ func baseScale(p *profiler.Profile) *profiler.ScaleProfile {
 
 // fairWays is a co-located job's LLC fair share given its core share.
 func fairWays(spec hw.NodeSpec, cores int) int {
-	w := spec.LLCWays * cores / spec.Cores
+	w := spec.LLCWays.Int() * cores / spec.Cores.Int()
 	if w < 1 {
 		w = 1
 	}
@@ -352,5 +352,5 @@ func cachePenalty(sp *profiler.ScaleProfile, w int) float64 {
 // bandwidth drains more than a third of the node's peak.
 func bwIntensive(p *profiler.Profile, spec hw.NodeSpec) bool {
 	base := baseScale(p)
-	return base.BWAt(base.FullWays()) > spec.PeakBandwidth/3
+	return base.BWAt(base.FullWays()) > spec.PeakBandwidth.Float64()/3
 }

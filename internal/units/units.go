@@ -1,0 +1,196 @@
+// Package units defines the typed physical quantities the Spread-n-Share
+// model manipulates symbolically: the STREAM roofline B(k) in GB/s, CAT
+// way counts w, core counts k, PMU instruction/cycle counts, and the
+// derived IPC ratio. Every quantity is a defined type over float64 or
+// int, so the compiler rejects a GB/s-vs-ways or per-core-vs-per-node
+// mixup that a bare float64 would silently accept — the same hazard
+// class a dtype/shape checker catches in an ML stack.
+//
+// Conversion discipline (enforced by the unitflow lint pass over the
+// deterministic packages):
+//
+//   - Construction from an untyped constant is free: `PeakBandwidth:
+//     118.26` declares its unit through the field type.
+//   - Construction from a runtime bare value goes through the XxxOf
+//     constructors (units.GBpsOf(v)), never a raw conversion GBps(v).
+//   - Escaping back to bare arithmetic goes through the Float64/Int
+//     accessors (bw.Float64()), never a raw conversion float64(bw).
+//   - Converting one unit directly into another (GBps(ways)) is always a
+//     finding: it launders a quantity across dimensions.
+//
+// The types deliberately define no String methods: formatted output must
+// stay bit-identical to the bare-float64 code the golden digests were
+// captured on.
+package units
+
+// GBps is a bandwidth in gigabytes per second: the STREAM roofline B(k),
+// NIC injection limits, file-system injection limits, and per-job
+// bandwidth reservations.
+//
+//sns:unit
+type GBps float64
+
+// GBpsOf constructs a bandwidth from a bare value.
+//
+//sns:unitctor typed construction boundary
+func GBpsOf(v float64) GBps { return GBps(v) }
+
+// Float64 returns the bare value for unit-free arithmetic.
+//
+//sns:unitctor typed escape boundary
+func (b GBps) Float64() float64 { return float64(b) }
+
+// Times returns the traffic volume moved at rate b for t seconds.
+//
+//sns:unitctor derived-quantity kernel
+func (b GBps) Times(t Seconds) GB { return GB(float64(b) * float64(t)) }
+
+// GB is a data volume (or memory capacity) in gigabytes — the integral
+// of a bandwidth over time, e.g. a PMU traffic counter.
+//
+//sns:unit
+type GB float64
+
+// GBOf constructs a volume from a bare value.
+//
+//sns:unitctor typed construction boundary
+func GBOf(v float64) GB { return GB(v) }
+
+// Float64 returns the bare value.
+//
+//sns:unitctor typed escape boundary
+func (g GB) Float64() float64 { return float64(g) }
+
+// Per returns the average rate that moved volume g in t seconds. It is
+// the caller's job to guard t > 0.
+//
+//sns:unitctor derived-quantity kernel
+func (g GB) Per(t Seconds) GBps { return GBps(float64(g) / float64(t)) }
+
+// Ways is a count of last-level-cache ways, the granularity Intel CAT
+// partitions the LLC in.
+//
+//sns:unit
+type Ways int
+
+// WaysOf constructs a way count from a bare value.
+//
+//sns:unitctor typed construction boundary
+func WaysOf(n int) Ways { return Ways(n) }
+
+// Int returns the bare count.
+//
+//sns:unitctor typed escape boundary
+func (w Ways) Int() int { return int(w) }
+
+// Float64 returns the count as a float, for the effective-ways model
+// where allocations become fractional.
+//
+//sns:unitctor typed escape boundary
+func (w Ways) Float64() float64 { return float64(w) }
+
+// Cores is a count of CPU cores.
+//
+//sns:unit
+type Cores int
+
+// CoresOf constructs a core count from a bare value.
+//
+//sns:unitctor typed construction boundary
+func CoresOf(n int) Cores { return Cores(n) }
+
+// Int returns the bare count.
+//
+//sns:unitctor typed escape boundary
+func (c Cores) Int() int { return int(c) }
+
+// Float64 returns the count as a float, for per-core averaging.
+//
+//sns:unitctor typed escape boundary
+func (c Cores) Float64() float64 { return float64(c) }
+
+// Instr is an instruction count in units of 1e9 (giga-instructions), the
+// scale the Instructions Retired PMU counter is read at.
+//
+//sns:unit
+type Instr float64
+
+// InstrOf constructs an instruction count from a bare value.
+//
+//sns:unitctor typed construction boundary
+func InstrOf(v float64) Instr { return Instr(v) }
+
+// Float64 returns the bare value.
+//
+//sns:unitctor typed escape boundary
+func (i Instr) Float64() float64 { return float64(i) }
+
+// Cycles is a cycle count in units of 1e9 (giga-cycles), the scale the
+// Unhalted Core Cycles PMU counter is read at.
+//
+//sns:unit
+type Cycles float64
+
+// CyclesOf constructs a cycle count from a bare value.
+//
+//sns:unitctor typed construction boundary
+func CyclesOf(v float64) Cycles { return Cycles(v) }
+
+// Float64 returns the bare value.
+//
+//sns:unitctor typed escape boundary
+func (c Cycles) Float64() float64 { return float64(c) }
+
+// Seconds is a duration or simulation-clock reading in seconds.
+//
+//sns:unit
+type Seconds float64
+
+// SecondsOf constructs a duration from a bare value.
+//
+//sns:unitctor typed construction boundary
+func SecondsOf(v float64) Seconds { return Seconds(v) }
+
+// Float64 returns the bare value.
+//
+//sns:unitctor typed escape boundary
+func (s Seconds) Float64() float64 { return float64(s) }
+
+// IPC is the derived instructions-per-cycle ratio, the model's central
+// performance reading. It is dimensionless but still a distinct type:
+// an IPC is not interchangeable with, say, a bandwidth fraction.
+//
+//sns:unit
+type IPC float64
+
+// IPCOf constructs an IPC from a bare value.
+//
+//sns:unitctor typed construction boundary
+func IPCOf(v float64) IPC { return IPC(v) }
+
+// Float64 returns the bare value.
+//
+//sns:unitctor typed escape boundary
+func (r IPC) Float64() float64 { return float64(r) }
+
+// PerCycle derives the IPC ratio from raw PMU counts. It is the caller's
+// job to guard c > 0.
+//
+//sns:unitctor derived-quantity kernel
+func PerCycle(i Instr, c Cycles) IPC { return IPC(float64(i) / float64(c)) }
+
+// GHz is a core clock frequency in gigacycles per second; together with
+// an IPC it yields giga-instructions per second per core.
+//
+//sns:unit
+type GHz float64
+
+// GHzOf constructs a frequency from a bare value.
+//
+//sns:unitctor typed construction boundary
+func GHzOf(v float64) GHz { return GHz(v) }
+
+// Float64 returns the bare value.
+//
+//sns:unitctor typed escape boundary
+func (f GHz) Float64() float64 { return float64(f) }

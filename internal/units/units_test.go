@@ -1,0 +1,79 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestRoundTrip pins the constructors and accessors as exact identities:
+// a unit type must never perturb the bits of the value it wraps, or the
+// golden digests captured on bare float64 code would drift.
+func TestRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, 118.26, 18.80, math.Pi, 1e-300, -6.8} {
+		if got := GBpsOf(v).Float64(); got != v {
+			t.Errorf("GBps round trip %g -> %g", v, got)
+		}
+		if got := GBOf(v).Float64(); got != v {
+			t.Errorf("GB round trip %g -> %g", v, got)
+		}
+		if got := SecondsOf(v).Float64(); got != v {
+			t.Errorf("Seconds round trip %g -> %g", v, got)
+		}
+		if got := InstrOf(v).Float64(); got != v {
+			t.Errorf("Instr round trip %g -> %g", v, got)
+		}
+		if got := CyclesOf(v).Float64(); got != v {
+			t.Errorf("Cycles round trip %g -> %g", v, got)
+		}
+		if got := IPCOf(v).Float64(); got != v {
+			t.Errorf("IPC round trip %g -> %g", v, got)
+		}
+		if got := GHzOf(v).Float64(); got != v {
+			t.Errorf("GHz round trip %g -> %g", v, got)
+		}
+	}
+	for _, n := range []int{0, 1, 20, 28, -3} {
+		if got := WaysOf(n).Int(); got != n {
+			t.Errorf("Ways round trip %d -> %d", n, got)
+		}
+		if got := CoresOf(n).Int(); got != n {
+			t.Errorf("Cores round trip %d -> %d", n, got)
+		}
+		if got := WaysOf(n).Float64(); got != float64(n) {
+			t.Errorf("Ways float %d -> %g", n, got)
+		}
+		if got := CoresOf(n).Float64(); got != float64(n) {
+			t.Errorf("Cores float %d -> %g", n, got)
+		}
+	}
+}
+
+// TestDerived pins the derived-ratio helpers against the bare arithmetic
+// they replace.
+func TestDerived(t *testing.T) {
+	if got := PerCycle(InstrOf(6), CyclesOf(4)).Float64(); got != 6.0/4.0 {
+		t.Errorf("PerCycle = %g, want %g", got, 6.0/4.0)
+	}
+	if got := GBpsOf(2.5).Times(SecondsOf(4)).Float64(); got != 10 {
+		t.Errorf("Times = %g, want 10", got)
+	}
+	if got := GBOf(10).Per(SecondsOf(4)).Float64(); got != 2.5 {
+		t.Errorf("Per = %g, want 2.5", got)
+	}
+}
+
+// TestNoStringMethod guards the digest contract: unit values must format
+// exactly like their underlying numbers. A String method would change
+// every %v/%g rendering repo-wide.
+func TestNoStringMethod(t *testing.T) {
+	if got, want := fmt.Sprintf("%g", GBpsOf(118.26)), "118.26"; got != want {
+		t.Errorf("GBps formats as %q, want %q", got, want)
+	}
+	if got, want := fmt.Sprintf("%.1f", GBpsOf(6.8)), "6.8"; got != want {
+		t.Errorf("GBps formats as %q, want %q", got, want)
+	}
+	if got, want := fmt.Sprintf("%d", WaysOf(20)), "20"; got != want {
+		t.Errorf("Ways formats as %q, want %q", got, want)
+	}
+}

@@ -113,7 +113,7 @@ func (c *CERunTimes) Of(program string, procs int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	nodes := (procs + c.spec.Node.Cores - 1) / c.spec.Node.Cores
+	nodes := (procs + c.spec.Node.Cores.Int() - 1) / c.spec.Node.Cores.Int()
 	j, err := exec.RunSolo(c.spec, prog, procs, nodes)
 	if err != nil {
 		return 0, err
