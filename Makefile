@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench figures
+.PHONY: build test vet lint race check bench bench-pr5 figures
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,14 @@ race:
 # detector.
 check: build vet lint race
 
-# bench reruns the hot-path benchmark set and rewrites BENCH_PR1.json.
+# bench reruns every performance PR's benchmark set and rewrites the
+# BENCH_PR<n>.json files; bench-pr5 reruns only the score-cache /
+# parallel-runner set.
 bench:
 	scripts/bench.sh
+
+bench-pr5:
+	scripts/bench.sh pr5
 
 # figures regenerates every paper figure as tables on stdout.
 figures:

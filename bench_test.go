@@ -10,15 +10,23 @@
 package spreadnshare
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"spreadnshare/internal/experiments"
+	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/sched"
 	"spreadnshare/internal/trace"
 )
 
 func benchEnv(b *testing.B) *experiments.Env {
 	b.Helper()
+	// Benchmarks measure the product hot path; the test-binary invariant
+	// auditor would otherwise dominate large-cluster replays (the trace
+	// package's benchmarks pause it the same way).
+	b.Cleanup(invariant.Pause())
 	env, err := experiments.SharedEnv()
 	if err != nil {
 		b.Fatal(err)
@@ -380,5 +388,59 @@ func BenchmarkLoadSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(rows[len(rows)-1].SNSTurnNorm, "SNS-turn/CE-at-1.2")
+	}
+}
+
+// benchGateReplay replays the search-dominated PR 5 gate workload (3,000
+// jobs of <=64 nodes on 32,768 nodes; see cachedGateTrace) under SNS
+// with the score cache on or off. This is the regime the incremental
+// cache exists for: placement queries vastly outnumber reservation
+// mutations, so the cached/uncached pair isolates the search itself.
+func benchGateReplay(b *testing.B, noCache bool) {
+	env := benchEnv(b)
+	jobs := cachedGateTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := trace.DefaultSimConfig(32768, trace.SNS)
+		cfg.NoScoreCache = noCache
+		r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgTurn, "avg-turn-s")
+	}
+}
+
+func BenchmarkCachedReplay32K(b *testing.B)   { benchGateReplay(b, false) }
+func BenchmarkUncachedReplay32K(b *testing.B) { benchGateReplay(b, true) }
+
+// BenchmarkParallelRunner measures the deterministic parallel experiment
+// runner: one reduced Figure 20 grid (2 sizes x 4 policies) at pool
+// width 1 versus full width, reporting the wall-clock ratio as
+// parallel-speedup-x. On a single-core machine the ratio is ~1.0 by
+// construction; TestParallelRunnerSpeedup gates >=2x where >=2 CPUs
+// exist. Digest equivalence across widths is gated separately by
+// TestParallelRunnerDigestsMatchSerial.
+func BenchmarkParallelRunner(b *testing.B) {
+	env := benchEnv(b)
+	cfg := experiments.Fig20Config{
+		Seed: 42, Jobs: 800, Span: 200, MaxNodes: 64,
+		Sizes: []int{1024, 2048}, Ratios: []float64{0.9},
+	}
+	run := func(w int) time.Duration {
+		prev := par.SetWorkers(w)
+		defer par.SetWorkers(prev)
+		start := time.Now()
+		if _, err := experiments.Fig20TraceSim(env, cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial := run(1)
+		parallel := run(0)
+		b.ReportMetric(float64(serial)/float64(parallel), "parallel-speedup-x")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"spreadnshare/internal/experiments"
 	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/report"
 )
 
@@ -47,11 +48,13 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the figure run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the figure run to this file")
 	invariants := flag.Bool("invariants", false, "run the invariant auditor on every scheduling event")
+	workersFlag := flag.Int("workers", 0, "worker goroutines for independent simulation cells (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
 
 	if *invariants {
 		invariant.Enable()
 	}
+	par.SetWorkers(*workersFlag)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

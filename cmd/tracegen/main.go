@@ -16,6 +16,7 @@ import (
 	"spreadnshare/internal/app"
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 	"spreadnshare/internal/trace"
@@ -34,16 +35,18 @@ func main() {
 	ratio := flag.Float64("ratio", 0.9, "scaling-program sampling bias")
 	out := flag.String("out", "", "write trace CSV here")
 	replay := flag.Int("replay", 0, "replay on a cluster of this many nodes")
-	policyFlag := flag.String("policy", "SNS", "replay policy: CE, CS, SNS, or TwoSlot")
+	policyFlag := flag.String("policy", "SNS", "replay policy: CE, CS, SNS, TwoSlot, or 'all' for a parallel four-policy replay")
 	stats := flag.Bool("stats", false, "print trace shape statistics")
 	swf := flag.String("swf", "", "import a Standard Workload Format trace instead of synthesizing")
 	swfProcs := flag.Int("swf-procs-per-node", 16, "processors per node for SWF conversion")
 	invariants := flag.Bool("invariants", false, "run the invariant auditor on every scheduling event of the replay")
+	workersFlag := flag.Int("workers", 0, "worker goroutines for multi-policy replay (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
 
 	if *invariants {
 		invariant.Enable()
 	}
+	par.SetWorkers(*workersFlag)
 
 	var jj []trace.Job
 	if *swf != "" {
@@ -83,9 +86,13 @@ func main() {
 	}
 
 	if *replay > 0 {
-		policy, err := placement.ParsePolicy(*policyFlag)
-		if err != nil {
-			fatal(err)
+		policies := []placement.Policy{placement.CE, placement.CS, placement.SNS, placement.TwoSlot}
+		if *policyFlag != "all" {
+			policy, err := placement.ParsePolicy(*policyFlag)
+			if err != nil {
+				fatal(err)
+			}
+			policies = []placement.Policy{policy}
 		}
 		spec := hw.DefaultClusterSpec()
 		cat, err := app.NewCatalog(spec.Node)
@@ -98,12 +105,18 @@ func main() {
 		if err := k.ProfileAll(cat, all, 16, db); err != nil {
 			fatal(err)
 		}
-		res, err := trace.Simulate(jj, db, spec.Node, trace.DefaultSimConfig(*replay, policy))
+		cfgs := make([]trace.SimConfig, len(policies))
+		for i, p := range policies {
+			cfgs[i] = trace.DefaultSimConfig(*replay, p)
+		}
+		results, err := trace.SimulateAll(jj, db, spec.Node, cfgs)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s on %d nodes: avg wait %.0f s, avg run %.0f s, avg turnaround %.0f s, makespan %.1f h\n",
-			policy, *replay, res.AvgWait, res.AvgRun, res.AvgTurn, res.Makespan/3600)
+		for i, res := range results {
+			fmt.Printf("%s on %d nodes: avg wait %.0f s, avg run %.0f s, avg turnaround %.0f s, makespan %.1f h\n",
+				policies[i], *replay, res.AvgWait, res.AvgRun, res.AvgTurn, res.Makespan/3600)
+		}
 	}
 }
 

@@ -172,6 +172,13 @@ func (n *Node) Alloc(id int) (Alloc, bool) {
 type State struct {
 	Spec  hw.ClusterSpec
 	Nodes []*Node
+
+	// OnChange, when set, is called with every node id whose allocation
+	// set changes (one call per node per Allocate/Release). The
+	// scheduler wires the placement score cache's Invalidate here, so
+	// every bookkeeping mutation — present and future — feeds the
+	// dirty set structurally instead of relying on call-site diligence.
+	OnChange func(node int)
 }
 
 // New creates an all-idle cluster.
@@ -249,6 +256,9 @@ func (s *State) AllocateIO(jobID int, nodes []NodeAlloc, ways units.Ways, bw, io
 			JobID: jobID, Cores: na.Cores, Ways: ways, BW: bw, MemGB: na.MemGB,
 			IOBW: ioBW, Exclusive: exclusive,
 		})
+		if s.OnChange != nil {
+			s.OnChange(na.Node)
+		}
 	}
 	return nil
 }
@@ -261,6 +271,9 @@ func (s *State) Release(jobID int) []int {
 		if i := n.find(jobID); i >= 0 {
 			n.removeAt(i)
 			freed = append(freed, n.ID)
+			if s.OnChange != nil {
+				s.OnChange(n.ID)
+			}
 		}
 	}
 	return freed

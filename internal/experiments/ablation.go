@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/sched"
 	"spreadnshare/internal/stats"
 	"spreadnshare/internal/workload"
@@ -55,11 +56,15 @@ type AblationRow struct {
 
 // ablationConfig runs `count` seeded sequences under one configuration
 // and aggregates against a CE baseline run under the same execution
-// settings (including phase simulation, when enabled).
+// settings (including phase simulation, when enabled). Sequences are
+// independent scheduler runs, so they fan out over the par worker pool;
+// each writes only its own slot and the aggregation folds the slots in
+// sequence order, keeping every statistic bit-identical to a serial run.
 func (e *Env) ablationConfig(label string, cfg sched.Config, count, jobs int) (AblationRow, error) {
 	row := AblationRow{Label: label}
-	var thr, norms []float64
-	for i := 0; i < count; i++ {
+	thrBySeq := make([]float64, count)
+	normsBySeq := make([][]float64, count)
+	if err := par.ForEach(count, func(i int) error {
 		seed := int64(1000 + i)
 		seq := workload.RandomSequence(rand.New(rand.NewSource(seed)), e.Cat, jobs)
 
@@ -67,7 +72,7 @@ func (e *Env) ablationConfig(label string, cfg sched.Config, count, jobs int) (A
 		ceCfg.PhasedExecution = cfg.PhasedExecution
 		ceSched, err := sched.New(e.Spec, e.Cat, e.DB, ceCfg)
 		if err != nil {
-			return row, err
+			return err
 		}
 		spec := e.Spec
 		if cfg.UseMBA {
@@ -75,23 +80,23 @@ func (e *Env) ablationConfig(label string, cfg sched.Config, count, jobs int) (A
 		}
 		s, err := sched.New(spec, e.Cat, e.DB, cfg)
 		if err != nil {
-			return row, err
+			return err
 		}
 		for _, js := range seq {
 			if err := ceSched.Submit(js); err != nil {
-				return row, err
+				return err
 			}
 			if err := s.Submit(js); err != nil {
-				return row, err
+				return err
 			}
 		}
 		ceJobs, err := ceSched.Run()
 		if err != nil {
-			return row, err
+			return err
 		}
 		jobsDone, err := s.Run()
 		if err != nil {
-			return row, fmt.Errorf("%s seq %d: %w", label, i, err)
+			return fmt.Errorf("%s seq %d: %w", label, i, err)
 		}
 		var ceTurns, turns []float64
 		ceRun := make(map[int]float64, len(ceJobs))
@@ -99,17 +104,26 @@ func (e *Env) ablationConfig(label string, cfg sched.Config, count, jobs int) (A
 			ceTurns = append(ceTurns, j.Turnaround())
 			ceRun[j.ID] = j.RunTime()
 		}
+		norms := make([]float64, 0, len(jobsDone))
 		for _, j := range jobsDone {
 			turns = append(turns, j.Turnaround())
 			base := ceRun[j.ID]
 			if base <= 0 {
-				return row, fmt.Errorf("%s: no CE baseline for job %d", label, j.ID)
+				return fmt.Errorf("%s: no CE baseline for job %d", label, j.ID)
 			}
 			norms = append(norms, j.RunTime()/base)
 		}
-		thr = append(thr, stats.Throughput(turns)/stats.Throughput(ceTurns))
+		thrBySeq[i] = stats.Throughput(turns) / stats.Throughput(ceTurns)
+		normsBySeq[i] = norms
+		return nil
+	}); err != nil {
+		return row, err
 	}
-	row.ThroughputVsCE = stats.Mean(thr)
+	var norms []float64
+	for _, n := range normsBySeq {
+		norms = append(norms, n...)
+	}
+	row.ThroughputVsCE = stats.Mean(thrBySeq)
 	row.GeoNormRun = stats.GeoMean(norms)
 	row.Violations = ViolationsOf(norms, 0.9)
 	return row, nil

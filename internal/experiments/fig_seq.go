@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"spreadnshare/internal/exec"
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/pmu"
 	"spreadnshare/internal/sched"
 	"spreadnshare/internal/stats"
@@ -49,27 +48,18 @@ func runSequence(env *Env, seq []sched.JobSpec, policy sched.Policy) ([]*exec.Jo
 
 // RunSequences evaluates `count` random sequences of `jobs` jobs under CE,
 // CS and SNS, seeded deterministically. Sequences are independent
-// simulations, so they run concurrently across the available cores;
-// results are returned in sequence order regardless of completion order.
+// simulations — each builds its own seeded schedulers — so they fan out
+// over the par worker pool; results land in slot i and are returned in
+// sequence order regardless of completion order, keeping the output
+// byte-identical to a serial run.
 func RunSequences(env *Env, count, jobs int) ([]SequenceOutcome, error) {
 	outcomes := make([]SequenceOutcome, count)
-	errs := make([]error, count)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := 0; i < count; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outcomes[i], errs[i] = runOneSequenceStudy(env, i, jobs)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := par.ForEach(count, func(i int) error {
+		var err error
+		outcomes[i], err = runOneSequenceStudy(env, i, jobs)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return outcomes, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/trace"
 )
 
@@ -60,25 +61,55 @@ func DefaultFig20Config() Fig20Config {
 	}
 }
 
+// fig20Policies is the replay order of every Fig20 cell — also the
+// policy order of the flattened parallel grid, so cell index decomposes
+// as ((ratio * len(Sizes)) + size) * 4 + policy.
+var fig20Policies = []trace.Policy{trace.CE, trace.CS, trace.SNS, trace.TwoSlot}
+
 // Fig20TraceSim reproduces Figure 20 by trace-driven simulation, with the
 // CS and TwoSlot baselines replayed alongside the paper's CE/SNS pair.
+//
+// The grid cells — (ratio, size, policy) triples — are independent
+// replays on separate seeded SimStates, so they fan out over the par
+// worker pool. The per-ratio traces are synthesized up front (MapPrograms
+// mutates the job slice, so it must not race with replays) and shared
+// read-only by all that ratio's cells: Simulate copies each Job value it
+// schedules. Results land in a flat slice indexed by cell and the rows
+// are assembled in grid order afterwards, so the output — and the golden
+// placement digests computed from it — is byte-identical to a serial run.
 func Fig20TraceSim(env *Env, cfg Fig20Config) ([]Fig20Row, error) {
-	var rows []Fig20Row
-	for _, ratio := range cfg.Ratios {
+	jobsByRatio := make([][]trace.Job, len(cfg.Ratios))
+	for ri, ratio := range cfg.Ratios {
 		jobs := trace.Synthesize(cfg.Seed, trace.GenConfig{
 			Jobs: cfg.Jobs, SpanHours: cfg.Span, MaxNodes: cfg.MaxNodes,
 		})
 		trace.MapPrograms(cfg.Seed, jobs, TraceScalingPrograms, TraceOtherPrograms, ratio)
-		for _, size := range cfg.Sizes {
-			results := make(map[trace.Policy]*trace.Result, 4)
-			for _, p := range []trace.Policy{trace.CE, trace.CS, trace.SNS, trace.TwoSlot} {
-				r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, trace.DefaultSimConfig(size, p))
-				if err != nil {
-					return nil, fmt.Errorf("fig20 %s %d@%.1f: %w", p, size, ratio, err)
-				}
-				results[p] = r
-			}
-			ce := results[trace.CE]
+		jobsByRatio[ri] = jobs
+	}
+
+	cells := len(cfg.Ratios) * len(cfg.Sizes) * len(fig20Policies)
+	results := make([]*trace.Result, cells)
+	if err := par.ForEach(cells, func(i int) error {
+		pi := i % len(fig20Policies)
+		si := i / len(fig20Policies) % len(cfg.Sizes)
+		ri := i / len(fig20Policies) / len(cfg.Sizes)
+		p, size, ratio := fig20Policies[pi], cfg.Sizes[si], cfg.Ratios[ri]
+		r, err := trace.Simulate(jobsByRatio[ri], env.DB, env.Spec.Node, trace.DefaultSimConfig(size, p))
+		if err != nil {
+			return fmt.Errorf("fig20 %s %d@%.1f: %w", p, size, ratio, err)
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var rows []Fig20Row
+	for ri, ratio := range cfg.Ratios {
+		for si, size := range cfg.Sizes {
+			cell := (ri*len(cfg.Sizes) + si) * len(fig20Policies)
+			byPolicy := results[cell : cell+len(fig20Policies)]
+			ce := byPolicy[0]
 			row := Fig20Row{ClusterNodes: size, ScalingRatio: ratio}
 			if ce.AvgTurn > 0 {
 				norm := func(r *trace.Result) (wait, run, gain float64) {
@@ -86,9 +117,9 @@ func Fig20TraceSim(env *Env, cfg Fig20Config) ([]Fig20Row, error) {
 						100 * (ce.AvgTurn/r.AvgTurn - 1)
 				}
 				row.CEWait, row.CERun, _ = norm(ce)
-				row.CSWait, row.CSRun, row.CSTurnImprovePct = norm(results[trace.CS])
-				row.SNSWait, row.SNSRun, row.SNSTurnImprovePct = norm(results[trace.SNS])
-				row.TwoSlotWait, row.TwoSlotRun, row.TwoSlotTurnImprovePct = norm(results[trace.TwoSlot])
+				row.CSWait, row.CSRun, row.CSTurnImprovePct = norm(byPolicy[1])
+				row.SNSWait, row.SNSRun, row.SNSTurnImprovePct = norm(byPolicy[2])
+				row.TwoSlotWait, row.TwoSlotRun, row.TwoSlotTurnImprovePct = norm(byPolicy[3])
 			}
 			rows = append(rows, row)
 		}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"spreadnshare/internal/par"
+	"spreadnshare/internal/sched"
+)
+
+// fig20Digest folds every field of every row into an FNV-1a digest, bit
+// patterns included, so "matches" below means byte-identical output.
+func fig20Digest(rows []Fig20Row) string {
+	h := fnv.New64a()
+	for _, r := range rows {
+		digestFloat(h, float64(r.ClusterNodes))
+		digestFloat(h, r.ScalingRatio)
+		for _, v := range []float64{
+			r.CEWait, r.CERun, r.CSWait, r.CSRun, r.SNSWait, r.SNSRun,
+			r.TwoSlotWait, r.TwoSlotRun,
+			r.CSTurnImprovePct, r.SNSTurnImprovePct, r.TwoSlotTurnImprovePct,
+		} {
+			digestFloat(h, v)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestParallelRunnerDigestsMatchSerial pins the parallel runner's
+// determinism contract: the same experiment grid produces byte-identical
+// results at every worker-pool width. The Fig20 grid covers all four
+// policies (CE, CS, SNS, TwoSlot), two cluster sizes and two scaling
+// ratios; the ablation and size-sweep runners cover the
+// scheduler-sequence fan-out.
+func TestParallelRunnerDigestsMatchSerial(t *testing.T) {
+	env, err := SharedEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Fig20Config{
+		Seed: 42, Jobs: 250, Span: 100, MaxNodes: 32,
+		Sizes: []int{256, 512}, Ratios: []float64{0.9, 0.5},
+	}
+	widths := []int{1, 4, 7}
+
+	digests := make([]string, len(widths))
+	for i, w := range widths {
+		prev := par.SetWorkers(w)
+		rows, err := Fig20TraceSim(env, cfg)
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		digests[i] = fig20Digest(rows)
+		if digests[i] != digests[0] {
+			t.Fatalf("fig20 digest at %d workers = %s, serial = %s — parallel replay is not deterministic",
+				w, digests[i], digests[0])
+		}
+	}
+	t.Logf("fig20 digest %s identical at widths %v", digests[0], widths)
+
+	var serialAbl, parAbl AblationRow
+	var serialSweep, parSweep []SizeSweepRow
+	for _, run := range []struct {
+		w    int
+		abl  *AblationRow
+		rows *[]SizeSweepRow
+	}{{1, &serialAbl, &serialSweep}, {5, &parAbl, &parSweep}} {
+		prev := par.SetWorkers(run.w)
+		*run.abl, err = env.ablationConfig("det", sched.DefaultConfig(sched.SNS), 4, 6)
+		if err == nil {
+			*run.rows, err = ClusterSizeSweep(env, []int{4, 8}, 0.85)
+		}
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", run.w, err)
+		}
+	}
+	if serialAbl != parAbl {
+		t.Fatalf("ablation row differs: serial %+v, parallel %+v", serialAbl, parAbl)
+	}
+	if len(serialSweep) != len(parSweep) {
+		t.Fatalf("size sweep length differs: %d vs %d", len(serialSweep), len(parSweep))
+	}
+	for i := range serialSweep {
+		if serialSweep[i] != parSweep[i] {
+			t.Fatalf("size-sweep row %d differs: serial %+v, parallel %+v",
+				i, serialSweep[i], parSweep[i])
+		}
+	}
+}

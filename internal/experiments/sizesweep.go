@@ -3,6 +3,7 @@ package experiments
 import (
 	"math/rand"
 
+	"spreadnshare/internal/par"
 	"spreadnshare/internal/sched"
 	"spreadnshare/internal/stats"
 	"spreadnshare/internal/workload"
@@ -23,9 +24,13 @@ type SizeSweepRow struct {
 // trace-driven simulation; the full execution engine here replays the same
 // high-ratio BW/HC mix on growing clusters, holding the per-node job
 // pressure constant (jobs scale with nodes).
+// Each cluster size is an independent pair of scheduler runs, so sizes
+// fan out over the par worker pool; rows land in slot order, matching
+// the serial output byte for byte.
 func ClusterSizeSweep(env *Env, sizes []int, ratio float64) ([]SizeSweepRow, error) {
-	var rows []SizeSweepRow
-	for _, size := range sizes {
+	rows := make([]SizeSweepRow, len(sizes))
+	if err := par.ForEach(len(sizes), func(si int) error {
+		size := sizes[si]
 		spec := env.Spec
 		spec.Nodes = size
 		jobs := 4 * size // constant offered pressure per node
@@ -36,16 +41,16 @@ func ClusterSizeSweep(env *Env, sizes []int, ratio float64) ([]SizeSweepRow, err
 		for _, p := range []sched.Policy{sched.CE, sched.SNS} {
 			s, err := sched.New(spec, env.Cat, env.DB, sched.DefaultConfig(p))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, js := range seq {
 				if err := s.Submit(js); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			done, err := s.Run()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var waits, turns []float64
 			for _, j := range done {
@@ -61,7 +66,10 @@ func ClusterSizeSweep(env *Env, sizes []int, ratio float64) ([]SizeSweepRow, err
 		if ce := byPolicy[sched.CE]; ce.turn > 0 {
 			row.TurnNorm = byPolicy[sched.SNS].turn / ce.turn
 		}
-		rows = append(rows, row)
+		rows[si] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

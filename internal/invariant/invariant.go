@@ -250,6 +250,20 @@ func (a *Auditor) CheckSimState(s *placement.SimState) {
 	a.CheckIndex(s.Index())
 }
 
+// CheckScoreCache verifies a search's score cache against the live
+// backend it indexes: clean nodes filed under their current free-core
+// bucket with bit-identical cached scores, treaps emitting strict
+// ascending (score, id) order, and treap membership covering every
+// flushed node. A search without a cache passes vacuously.
+func (a *Auditor) CheckScoreCache(s *placement.Search) {
+	if s == nil || s.Cache == nil {
+		return
+	}
+	if err := s.Cache.Audit(s.View, s.Idx, s.Spec, s.ScoreBeta()); err != nil {
+		a.failf("%v", err)
+	}
+}
+
 // ObserveQueue asserts the pending queue's aging laws at an event: the
 // clock never runs backwards, and a waiting job's submission record
 // never changes — together, no queued job's age ever regresses. Runs at

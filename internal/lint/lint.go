@@ -238,6 +238,7 @@ var DeterministicPackages = map[string]bool{
 	"spreadnshare/internal/experiments": true,
 	"spreadnshare/internal/core":        true,
 	"spreadnshare/internal/units":       true,
+	"spreadnshare/internal/par":         true,
 }
 
 // isFloat reports whether t is a floating-point type (after unaliasing).

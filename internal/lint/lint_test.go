@@ -140,9 +140,16 @@ func TestHotpathCoverage(t *testing.T) {
 		"(*spreadnshare/internal/sim.Queue).Step",
 		"(*spreadnshare/internal/sim.Queue).Run",
 		"(*spreadnshare/internal/placement.Search).FindDemand",
+		"(*spreadnshare/internal/placement.Search).findDemandCached",
 		"(*spreadnshare/internal/placement.Search).selectIdlest",
+		"(*spreadnshare/internal/placement.Search).takeIdlest",
 		"(*spreadnshare/internal/placement.Search).score",
 		"(*spreadnshare/internal/placement.Search).fits",
+		"(*spreadnshare/internal/placement.ScoreCache).Invalidate",
+		"(*spreadnshare/internal/placement.ScoreCache).flush",
+		"(*spreadnshare/internal/placement.ScoreCache).prepare",
+		"(*spreadnshare/internal/placement.ScoreCache).fold",
+		"(*spreadnshare/internal/placement.ScoreCache).walk",
 	}
 	for _, name := range required {
 		if !covered[name] {

@@ -1,0 +1,92 @@
+// Package par is the deterministic fan-out primitive the experiment
+// runners share: a bounded worker pool over an index space, with the
+// merge discipline that keeps parallel runs byte-identical to serial
+// ones.
+//
+// The contract has two halves. ForEach guarantees only that fn runs
+// exactly once per index, with completion order unspecified; callers
+// guarantee that fn(i) writes nothing but slot i of pre-sized result
+// slices and reads nothing another index writes. Every simulation cell
+// already owns its seeded state (a fresh sched.New or trace SimState),
+// so the only cross-goroutine data are the disjoint result slots, and
+// assembling them in index order afterwards reproduces the serial
+// output — including the golden figure digests — bit for bit.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width; 0 selects GOMAXPROCS at call
+// time.
+var workers atomic.Int64
+
+// Workers returns the effective pool width ForEach will use.
+func Workers() int {
+	if w := int(workers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers fixes the pool width (n < 1 restores the GOMAXPROCS
+// default) and returns the previous setting, 0 meaning the default —
+// the shape tests use to restore state. Width 1 makes ForEach run
+// inline on the calling goroutine, which is how the digest-equivalence
+// tests produce their serial reference.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 0
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// ForEach runs fn(i) exactly once for every i in [0, n), fanning the
+// indices over the configured worker pool. It always completes all
+// indices — an error does not cancel the remaining work, because a
+// partial sweep would make which cells ran depend on scheduling — and
+// returns the lowest-index error so the reported failure is the same
+// no matter how the goroutines interleave.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

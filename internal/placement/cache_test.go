@@ -1,0 +1,203 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/units"
+)
+
+// cacheHarness drives two identical simulated clusters through the same
+// mutation schedule: one searched through the incremental score cache,
+// one from scratch. Every query must return the identical node list —
+// the bit-identical-digest contract — and the cache must pass its own
+// audit after every step.
+type cacheHarness struct {
+	spec   hw.NodeSpec
+	nodes  int
+	cached *SimState
+	plain  *SimState
+	cs     *Search // searches through cs.Cache
+	ps     *Search // rescoring from scratch
+	held   [][]Reservation
+}
+
+func newCacheHarness(nodes int, noGrouping bool) *cacheHarness {
+	spec := hw.DefaultNodeSpec()
+	h := &cacheHarness{
+		spec:   spec,
+		nodes:  nodes,
+		cached: NewSimState(spec, nodes),
+		plain:  NewSimState(spec, nodes),
+		held:   make([][]Reservation, nodes),
+	}
+	h.cs = &Search{
+		View:       h.cached,
+		Idx:        h.cached.Index(),
+		Spec:       spec,
+		Nodes:      nodes,
+		NoGrouping: noGrouping,
+		Cache:      NewScoreCache(nodes, spec.Cores.Int()),
+	}
+	h.cached.SetOnChange(h.cs.Cache.Invalidate)
+	h.ps = &Search{
+		View:       h.plain,
+		Idx:        h.plain.Index(),
+		Spec:       spec,
+		Nodes:      nodes,
+		NoGrouping: noGrouping,
+	}
+	return h
+}
+
+// reserve takes up to `cores` cores (clamped to the node's free count)
+// plus proportional ways/bandwidth on both clusters and remembers the
+// effective reservation for a later release.
+func (h *cacheHarness) reserve(id, cores, ways, bw int) {
+	free := h.cached.Index().Free(id)
+	if cores > free {
+		cores = free
+	}
+	if cores <= 0 {
+		return
+	}
+	if w := int(h.cached.FreeWays(id)); ways > w {
+		ways = w
+	}
+	if b := int(h.cached.FreeBW(id)); bw > b {
+		bw = b
+	}
+	r := Reservation{Cores: cores, Ways: units.Ways(ways), BW: units.GBps(bw)}
+	eff := h.cached.Reserve(id, r)
+	h.plain.Reserve(id, r)
+	h.held[id] = append(h.held[id], eff)
+}
+
+// release undoes the node's most recent live reservation, if any.
+func (h *cacheHarness) release(id int) {
+	n := len(h.held[id])
+	if n == 0 {
+		return
+	}
+	r := h.held[id][n-1]
+	h.held[id] = h.held[id][:n-1]
+	h.cached.Release(id, r)
+	h.plain.Release(id, r)
+}
+
+// query runs the same FindDemand on both searches and fails on the first
+// divergence, then audits the cache against the live backend.
+func (h *cacheHarness) query(t *testing.T, n int, d core.Demand) {
+	t.Helper()
+	got := h.cs.FindDemand(n, d)
+	want := h.ps.FindDemand(n, d)
+	if len(got) != len(want) {
+		t.Fatalf("FindDemand(%d, %+v): cached found %d nodes, plain %d", n, d, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("FindDemand(%d, %+v): cached %v != plain %v", n, d, got, want)
+		}
+	}
+	if err := h.cs.Cache.Audit(h.cached, h.cached.Index(), h.spec, h.cs.ScoreBeta()); err != nil {
+		t.Fatalf("after FindDemand(%d, %+v): %v", n, d, err)
+	}
+}
+
+// step decodes one fuzz byte into a mutation or a query. The decode
+// spreads ids over the whole cluster (31 is coprime with the node
+// counts used) and exercises both the grouped early-stop path (small n)
+// and the accumulate-then-select fallback (large n).
+func (h *cacheHarness) step(t *testing.T, i int, op byte) {
+	t.Helper()
+	id := (i*31 + int(op)*17) % h.nodes
+	switch op & 3 {
+	case 0:
+		h.reserve(id, 1+int(op>>4), int(op>>2)&7, int(op>>3)%40)
+	case 1:
+		h.release(id)
+	case 2:
+		h.query(t, 1+int(op>>4)%6, core.Demand{
+			Cores: int(op >> 5), Ways: units.Ways(int(op>>2) & 3), BW: units.GBps(int(op>>3) % 30),
+		})
+	default:
+		h.query(t, 8+int(op>>4), core.Demand{Cores: int(op>>5) & 3})
+	}
+}
+
+// TestCachedSearchEquivalence drives long seeded mutation/query
+// schedules through the harness in both grouping modes — the standing
+// regression test for the cache's bit-identical contract.
+func TestCachedSearchEquivalence(t *testing.T) {
+	for _, noGrouping := range []bool{false, true} {
+		for seed := int64(1); seed <= 4; seed++ {
+			h := newCacheHarness(96, noGrouping)
+			rng := rand.New(rand.NewSource(seed))
+			ops := make([]byte, 1500)
+			rng.Read(ops)
+			for i, op := range ops {
+				h.step(t, i, op)
+			}
+			// Drain every reservation so release-driven invalidation on
+			// the way back to an idle cluster is covered too.
+			for id := range h.held {
+				for len(h.held[id]) > 0 {
+					h.release(id)
+				}
+			}
+			h.query(t, 3, core.Demand{Cores: 4})
+		}
+	}
+}
+
+// FuzzCachedSearch lets the fuzzer hunt for mutation schedules that
+// break cached/from-scratch agreement or the cache audit.
+func FuzzCachedSearch(f *testing.F) {
+	f.Add([]byte{0x00, 0x42, 0x81, 0x07, 0xfe, 0x13, 0x02, 0xff}, false)
+	f.Add([]byte{0x10, 0x11, 0x12, 0x13, 0xa2, 0xb3, 0x00, 0x01}, true)
+	f.Add([]byte{0xff, 0xff, 0x03, 0x03, 0x03, 0x00, 0x01, 0x02}, false)
+	f.Fuzz(func(t *testing.T, ops []byte, noGrouping bool) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		h := newCacheHarness(64, noGrouping)
+		for i, op := range ops {
+			h.step(t, i, op)
+		}
+		h.query(t, 2, core.Demand{Cores: 2})
+	})
+}
+
+// TestCachedSearchSteadyStateAllocs is the runtime side of the allocfree
+// lint suppressions in the cache: once the scratch buffers and bucket
+// lists reach steady-state capacity, a mutate-then-search cycle must
+// allocate nothing beyond the result slice the caller keeps.
+func TestCachedSearchSteadyStateAllocs(t *testing.T) {
+	h := newCacheHarness(512, false)
+	d := core.Demand{Cores: 4, Ways: 2, BW: 10}
+	cycle := func(i int) {
+		id := (i * 37) % h.nodes
+		h.reserve(id, 1+i%8, i%4, i%20)
+		if len(h.held[(id+7)%h.nodes]) > 0 {
+			h.release((id + 7) % h.nodes)
+		}
+		if h.cs.FindDemand(4, d) == nil {
+			t.Fatal("no placement")
+		}
+	}
+	for i := 0; i < 3000; i++ { // warm every bucket's backing arrays
+		cycle(i)
+	}
+	n := 3000
+	allocs := testing.AllocsPerRun(200, func() {
+		cycle(n)
+		n++
+	})
+	// One allocation is the returned node list; everything else must
+	// come from steady-state scratch.
+	if allocs > 1.5 {
+		t.Errorf("steady-state mutate+search allocates %.1f objects/run, want <= 1 (result slice)", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"slices"
 	"sort"
 
 	"spreadnshare/internal/core"
@@ -142,13 +143,21 @@ type Search struct {
 	// shared-resource-intensive job (TwoSlot's pairing rule). Only
 	// consulted for intensive requests; nil means no node does.
 	HasIntensive func(id int) bool
+	// Cache, when set, is the incremental score index FindDemand reads
+	// instead of rescoring every candidate. The backend must feed the
+	// cache's dirty set (Invalidate) on every reservation change; the
+	// search flushes pending invalidations before each walk, so results
+	// are bit-identical to the from-scratch path.
+	Cache *ScoreCache
 
 	// scratch buffers candidate ids and scores across calls. A Search
 	// serves one scheduling loop, so reuse is safe; both selection
 	// helpers copy their results out before returning.
 	scratch struct {
-		ids  []int
-		heap []scoredNode
+		ids   []int
+		slots []int
+		heap  []scoredNode
+		pairs []scoredNode
 	}
 }
 
@@ -164,6 +173,11 @@ func (s *Search) beta() float64 {
 	}
 	return s.Beta
 }
+
+// ScoreBeta returns the effective LLC-occupancy weight scoring uses (the
+// configured Beta, or the paper default when unset) — what the runtime
+// auditor must recompute cached scores with.
+func (s *Search) ScoreBeta() float64 { return s.beta() }
 
 // Place runs one policy's search. It returns nil when the job cannot be
 // placed right now.
@@ -323,6 +337,9 @@ func (s *Search) FindDemand(n int, d core.Demand) []int {
 	if n <= 0 {
 		return nil
 	}
+	if s.Cache != nil {
+		return s.findDemandCached(n, d)
+	}
 	minFree := d.Cores
 	if minFree < 0 {
 		minFree = 0
@@ -355,6 +372,89 @@ func (s *Search) FindDemand(n int, d core.Demand) []int {
 	return s.selectIdlest(all, n)
 }
 
+// findDemandCached is FindDemand over the incremental score cache. The
+// control flow mirrors the from-scratch path bucket for bucket; the only
+// change is where candidate order and scores come from:
+//
+//   - grouped path: a bucket walk emits feasible nodes in ascending
+//     (score, id) — the very order selectIdlest drains — so the first n
+//     feasible nodes ARE the group's n idlest, and the walk stops there
+//     instead of rescoring and heap-selecting the whole bucket. The
+//     walk finds n feasible nodes exactly when the bucket holds >= n,
+//     so the bucket-adequacy decision is unchanged.
+//   - fallback path: feasible (score, id) pairs accumulate across
+//     buckets and takeIdlest sorts them by the same total order the
+//     bounded-heap selection drains in, so the result is identical and
+//     independent of candidate enumeration order. Scores come from the
+//     cache, where the flush just wrote the bit-identical value the
+//     heap would otherwise recompute.
+//
+//sns:hotpath
+func (s *Search) findDemandCached(n int, d core.Demand) []int {
+	c := s.Cache
+	beta := s.beta()
+	//lint:allocfree the rescore closure does not escape flush; the runtime alloc gate verifies stack allocation
+	c.flush(s.Idx, func(id int) float64 { return s.score(id, beta) })
+	minFree := d.Cores
+	if minFree < 0 {
+		minFree = 0
+	}
+	all := s.scratch.pairs[:0]
+	for f := minFree; f <= s.Spec.Cores.Int(); f++ {
+		if s.Idx.Count(f) == 0 {
+			continue
+		}
+		c.prepare(f, s.Idx)
+		start := len(all)
+		//lint:allocfree closure does not escape walk; the runtime alloc gate verifies stack allocation
+		c.walk(f, s.Idx, func(id int32, sc float64) bool {
+			if s.fits(int(id), d) {
+				all = append(all, scoredNode{id: int(id), score: sc})
+			}
+			return s.NoGrouping || len(all)-start < n
+		})
+		if !s.NoGrouping && len(all)-start >= n {
+			s.scratch.pairs = all
+			//lint:allocfree result slice is the caller's product, not reusable scratch
+			out := make([]int, n)
+			for i := range out {
+				out[i] = all[start+i].id
+			}
+			return out
+		}
+	}
+	s.scratch.pairs = all
+	if len(all) < n {
+		return nil
+	}
+	return s.takeIdlest(all, n)
+}
+
+// takeIdlest is the cached-path fallback selection: sort the feasible
+// (score, id) pairs by the selectIdlest total order and keep the first
+// n. Sorting scratch in place is safe — the pairs are consumed here.
+//
+//sns:hotpath
+func (s *Search) takeIdlest(pairs []scoredNode, n int) []int {
+	//lint:allocfree slices.SortFunc is an in-place pdqsort over scratch; the non-escaping comparator stays on the stack
+	slices.SortFunc(pairs, func(a, b scoredNode) int {
+		//lint:floateq exact tie detection so the (score, id) order stays total
+		if a.score != b.score {
+			if a.score < b.score {
+				return -1
+			}
+			return 1
+		}
+		return a.id - b.id
+	})
+	//lint:allocfree result slice is the caller's product, not reusable scratch
+	out := make([]int, n)
+	for i := range out {
+		out[i] = pairs[i].id
+	}
+	return out
+}
+
 // fits checks the non-core demand dimensions (cores are pre-filtered by
 // the index bucket). Each dimension binds only when requested (> 0).
 //
@@ -382,9 +482,19 @@ func (s *Search) fits(id int, d core.Demand) bool {
 //
 //sns:hotpath
 func (s *Search) score(id int, beta float64) float64 {
-	co := float64(s.View.UsedCores(id)) / s.Spec.Cores.Float64()
-	bo := s.View.AllocBW(id).Float64() / s.Spec.PeakBandwidth.Float64()
-	wo := s.View.AllocWays(id).Float64() / s.Spec.LLCWays.Float64()
+	return nodeScoreOf(s.View, s.Spec, id, beta)
+}
+
+// nodeScoreOf is the one canonical spelling of the score expression,
+// shared by the live search, the cache flush, and the cache audit — a
+// single compiled expression is what makes cached and recomputed floats
+// bit-identical.
+//
+//sns:hotpath
+func nodeScoreOf(view NodeView, spec hw.NodeSpec, id int, beta float64) float64 {
+	co := float64(view.UsedCores(id)) / spec.Cores.Float64()
+	bo := view.AllocBW(id).Float64() / spec.PeakBandwidth.Float64()
+	wo := view.AllocWays(id).Float64() / spec.LLCWays.Float64()
 	return co + bo + beta*wo
 }
 
@@ -487,7 +597,7 @@ func (s *Search) placeTwoSlot(req Request) *Plan {
 	}
 	slots := (procs + half - 1) / half
 	memPerSlot := float64(half) * req.MemGBPerProc
-	var candidates []int
+	candidates := s.scratch.slots[:0]
 	for id := 0; id < s.Nodes; id++ {
 		freeCores := s.Idx.Free(id)
 		if freeCores < half {
@@ -521,23 +631,24 @@ func (s *Search) placeTwoSlot(req Request) *Plan {
 			break
 		}
 	}
+	s.scratch.slots = candidates
 	if len(candidates) < slots {
 		return nil
 	}
-	// Merge repeated node ids into per-node core counts.
-	perNode := map[int]int{}
-	var order []int
-	for _, id := range candidates {
-		if perNode[id] == 0 {
-			order = append(order, id)
-		}
-		perNode[id] += half
-	}
-	nodes := make([]int, 0, len(order))
-	cores := make([]int, 0, len(order))
+	// Merge repeated node ids into per-node core counts. The scan above
+	// emits candidates in ascending id order with a node's slots
+	// adjacent, so one run-length pass replaces the per-call map+order
+	// merge; the Plan slices stay fresh allocations because callers
+	// retain them past this Search call.
+	nodes := make([]int, 0, len(candidates))
+	cores := make([]int, 0, len(candidates))
 	remaining := procs
-	for _, id := range order {
-		take := perNode[id]
+	for i := 0; i < len(candidates); {
+		id := candidates[i]
+		take := 0
+		for ; i < len(candidates) && candidates[i] == id; i++ {
+			take += half
+		}
 		if take > remaining {
 			take = remaining
 		}

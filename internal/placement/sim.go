@@ -19,6 +19,10 @@ type SimState struct {
 	freeMem   []float64
 	freeIO    []units.GBps
 	intensive []int // running intensive-job count per node (TwoSlot)
+
+	// onChange, when set, is called with every node id whose reservation
+	// state changes — the score cache's dirty-set feed.
+	onChange func(id int)
 }
 
 // NewSimState builds an all-idle simulated cluster.
@@ -43,6 +47,12 @@ func NewSimState(spec hw.NodeSpec, nodes int) *SimState {
 
 // Index returns the free-core index a Search runs over.
 func (s *SimState) Index() *CoreIndex { return s.idx }
+
+// SetOnChange registers a hook called with every node id whose
+// reservation state changes. A ScoreCache's Invalidate is the intended
+// subscriber: wiring it here means no Reserve/Release call site can
+// forget to feed the dirty set.
+func (s *SimState) SetOnChange(fn func(id int)) { s.onChange = fn }
 
 // Spec returns the per-node hardware spec, the capacity bound the
 // invariant auditor checks free counters against.
@@ -100,6 +110,9 @@ func (s *SimState) Reserve(id int, r Reservation) Reservation {
 	if r.Intensive {
 		s.intensive[id]++
 	}
+	if s.onChange != nil {
+		s.onChange(id)
+	}
 	return r
 }
 
@@ -112,5 +125,8 @@ func (s *SimState) Release(id int, r Reservation) {
 	s.freeIO[id] += r.IOBW
 	if r.Intensive {
 		s.intensive[id]--
+	}
+	if s.onChange != nil {
+		s.onChange(id)
 	}
 }

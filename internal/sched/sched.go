@@ -240,7 +240,12 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 		NoGrouping:      cfg.NoGrouping,
 		ExclusiveSpread: cfg.ExclusiveSpread,
 		HasIntensive:    s.nodeHasIntensive,
+		Cache:           placement.NewScoreCache(spec.Nodes, spec.Node.Cores.Int()),
 	}
+	// Every bookkeeping mutation flows through cluster.State, so hooking
+	// its change callback covers all present and future allocation paths
+	// (tryPlace's AllocateIO, OnFinish's Release) without per-site wiring.
+	cl.OnChange = s.search.Cache.Invalidate
 	for i := range s.daemons {
 		s.daemons[i] = daemon.New(i, spec.Node)
 	}
@@ -281,6 +286,7 @@ func New(spec hw.ClusterSpec, cat *app.Catalog, db *profiler.DB, cfg Config) (*S
 			aud.CheckIndex(s.idx)
 			aud.CheckIndexAgainstCluster(s.idx, s.cl)
 			aud.CheckEngineAgainstCluster(eng, s.cl)
+			aud.CheckScoreCache(s.search)
 		}
 	}
 	return s, nil

@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/par"
+	"spreadnshare/internal/profiler"
+)
+
+// SimulateAll replays the same trace under every config, fanning the
+// replays over the par worker pool. Each replay builds its own seeded
+// SimState and only reads the shared inputs — Simulate copies each Job
+// value it schedules and the profile database is immutable during
+// replay — so results are independent of the interleaving: slot i holds
+// exactly what Simulate(jobs, db, node, cfgs[i]) returns serially,
+// digests included. On error the lowest-index failure is reported.
+func SimulateAll(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfgs []SimConfig) ([]*Result, error) {
+	out := make([]*Result, len(cfgs))
+	if err := par.ForEach(len(cfgs), func(i int) error {
+		r, err := Simulate(jobs, db, node, cfgs[i])
+		out[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"spreadnshare/internal/par"
+)
+
+// TestSimulateAllMatchesSerial proves the fanned-out multi-config replay
+// returns exactly what serial Simulate calls return, config by config,
+// at several pool widths — including Results whose float fields must
+// match bit for bit.
+func TestSimulateAllMatchesSerial(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := Synthesize(7, GenConfig{Jobs: 160, SpanHours: 48, MaxNodes: 16})
+	MapPrograms(7, jobs, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.8)
+
+	cfgs := make([]SimConfig, 0, 8)
+	for _, p := range []Policy{CE, CS, SNS, TwoSlot} {
+		for _, size := range []int{128, 256} {
+			cfgs = append(cfgs, DefaultSimConfig(size, p))
+		}
+	}
+
+	want := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := Simulate(jobs, db, node, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	for _, w := range []int{1, 3, 8} {
+		prev := par.SetWorkers(w)
+		got, err := SimulateAll(jobs, db, node, cfgs)
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d cfg %d (%s on %d nodes): parallel result differs from serial",
+					w, i, cfgs[i].Policy, cfgs[i].ClusterNodes)
+			}
+		}
+	}
+}
+
+// TestSimulateAllReportsLowestIndexError pins the deterministic error
+// contract through the trace layer: an invalid config mid-slice reports
+// its own error regardless of pool width, and the other configs still
+// run to completion.
+func TestSimulateAllReportsLowestIndexError(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := Synthesize(7, GenConfig{Jobs: 20, SpanHours: 8, MaxNodes: 4})
+	MapPrograms(7, jobs, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.8)
+	cfgs := []SimConfig{
+		DefaultSimConfig(64, CE),
+		{Policy: SNS}, // ClusterNodes 0: invalid
+		DefaultSimConfig(64, SNS),
+	}
+	for _, w := range []int{1, 4} {
+		prev := par.SetWorkers(w)
+		_, err := SimulateAll(jobs, db, node, cfgs)
+		par.SetWorkers(prev)
+		if err == nil {
+			t.Fatalf("workers=%d: no error from invalid config", w)
+		}
+	}
+}

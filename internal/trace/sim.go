@@ -48,6 +48,11 @@ type SimConfig struct {
 	// ScanDepth bounds how many pending jobs one scheduling pass may
 	// try beyond the queue head (backfill depth).
 	ScanDepth int
+	// NoScoreCache replays with from-scratch scoring instead of the
+	// incremental score cache — the reference path the cached-replay
+	// equivalence tests and benchmarks compare against. The two paths
+	// produce bit-identical placements; only the cost differs.
+	NoScoreCache bool
 }
 
 // DefaultSimConfig returns the paper's settings for a cluster size.
@@ -100,7 +105,15 @@ type runJob struct {
 	out  *SimJob
 	req  placement.Request
 	prof *profiler.Profile
-	res  []placement.Reservation
+	// res holds the per-node effective reservations, but only when they
+	// can differ across nodes (exclusive takes resolve per node, TwoSlot
+	// plans vary core counts). The common SNS/CS footprint plan reserves
+	// the same amount on every node, recorded once in res0 — a full
+	// 32K-node replay reserves ~19M node-slots, and a per-node slice for
+	// each was the replay's dominant allocation.
+	res     []placement.Reservation
+	res0    placement.Reservation
+	uniform bool
 }
 
 // simulator replays a trace under one policy, backed by the placement
@@ -146,6 +159,11 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 		MaxScale:     cfg.MaxScale,
 		HasIntensive: state.HasIntensive,
 	}
+	if !cfg.NoScoreCache {
+		cache := placement.NewScoreCache(cfg.ClusterNodes, node.Cores.Int())
+		state.SetOnChange(cache.Invalidate)
+		s.search.Cache = cache
+	}
 	if invariant.Active() {
 		aud := invariant.New("trace")
 		// A full SimState sweep is O(nodes); on paper-scale replays
@@ -158,6 +176,7 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 			aud.ObserveQueue(now, s.queue)
 			if aud.Begin() {
 				aud.CheckSimState(s.state)
+				aud.CheckScoreCache(s.search)
 			}
 		}
 	}
@@ -256,16 +275,35 @@ func (s *simulator) tryPlace(rj *runJob) bool {
 
 // launch reserves the plan's resources and schedules completion.
 func (s *simulator) launch(rj *runJob, pl *placement.Plan) {
-	rj.res = make([]placement.Reservation, len(pl.Nodes))
-	for i, id := range pl.Nodes {
-		rj.res[i] = s.state.Reserve(id, placement.Reservation{
-			Cores:     pl.Cores[i],
+	rj.uniform = !pl.Exclusive
+	for i := 1; i < len(pl.Cores) && rj.uniform; i++ {
+		rj.uniform = pl.Cores[i] == pl.Cores[0]
+	}
+	if rj.uniform {
+		// Non-exclusive reservations come back from Reserve unchanged,
+		// so one prototype stands in for every node's record.
+		rj.res0 = placement.Reservation{
+			Cores:     pl.Cores[0],
 			Ways:      pl.Ways,
 			BW:        pl.BW,
 			IOBW:      pl.IOBW,
-			Exclusive: pl.Exclusive,
 			Intensive: rj.req.Intensive,
-		})
+		}
+		for _, id := range pl.Nodes {
+			s.state.Reserve(id, rj.res0)
+		}
+	} else {
+		rj.res = make([]placement.Reservation, len(pl.Nodes))
+		for i, id := range pl.Nodes {
+			rj.res[i] = s.state.Reserve(id, placement.Reservation{
+				Cores:     pl.Cores[i],
+				Ways:      pl.Ways,
+				BW:        pl.BW,
+				IOBW:      pl.IOBW,
+				Exclusive: pl.Exclusive,
+				Intensive: rj.req.Intensive,
+			})
+		}
 	}
 	now := s.q.Now()
 	rj.out.Start = now
@@ -275,8 +313,14 @@ func (s *simulator) launch(rj *runJob, pl *placement.Plan) {
 	rj.out.Nodes = pl.Nodes
 	nodes := pl.Nodes
 	s.q.At(rj.out.Finish, func() {
-		for i, id := range nodes {
-			s.state.Release(id, rj.res[i])
+		if rj.uniform {
+			for _, id := range nodes {
+				s.state.Release(id, rj.res0)
+			}
+		} else {
+			for i, id := range nodes {
+				s.state.Release(id, rj.res[i])
+			}
 		}
 		s.schedule()
 	})
