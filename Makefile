@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-pr5 figures
+.PHONY: build test vet lint race check bench bench-pr5 bench-pr6 figures
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,15 @@ check: build vet lint race
 
 # bench reruns every performance PR's benchmark set and rewrites the
 # BENCH_PR<n>.json files; bench-pr5 reruns only the score-cache /
-# parallel-runner set.
+# parallel-runner set, bench-pr6 only the sharded-kernel set.
 bench:
 	scripts/bench.sh
 
 bench-pr5:
 	scripts/bench.sh pr5
+
+bench-pr6:
+	scripts/bench.sh pr6
 
 # figures regenerates every paper figure as tables on stdout.
 figures:

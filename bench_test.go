@@ -444,3 +444,55 @@ func BenchmarkParallelRunner(b *testing.B) {
 		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
 }
+
+// benchShardReplay replays the fan-out-dominated PR 6 gate workload
+// (600 jobs of <=4,096 nodes; see shardGateTrace) under SNS at a given
+// shard count and cluster size. Shards=0 is the flat cached kernel —
+// the sharded rows must report the bit-identical avg-turn-s, gated by
+// TestShardedReplayMatchesFlat and TestShardedReplaySpeedup.
+func benchShardReplay(b *testing.B, nodes, shards int) {
+	env := benchEnv(b)
+	jobs := shardGateTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := trace.DefaultSimConfig(nodes, trace.SNS)
+		cfg.Shards = shards
+		r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgTurn, "avg-turn-s")
+	}
+}
+
+func BenchmarkShardedReplay256K(b *testing.B)   { benchShardReplay(b, 262144, 64) }
+func BenchmarkUnshardedReplay256K(b *testing.B) { benchShardReplay(b, 262144, 0) }
+func BenchmarkShardedReplay1M(b *testing.B)     { benchShardReplay(b, 1048576, 64) }
+func BenchmarkUnshardedReplay1M(b *testing.B)   { benchShardReplay(b, 1048576, 0) }
+
+// BenchmarkShardedKernel measures the sharded kernel's wall-clock ratio
+// on the 256K-node gate replay: the flat cached kernel versus 64 shards
+// at full pool width, reported as shard-speedup-x. On a single-core
+// machine the ratio is slightly below 1.0 (the fan-out's serial
+// overhead with nothing to overlap it); TestShardedReplaySpeedup gates
+// >=3x where >=4 CPUs exist.
+func BenchmarkShardedKernel(b *testing.B) {
+	env := benchEnv(b)
+	jobs := shardGateTrace(b)
+	run := func(shards int) time.Duration {
+		cfg := trace.DefaultSimConfig(262144, trace.SNS)
+		cfg.Shards = shards
+		start := time.Now()
+		if _, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat := run(0)
+		sharded := run(64)
+		b.ReportMetric(float64(flat)/float64(sharded), "shard-speedup-x")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	}
+}

@@ -49,6 +49,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the figure run to this file")
 	invariants := flag.Bool("invariants", false, "run the invariant auditor on every scheduling event")
 	workersFlag := flag.Int("workers", 0, "worker goroutines for independent simulation cells (0 = GOMAXPROCS); results are identical at any width")
+	shards := flag.Int("shards", 0, "partition the fig20 placement kernel into this many shards (0 = flat kernel); placements are identical at any shard count")
 	flag.Parse()
 
 	if *invariants {
@@ -202,6 +203,7 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Jobs = *traceJobs
 		cfg.Span = *traceSpan
+		cfg.Shards = *shards
 		r, err := experiments.Fig20TraceSim(env, cfg)
 		if err != nil {
 			fatal(err)

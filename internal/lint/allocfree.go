@@ -44,11 +44,13 @@ var Allocfree = &Analyzer{
 // allocFreeStdlib are external packages whose functions are known not to
 // allocate. container/heap only moves elements the caller owns; its
 // dynamic dispatch targets are covered by annotating the concrete
-// heap.Interface methods as hotpath roots.
+// heap.Interface methods as hotpath roots; sync/atomic operations compile
+// to single instructions.
 var allocFreeStdlib = map[string]bool{
 	"math":           true,
 	"math/bits":      true,
 	"container/heap": true,
+	"sync/atomic":    true,
 }
 
 type allocFinding struct {

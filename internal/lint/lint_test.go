@@ -150,6 +150,18 @@ func TestHotpathCoverage(t *testing.T) {
 		"(*spreadnshare/internal/placement.ScoreCache).prepare",
 		"(*spreadnshare/internal/placement.ScoreCache).fold",
 		"(*spreadnshare/internal/placement.ScoreCache).walk",
+		"(*spreadnshare/internal/placement.ScoreCache).walkFrom",
+		"(*spreadnshare/internal/placement.Search).findDemandSharded",
+		"(*spreadnshare/internal/placement.Search).mergeShards",
+		"(*spreadnshare/internal/placement.shardRun).scan",
+		"(*spreadnshare/internal/placement.shardRun).scanBucket",
+		"(*spreadnshare/internal/placement.shardRun).collect",
+		"(*spreadnshare/internal/placement.shardRun).deepen",
+		"(*spreadnshare/internal/placement.ShardSet).update",
+		"(*spreadnshare/internal/placement.ShardSet).shardOf",
+		"(*spreadnshare/internal/par.Pool).Run",
+		"spreadnshare/internal/par.Merge",
+		"spreadnshare/internal/par.mergeTree",
 	}
 	for _, name := range required {
 		if !covered[name] {

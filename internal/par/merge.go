@@ -1,0 +1,131 @@
+package par
+
+// Merge is the deterministic k-way merge the sharded placement kernel
+// drains its per-shard candidate lists with. The caller owns the
+// sequences and their cursors; Merge only supplies the selection
+// discipline: repeatedly pick, among the non-exhausted sequences, the
+// one whose head element orders first — ties going to the lowest
+// sequence index — and consume it via take, until take returns false or
+// everything is exhausted.
+//
+// empty(s) reports whether sequence s has no head; less(a, b) reports
+// whether sequence a's head orders strictly before sequence b's (both
+// non-empty); take(s) consumes s's head (advancing its cursor) and
+// reports whether the merge should continue. Because the selection is a
+// pure function of the sequence contents, the output is byte-identical
+// no matter how many workers produced those sequences — the same
+// argument that makes ForEach's slot discipline reproduce serial
+// digests.
+//
+// Two selection mechanisms implement the one discipline. A handful of
+// sequences merges by linear scan — a selection tree would cost more in
+// bookkeeping than it saves in comparisons. Wider merges (a 64-shard
+// kernel draining a 4096-node query makes k*n probe calls under the
+// scan) run a winner tree on a fixed stack array: one empty probe and
+// at most log2(k) comparisons per pick instead of k of each. Both pick
+// the unique (head order, lowest index) minimum each step, so the
+// output sequence is identical.
+//
+//sns:hotpath
+func Merge(k int, empty func(s int) bool, less func(a, b int) bool, take func(s int) bool) {
+	if k > treeMergeMin && k <= treeMergeMax {
+		mergeTree(k, empty, less, take)
+		return
+	}
+	for {
+		best := -1
+		for s := 0; s < k; s++ {
+			//lint:allocfree empty is the caller's prebuilt cursor probe; the runtime alloc gate verifies the sharded query allocates only its result
+			if empty(s) {
+				continue
+			}
+			//lint:allocfree less is the caller's prebuilt head comparator; it reads two cursor positions
+			if best < 0 || less(s, best) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return
+		}
+		//lint:allocfree take is the caller's prebuilt consumer; it appends within the result's pre-sized capacity
+		if !take(best) {
+			return
+		}
+	}
+}
+
+const (
+	// treeMergeMin is the width below which the linear scan wins: the
+	// tree's replay path costs about log2(k) comparator calls, so the
+	// crossover sits where k clears a few times that.
+	treeMergeMin = 8
+	// treeMergeMax bounds the winner tree's stack array. Wider merges
+	// (no real shard count comes close) fall back to the linear scan —
+	// same output, just slower — rather than allocating.
+	treeMergeMax = 128
+)
+
+// mergeTree is the winner-tree selection: a perfect binary tournament
+// over the next power of two >= k leaves, internal node i holding the
+// winning sequence index of its subtree (-1 = subtree exhausted). Left
+// children cover strictly lower sequence indexes than right children,
+// and an internal node prefers its left child on non-less, so the root
+// is exactly the linear scan's pick: lowest index among the first-
+// ordering heads. After a take only the taken sequence's head changed,
+// so one leaf refresh and a replay of its root path — one empty probe
+// plus at most log2(k) comparisons — restores the invariant.
+//
+//sns:hotpath
+func mergeTree(k int, empty func(s int) bool, less func(a, b int) bool, take func(s int) bool) {
+	m := 1
+	for m < k {
+		m <<= 1
+	}
+	// Nodes 1..2m-1 on the stack; tree[m+s] is sequence s's leaf.
+	var tree [2 * treeMergeMax]int32
+	for s := 0; s < k; s++ {
+		//lint:allocfree empty is the caller's prebuilt cursor probe; the runtime alloc gate verifies the sharded query allocates only its result
+		if empty(s) {
+			tree[m+s] = -1
+		} else {
+			tree[m+s] = int32(s)
+		}
+	}
+	for s := k; s < m; s++ {
+		tree[m+s] = -1
+	}
+	winner := func(a, b int32) int32 {
+		if a < 0 {
+			return b
+		}
+		if b < 0 {
+			return a
+		}
+		//lint:allocfree less is the caller's prebuilt head comparator; it reads two cursor positions
+		if less(int(b), int(a)) {
+			return b
+		}
+		return a
+	}
+	for i := m - 1; i >= 1; i-- {
+		tree[i] = winner(tree[2*i], tree[2*i+1])
+	}
+	for {
+		w := tree[1]
+		if w < 0 {
+			return
+		}
+		//lint:allocfree take is the caller's prebuilt consumer; it appends within the result's pre-sized capacity
+		if !take(int(w)) {
+			return
+		}
+		leaf := m + int(w)
+		//lint:allocfree empty is the caller's prebuilt cursor probe re-read after the consume
+		if empty(int(w)) {
+			tree[leaf] = -1
+		}
+		for i := leaf / 2; i >= 1; i /= 2 {
+			tree[i] = winner(tree[2*i], tree[2*i+1])
+		}
+	}
+}

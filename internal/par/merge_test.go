@@ -1,0 +1,143 @@
+package par
+
+import (
+	"slices"
+	"testing"
+)
+
+// mergeLists drains Merge over integer sequences and returns the taken
+// values (up to limit; limit < 0 means drain everything).
+func mergeLists(lists [][]int, limit int) []int {
+	cur := make([]int, len(lists))
+	var out []int
+	Merge(len(lists),
+		func(s int) bool { return cur[s] >= len(lists[s]) },
+		func(a, b int) bool { return lists[a][cur[a]] < lists[b][cur[b]] },
+		func(s int) bool {
+			out = append(out, lists[s][cur[s]])
+			cur[s]++
+			return limit < 0 || len(out) < limit
+		})
+	return out
+}
+
+func TestMergeOrders(t *testing.T) {
+	lists := [][]int{
+		{1, 4, 9, 12},
+		{2, 3, 10},
+		{},
+		{5, 6, 7, 8, 11},
+	}
+	got := mergeLists(lists, -1)
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if !slices.Equal(got, want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+}
+
+// TestMergeTiesToLowestIndex pins the deterministic tie rule: equal
+// heads drain lowest-sequence-first, so the output is a pure function of
+// the inputs no matter who produced them.
+func TestMergeTiesToLowestIndex(t *testing.T) {
+	lists := [][]int{{5, 5}, {5}, {5, 5, 5}}
+	taken := make([]int, 0, 6)
+	cur := make([]int, len(lists))
+	Merge(len(lists),
+		func(s int) bool { return cur[s] >= len(lists[s]) },
+		func(a, b int) bool { return lists[a][cur[a]] < lists[b][cur[b]] },
+		func(s int) bool {
+			taken = append(taken, s)
+			cur[s]++
+			return true
+		})
+	want := []int{0, 0, 1, 2, 2, 2}
+	if !slices.Equal(taken, want) {
+		t.Fatalf("tie drain order %v, want %v", taken, want)
+	}
+}
+
+func TestMergeEarlyStop(t *testing.T) {
+	lists := [][]int{{1, 3, 5}, {2, 4, 6}}
+	got := mergeLists(lists, 3)
+	if want := []int{1, 2, 3}; !slices.Equal(got, want) {
+		t.Fatalf("top-3 merge %v, want %v", got, want)
+	}
+}
+
+// TestMergeTreeMatchesScan differentially pins the winner tree against
+// a reference linear scan across widths on both sides of the crossover
+// and beyond the tree's stack bound (where Merge must fall back): same
+// values, same tie-ordering, same early-stop point.
+func TestMergeTreeMatchesScan(t *testing.T) {
+	for _, k := range []int{2, 8, 9, 16, 64, 127, 128, 129, 200} {
+		lists := make([][]int, k)
+		x := uint64(99)
+		for s := range lists {
+			n := int(x % 7)
+			x = x*6364136223846793005 + 1442695040888963407
+			for j := 0; j < n; j++ {
+				lists[s] = append(lists[s], int(x%32))
+				x = x*6364136223846793005 + 1442695040888963407
+			}
+			slices.Sort(lists[s])
+		}
+		for _, limit := range []int{-1, 5} {
+			got := mergeTaken(lists, limit)
+			want := scanTaken(lists, limit)
+			if !slices.Equal(got, want) {
+				t.Fatalf("k=%d limit=%d: merge drained sequences %v, reference scan %v",
+					k, limit, got, want)
+			}
+		}
+	}
+}
+
+// mergeTaken drains Merge and records which sequence each pick came
+// from — the strongest observable, since equal values from different
+// sequences must still drain lowest-index-first.
+func mergeTaken(lists [][]int, limit int) []int {
+	cur := make([]int, len(lists))
+	var taken []int
+	Merge(len(lists),
+		func(s int) bool { return cur[s] >= len(lists[s]) },
+		func(a, b int) bool { return lists[a][cur[a]] < lists[b][cur[b]] },
+		func(s int) bool {
+			taken = append(taken, s)
+			cur[s]++
+			return limit < 0 || len(taken) < limit
+		})
+	return taken
+}
+
+// scanTaken is the reference: the linear-scan selection discipline
+// restated independently of Merge's implementation.
+func scanTaken(lists [][]int, limit int) []int {
+	cur := make([]int, len(lists))
+	var taken []int
+	for limit < 0 || len(taken) < limit {
+		best := -1
+		for s := range lists {
+			if cur[s] >= len(lists[s]) {
+				continue
+			}
+			if best < 0 || lists[s][cur[s]] < lists[best][cur[best]] {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken = append(taken, best)
+		cur[best]++
+	}
+	return taken
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := mergeLists(nil, -1); len(got) != 0 {
+		t.Fatalf("zero-sequence merge produced %v", got)
+	}
+	if got := mergeLists([][]int{{}, {}}, -1); len(got) != 0 {
+		t.Fatalf("all-empty merge produced %v", got)
+	}
+}

@@ -1,0 +1,120 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the reusable fan-out of the sharded placement kernel: a fixed
+// set of persistent worker goroutines parked on a wake channel, so one
+// Run costs two synchronization rounds and zero allocations — ForEach,
+// by contrast, spawns fresh goroutines and an error slice per call,
+// which is fine once per experiment cell but not inside a placement
+// query that runs millions of times per replay.
+//
+// The work contract is ForEach's: fn runs exactly once per index in
+// [0, n), completion order unspecified, and fn(i) may touch only state
+// that index i owns. Errors are the caller's business — the sharded
+// search's per-shard scans cannot fail, they fill per-shard scratch —
+// so Run carries none.
+//
+// A Pool is NOT reentrant: one Run at a time. The placement kernel
+// honors this structurally (one Search serves one scheduling loop, and
+// the coordinator blocks until Run returns).
+type Pool struct {
+	width int
+	start chan struct{}
+	wg    sync.WaitGroup
+
+	// fn/n are the active batch, published to the workers by the start
+	// sends (channel send happens-before the matching receive) and read
+	// back by wg.Wait (Done happens-before Wait returns).
+	fn   func(i int)
+	n    int
+	next atomic.Int64
+}
+
+// NewPool builds a pool of the given width; width < 1 selects the
+// Workers() setting at creation time (the width is then fixed — a later
+// SetWorkers does not resize live pools). Width 1 creates no goroutines
+// at all: Run executes inline on the caller, which is both the
+// single-CPU fast path and the serial reference the determinism tests
+// compare against.
+func NewPool(width int) *Pool {
+	if width < 1 {
+		width = Workers()
+	}
+	p := &Pool{width: width}
+	if width > 1 {
+		p.start = make(chan struct{}, width)
+		for g := 0; g < width; g++ {
+			// The channel is passed by value so a worker never reads the
+			// start field itself — Close can nil it without a racing read.
+			go p.loop(p.start)
+		}
+	}
+	return p
+}
+
+// Width returns the pool's fixed worker count.
+func (p *Pool) Width() int { return p.width }
+
+// Run executes fn(i) exactly once for every i in [0, n), returning when
+// all indices are done. Indices are claimed from a shared atomic
+// counter, so an uneven per-index cost self-balances across workers.
+// The result of every fn call is visible to the caller when Run
+// returns.
+//
+//sns:hotpath
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.width
+	if w > n {
+		w = n
+	}
+	if p.start == nil || w == 1 {
+		for i := 0; i < n; i++ {
+			//lint:allocfree fn is the caller's prebuilt task closure; the runtime alloc gate verifies the sharded query allocates only its result
+			fn(i)
+		}
+		return
+	}
+	p.fn, p.n = fn, n
+	p.next.Store(0)
+	//lint:allocfree sync.WaitGroup.Add flips a counter; it never allocates
+	p.wg.Add(w)
+	for g := 0; g < w; g++ {
+		p.start <- struct{}{}
+	}
+	//lint:allocfree sync.WaitGroup.Wait parks on a runtime semaphore without heap allocation
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// loop is one worker: park on the wake channel, drain the shared index
+// counter, report done; exit when the channel closes.
+func (p *Pool) loop(start chan struct{}) {
+	for range start {
+		n := p.n
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= n {
+				break
+			}
+			p.fn(i)
+		}
+		p.wg.Done()
+	}
+}
+
+// Close releases the workers. The pool must be idle; Run after Close
+// falls back to inline execution, so a closed pool is still correct,
+// just serial.
+func (p *Pool) Close() {
+	if p.start != nil {
+		close(p.start)
+		p.start = nil
+	}
+}

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolCoversEveryIndex(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		p := NewPool(w)
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int64, n)
+			p.Run(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("width=%d n=%d: index %d ran %d times", w, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolReuse pins the point of a persistent pool: the same workers
+// serve many Run calls with fresh tasks, and every batch's results are
+// visible to the caller when Run returns.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	out := make([]int, 64)
+	for round := 0; round < 50; round++ {
+		p.Run(len(out), func(i int) { out[i] = round*1000 + i })
+		for i := range out {
+			if out[i] != round*1000+i {
+				t.Fatalf("round %d: slot %d holds %d", round, i, out[i])
+			}
+		}
+	}
+}
+
+func TestPoolDefaultWidth(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	p := NewPool(0)
+	defer p.Close()
+	if got := p.Width(); got != 5 {
+		t.Fatalf("NewPool(0).Width() = %d with SetWorkers(5)", got)
+	}
+	// The width is fixed at creation: a later SetWorkers must not change
+	// the pool's behavior (it has already spawned its goroutines).
+	SetWorkers(2)
+	if got := p.Width(); got != 5 {
+		t.Fatalf("Width() = %d after SetWorkers(2), want 5", got)
+	}
+}
+
+// TestPoolRunAfterClose pins the degraded-but-correct contract: a closed
+// pool still covers every index, just inline on the caller.
+func TestPoolRunAfterClose(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	hits := make([]int, 32)
+	p.Run(len(hits), func(i int) { hits[i]++ })
+	for i := range hits {
+		if hits[i] != 1 {
+			t.Fatalf("after Close: index %d ran %d times", i, hits[i])
+		}
+	}
+}
+
+// TestPoolWidth1RunsInline pins the single-CPU fast path: a width-1 pool
+// spawns no goroutines and a warm Run allocates nothing.
+func TestPoolWidth1RunsInline(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	out := make([]int, 16)
+	fn := func(i int) { out[i] = i }
+	if allocs := testing.AllocsPerRun(100, func() { p.Run(len(out), fn) }); allocs != 0 {
+		t.Fatalf("width-1 Run allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestPoolWarmRunAllocs bounds the steady-state cost of the fan-out
+// itself: after warm-up, a multi-worker Run performs no per-call heap
+// allocations (the tokens are empty structs, the counter is atomic, the
+// wait group parks on runtime semaphores).
+func TestPoolWarmRunAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	p.Run(64, fn) // warm up worker scheduling
+	if allocs := testing.AllocsPerRun(50, func() { p.Run(64, fn) }); allocs > 0.5 {
+		t.Fatalf("warm Run allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -22,6 +22,14 @@ type cacheHarness struct {
 	cs     *Search // searches through cs.Cache
 	ps     *Search // rescoring from scratch
 	held   [][]Reservation
+
+	// Optional third cluster searched through a sharded kernel — see
+	// withShards in shard_test.go. When present, every mutation mirrors
+	// into it and every query must agree with the other two and pass the
+	// shard audit.
+	sharded  *SimState
+	ss       *Search
+	shardSet *ShardSet
 }
 
 func newCacheHarness(nodes int, noGrouping bool) *cacheHarness {
@@ -72,6 +80,9 @@ func (h *cacheHarness) reserve(id, cores, ways, bw int) {
 	r := Reservation{Cores: cores, Ways: units.Ways(ways), BW: units.GBps(bw)}
 	eff := h.cached.Reserve(id, r)
 	h.plain.Reserve(id, r)
+	if h.sharded != nil {
+		h.sharded.Reserve(id, r)
+	}
 	h.held[id] = append(h.held[id], eff)
 }
 
@@ -85,6 +96,9 @@ func (h *cacheHarness) release(id int) {
 	h.held[id] = h.held[id][:n-1]
 	h.cached.Release(id, r)
 	h.plain.Release(id, r)
+	if h.sharded != nil {
+		h.sharded.Release(id, r)
+	}
 }
 
 // query runs the same FindDemand on both searches and fails on the first
@@ -103,6 +117,20 @@ func (h *cacheHarness) query(t *testing.T, n int, d core.Demand) {
 	}
 	if err := h.cs.Cache.Audit(h.cached, h.cached.Index(), h.spec, h.cs.ScoreBeta()); err != nil {
 		t.Fatalf("after FindDemand(%d, %+v): %v", n, d, err)
+	}
+	if h.ss != nil {
+		sharded := h.ss.FindDemand(n, d)
+		if len(sharded) != len(want) {
+			t.Fatalf("FindDemand(%d, %+v): sharded found %d nodes, plain %d", n, d, len(sharded), len(want))
+		}
+		for i := range sharded {
+			if sharded[i] != want[i] {
+				t.Fatalf("FindDemand(%d, %+v): sharded %v != plain %v", n, d, sharded, want)
+			}
+		}
+		if err := h.shardSet.Audit(h.sharded, h.sharded.Index(), h.spec, h.ss.ScoreBeta()); err != nil {
+			t.Fatalf("after sharded FindDemand(%d, %+v): %v", n, d, err)
+		}
 	}
 }
 

@@ -84,6 +84,7 @@ func (x *CoreIndex) Update(id, free int) {
 		return
 	}
 	if free < 0 || free > x.cores {
+		//lint:allocfree Sprintf runs only on the invariant-violation panic path, never on a completed update
 		panic(fmt.Sprintf("placement: node %d free cores %d outside [0, %d]", id, free, x.cores))
 	}
 	w, bit := id>>6, uint64(1)<<(uint(id)&63)

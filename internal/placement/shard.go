@@ -1,0 +1,217 @@
+package placement
+
+import (
+	"fmt"
+
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/par"
+	"spreadnshare/internal/units"
+)
+
+// shard is one contiguous node-ID range of a sharded kernel, with its
+// own free-core index and score cache addressed by local id in
+// [0, nodes). Everything a query reads inside one shard — bucket
+// counters, bitsets, dirty sets, ordered entry lists — is private to
+// it, which is what lets the per-shard scans of a sharded FindDemand
+// run concurrently without a single shared write.
+type shard struct {
+	base  int // first global node id of the range
+	nodes int
+	idx   *CoreIndex
+	cache *ScoreCache
+}
+
+// ShardSet partitions a cluster's placement kernel into contiguous
+// node-ID ranges, each with a private CoreIndex and ScoreCache, plus
+// the persistent worker pool the sharded search fans over.
+//
+// Determinism contract (DESIGN.md "Sharded kernel"):
+//
+//   - ranges come from EvenSplit(nodes, count) — larger shares first —
+//     so the partition is a pure function of (nodes, count), and local
+//     id order within a shard IS global id order restricted to its
+//     range;
+//   - mutations are applied shard-locally and immediately (an O(1)
+//     index update plus an O(1) dirty-bit), so the per-shard dirty sets
+//     are exactly the batched mutations of the current simulation
+//     event, and the next query's flush is their visibility boundary;
+//   - queries merge per-shard candidate lists in the global
+//     (score, id) total order, which restores the exact serial
+//     enumeration no matter how many workers scanned.
+type ShardSet struct {
+	nodes  int
+	shards []shard
+	// q/big/split drive the O(1) shardOf arithmetic: the first big
+	// shards hold q+1 nodes (covering global ids [0, split)), the rest
+	// hold q.
+	q, big, split int
+	pool          *par.Pool
+}
+
+// NewShardSet builds an all-idle sharded kernel over a cluster of the
+// given shape. count is clamped to [1, nodes]; the pool width is the
+// par.Workers() setting at creation time. Callers that shard a live
+// backend use SimState.Shard, which also seeds current occupancy.
+func NewShardSet(spec hw.NodeSpec, nodes, count int) *ShardSet {
+	if nodes < 0 {
+		panic(fmt.Sprintf("placement: bad shard-set shape %d nodes", nodes))
+	}
+	if count > nodes {
+		count = nodes
+	}
+	if count < 1 {
+		count = 1
+	}
+	cores := spec.Cores.Int()
+	ss := &ShardSet{nodes: nodes, shards: make([]shard, count)}
+	ss.q, ss.big = nodes/count, nodes%count
+	ss.split = ss.big * (ss.q + 1)
+	base := 0
+	for i := range ss.shards {
+		size := ss.q
+		if i < ss.big {
+			size++
+		}
+		ss.shards[i] = shard{
+			base:  base,
+			nodes: size,
+			idx:   NewCoreIndex(size, cores),
+			cache: NewScoreCache(size, cores),
+		}
+		base += size
+	}
+	ss.pool = par.NewPool(0)
+	return ss
+}
+
+// NumShards returns the shard count.
+func (ss *ShardSet) NumShards() int { return len(ss.shards) }
+
+// Len returns the number of nodes the set covers.
+func (ss *ShardSet) Len() int { return ss.nodes }
+
+// Range returns shard s's node-ID range as (first id, length).
+func (ss *ShardSet) Range(s int) (base, n int) {
+	return ss.shards[s].base, ss.shards[s].nodes
+}
+
+// Index returns shard s's local-id free-core index, for the invariant
+// auditor's per-shard internal-consistency checks.
+func (ss *ShardSet) Index(s int) *CoreIndex { return ss.shards[s].idx }
+
+// Close releases the pool workers. Queries after Close still work,
+// just serially.
+func (ss *ShardSet) Close() { ss.pool.Close() }
+
+// shardOf maps a global node id to its shard: the EvenSplit partition
+// gives the first big shards q+1 nodes and the rest q, so the owner is
+// a division away.
+//
+//sns:hotpath
+func (ss *ShardSet) shardOf(gid int) int {
+	if gid < ss.split {
+		return gid / (ss.q + 1)
+	}
+	return ss.big + (gid-ss.split)/ss.q
+}
+
+// update mirrors one node's reservation change into its shard: the
+// local index moves the node to its new free-core bucket and the local
+// cache dirties it. Both are O(1), so per-event invalidation cost is
+// unchanged from the flat kernel — no cross-shard work, no
+// serialization. The score is unconditionally dirtied because it
+// depends on allocated bandwidth and LLC ways too, which can change
+// while the free-core count does not.
+//
+//sns:hotpath
+func (ss *ShardSet) update(gid, free int) {
+	sh := &ss.shards[ss.shardOf(gid)]
+	lid := gid - sh.base
+	sh.idx.Update(lid, free)
+	sh.cache.Invalidate(lid)
+}
+
+// seed syncs one node's free-core count during construction, without
+// dirtying the cache (a fresh ScoreCache already starts all-dirty).
+func (ss *ShardSet) seed(gid, free int) {
+	sh := &ss.shards[ss.shardOf(gid)]
+	sh.idx.Update(gid-sh.base, free)
+}
+
+// shardView re-addresses a cluster-wide NodeView to one shard's local
+// ids, so a per-shard ScoreCache audit can recompute scores through the
+// same canonical expression — and land on bit-identical floats — as the
+// global kernel.
+type shardView struct {
+	view NodeView
+	base int
+}
+
+func (v shardView) UsedCores(id int) int        { return v.view.UsedCores(v.base + id) }
+func (v shardView) AllocWays(id int) units.Ways { return v.view.AllocWays(v.base + id) }
+func (v shardView) AllocBW(id int) units.GBps   { return v.view.AllocBW(v.base + id) }
+func (v shardView) FreeWays(id int) units.Ways  { return v.view.FreeWays(v.base + id) }
+func (v shardView) FreeBW(id int) units.GBps    { return v.view.FreeBW(v.base + id) }
+func (v shardView) FreeMem(id int) float64      { return v.view.FreeMem(v.base + id) }
+func (v shardView) FreeIO(id int) units.GBps    { return v.view.FreeIO(v.base + id) }
+
+// Audit cross-checks the sharded kernel against the cluster-wide
+// bookkeeping it mirrors:
+//
+//   - the ranges tile [0, nodes) exactly once (no id unclaimed, none
+//     claimed twice), and every shard's index/cache match its range;
+//   - every node's shard-local free-core count equals the global
+//     index's (global may be nil for a standalone set);
+//   - per free-core bucket, the shard populations sum to the global
+//     bucket population — the conservation law behind the coordinator's
+//     adequacy decision;
+//   - every per-shard ScoreCache passes its own audit against the live
+//     view, re-addressed through the shard's offset.
+//
+// The runtime invariant auditor calls this on sharded replays via
+// CheckShardedIndex.
+func (ss *ShardSet) Audit(view NodeView, global *CoreIndex, spec hw.NodeSpec, beta float64) error {
+	base := 0
+	for s := range ss.shards {
+		sh := &ss.shards[s]
+		if sh.base != base {
+			return fmt.Errorf("placement: shard %d starts at node %d, want %d (ranges must tile)", s, sh.base, base)
+		}
+		if sh.idx.Len() != sh.nodes || sh.cache.Len() != sh.nodes {
+			return fmt.Errorf("placement: shard %d covers %d nodes but indexes %d / caches %d",
+				s, sh.nodes, sh.idx.Len(), sh.cache.Len())
+		}
+		base += sh.nodes
+	}
+	if base != ss.nodes {
+		return fmt.Errorf("placement: shards tile %d nodes, cluster has %d", base, ss.nodes)
+	}
+	if global != nil {
+		if global.Len() != ss.nodes {
+			return fmt.Errorf("placement: shard set covers %d nodes, global index %d", ss.nodes, global.Len())
+		}
+		for gid := 0; gid < ss.nodes; gid++ {
+			sh := &ss.shards[ss.shardOf(gid)]
+			if got, want := sh.idx.Free(gid-sh.base), global.Free(gid); got != want {
+				return fmt.Errorf("placement: node %d has %d free cores in its shard, %d globally", gid, got, want)
+			}
+		}
+		for f := 0; f <= global.Cores(); f++ {
+			sum := 0
+			for s := range ss.shards {
+				sum += ss.shards[s].idx.Count(f)
+			}
+			if sum != global.Count(f) {
+				return fmt.Errorf("placement: bucket %d shard populations sum to %d, global count is %d",
+					f, sum, global.Count(f))
+			}
+		}
+	}
+	for s := range ss.shards {
+		sh := &ss.shards[s]
+		if err := sh.cache.Audit(shardView{view: view, base: sh.base}, sh.idx, spec, beta); err != nil {
+			return fmt.Errorf("placement: shard %d (nodes %d-%d): %w", s, sh.base, sh.base+sh.nodes-1, err)
+		}
+	}
+	return nil
+}

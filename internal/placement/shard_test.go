@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/par"
+)
+
+// withShards attaches a third simulated cluster to the harness, searched
+// through a count-shard kernel. All three clusters see the same mutation
+// schedule; query then triangulates sharded vs cached vs from-scratch and
+// runs the shard audit.
+func (h *cacheHarness) withShards(count int) *cacheHarness {
+	h.sharded = NewSimState(h.spec, h.nodes)
+	h.ss = &Search{
+		View:       h.sharded,
+		Idx:        h.sharded.Index(),
+		Spec:       h.spec,
+		Nodes:      h.nodes,
+		NoGrouping: h.ps.NoGrouping,
+	}
+	h.shardSet = h.sharded.Shard(count)
+	h.ss.UseShards(h.shardSet)
+	return h
+}
+
+func (h *cacheHarness) close() {
+	if h.shardSet != nil {
+		h.shardSet.Close()
+	}
+}
+
+// TestShardedSearchEquivalence drives seeded mutation/query schedules
+// through flat-cached, from-scratch, and sharded kernels at several
+// shard counts and pool widths — the bit-identical contract the sharded
+// fan-out must honor no matter how the cluster is partitioned or how
+// many workers scan.
+func TestShardedSearchEquivalence(t *testing.T) {
+	for _, noGrouping := range []bool{false, true} {
+		for _, count := range []int{1, 4, 7} {
+			for _, width := range []int{1, 4} {
+				prev := par.SetWorkers(width)
+				h := newCacheHarness(96, noGrouping).withShards(count)
+				rng := rand.New(rand.NewSource(int64(count*10 + width)))
+				ops := make([]byte, 1200)
+				rng.Read(ops)
+				for i, op := range ops {
+					h.step(t, i, op)
+				}
+				for id := range h.held {
+					for len(h.held[id]) > 0 {
+						h.release(id)
+					}
+				}
+				h.query(t, 3, core.Demand{Cores: 4})
+				h.close()
+				par.SetWorkers(prev)
+			}
+		}
+	}
+}
+
+// TestShardedSearchUnevenRanges pins the EvenSplit partition arithmetic:
+// shard counts that do not divide the cluster produce q+1/q ranges, and
+// shardOf must land every id in its owner.
+func TestShardedSearchUnevenRanges(t *testing.T) {
+	for _, tc := range []struct{ nodes, count int }{
+		{96, 7}, {97, 8}, {5, 8}, {1, 1}, {64, 64},
+	} {
+		h := newCacheHarness(tc.nodes, false).withShards(tc.count)
+		ss := h.shardSet
+		covered := 0
+		for s := 0; s < ss.NumShards(); s++ {
+			base, n := ss.Range(s)
+			if base != covered {
+				t.Fatalf("nodes=%d count=%d: shard %d starts at %d, want %d", tc.nodes, tc.count, s, base, covered)
+			}
+			for gid := base; gid < base+n; gid++ {
+				if got := ss.shardOf(gid); got != s {
+					t.Fatalf("nodes=%d count=%d: shardOf(%d) = %d, want %d", tc.nodes, tc.count, gid, got, s)
+				}
+			}
+			covered += n
+		}
+		if covered != tc.nodes {
+			t.Fatalf("nodes=%d count=%d: shards tile %d nodes", tc.nodes, tc.count, covered)
+		}
+		if err := ss.Audit(h.sharded, h.sharded.Index(), h.spec, h.ss.ScoreBeta()); err != nil {
+			t.Fatalf("nodes=%d count=%d: %v", tc.nodes, tc.count, err)
+		}
+		h.close()
+	}
+}
+
+// FuzzShardedSearch lets the fuzzer hunt for mutation schedules and
+// shard counts that break sharded/flat agreement or the shard audit.
+func FuzzShardedSearch(f *testing.F) {
+	f.Add([]byte{0x00, 0x42, 0x81, 0x07, 0xfe, 0x13, 0x02, 0xff}, byte(3), false)
+	f.Add([]byte{0x10, 0x11, 0x12, 0x13, 0xa2, 0xb3, 0x00, 0x01}, byte(6), true)
+	f.Add([]byte{0xff, 0xff, 0x03, 0x03, 0x03, 0x00, 0x01, 0x02}, byte(0), false)
+	f.Fuzz(func(t *testing.T, ops []byte, shardByte byte, noGrouping bool) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		h := newCacheHarness(64, noGrouping).withShards(1 + int(shardByte)%8)
+		defer h.close()
+		for i, op := range ops {
+			h.step(t, i, op)
+		}
+		h.query(t, 2, core.Demand{Cores: 2})
+	})
+}
+
+// TestShardedSearchSteadyStateAllocs is the runtime side of the sharded
+// kernel's allocfree suppressions: with the pool pinned to width 1 (so
+// Run executes inline and goroutine park/unpark noise cannot blur the
+// measurement), a warm mutate-then-search cycle must allocate nothing
+// beyond the result slice.
+func TestShardedSearchSteadyStateAllocs(t *testing.T) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	h := newCacheHarness(512, false).withShards(8)
+	defer h.close()
+	d := core.Demand{Cores: 4, Ways: 2, BW: 10}
+	cycle := func(i int) {
+		id := (i * 37) % h.nodes
+		h.reserve(id, 1+i%8, i%4, i%20)
+		if len(h.held[(id+7)%h.nodes]) > 0 {
+			h.release((id + 7) % h.nodes)
+		}
+		if h.ss.FindDemand(4, d) == nil {
+			t.Fatal("no placement")
+		}
+	}
+	for i := 0; i < 3000; i++ { // warm every shard's bucket lists and scratch
+		cycle(i)
+	}
+	n := 3000
+	allocs := testing.AllocsPerRun(200, func() {
+		cycle(n)
+		n++
+	})
+	if allocs > 1.5 {
+		t.Errorf("steady-state sharded mutate+search allocates %.1f objects/run, want <= 1 (result slice)", allocs)
+	}
+}

@@ -23,6 +23,12 @@ type SimState struct {
 	// onChange, when set, is called with every node id whose reservation
 	// state changes — the score cache's dirty-set feed.
 	onChange func(id int)
+
+	// shards, when set via Shard, mirrors every free-core change into
+	// the per-shard indexes and dirty sets of the sharded kernel. The
+	// flat idx stays authoritative either way, so the non-FindDemand
+	// paths (Idle, ascendFree, TwoSlot) are untouched by sharding.
+	shards *ShardSet
 }
 
 // NewSimState builds an all-idle simulated cluster.
@@ -47,6 +53,19 @@ func NewSimState(spec hw.NodeSpec, nodes int) *SimState {
 
 // Index returns the free-core index a Search runs over.
 func (s *SimState) Index() *CoreIndex { return s.idx }
+
+// Shard partitions the cluster into count contiguous node-ID shards,
+// seeds them with the current occupancy, and keeps them synchronized
+// with every subsequent Reserve/Release. The returned set is what a
+// Search's UseShards consumes; Close it when the replay ends.
+func (s *SimState) Shard(count int) *ShardSet {
+	ss := NewShardSet(s.spec, s.Len(), count)
+	for id := 0; id < s.Len(); id++ {
+		ss.seed(id, s.idx.Free(id))
+	}
+	s.shards = ss
+	return ss
+}
 
 // SetOnChange registers a hook called with every node id whose
 // reservation state changes. A ScoreCache's Invalidate is the intended
@@ -110,6 +129,9 @@ func (s *SimState) Reserve(id int, r Reservation) Reservation {
 	if r.Intensive {
 		s.intensive[id]++
 	}
+	if s.shards != nil {
+		s.shards.update(id, s.idx.Free(id))
+	}
 	if s.onChange != nil {
 		s.onChange(id)
 	}
@@ -125,6 +147,9 @@ func (s *SimState) Release(id int, r Reservation) {
 	s.freeIO[id] += r.IOBW
 	if r.Intensive {
 		s.intensive[id]--
+	}
+	if s.shards != nil {
+		s.shards.update(id, s.idx.Free(id))
 	}
 	if s.onChange != nil {
 		s.onChange(id)

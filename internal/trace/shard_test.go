@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"spreadnshare/internal/par"
+)
+
+// TestShardedReplayMatchesFlat proves an end-to-end replay through the
+// sharded kernel returns exactly what the flat cached replay returns —
+// placements, start/finish times, summary floats, bit for bit — at
+// several shard counts and pool widths. The 1536-node cluster pushes the
+// replay over the auditor's 1024-node threshold, so the stride-sampled
+// CheckShardedIndex sweep runs against real scheduling churn too.
+func TestShardedReplayMatchesFlat(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := Synthesize(11, GenConfig{Jobs: 260, SpanHours: 48, MaxNodes: 32})
+	MapPrograms(11, jobs, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.8)
+	cfg := DefaultSimConfig(1536, SNS)
+
+	want, err := Simulate(jobs, db, node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 7} {
+		for _, w := range []int{1, 4, 7} {
+			prev := par.SetWorkers(w)
+			scfg := cfg
+			scfg.Shards = shards
+			got, err := Simulate(jobs, db, node, scfg)
+			par.SetWorkers(prev)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, w, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d workers=%d: sharded replay differs from flat cached replay", shards, w)
+			}
+		}
+	}
+}
+
+// TestShardedReplayAcrossPolicies covers the non-SNS policies' search
+// paths under sharding (CS and TwoSlot place through ascendFree and the
+// slot scan, which read the flat index; SNS exercises FindDemand) — the
+// whole replay must stay bit-identical regardless.
+func TestShardedReplayAcrossPolicies(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := Synthesize(13, GenConfig{Jobs: 120, SpanHours: 24, MaxNodes: 16})
+	MapPrograms(13, jobs, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.8)
+	for _, p := range []Policy{CE, CS, SNS, TwoSlot} {
+		cfg := DefaultSimConfig(256, p)
+		want, err := Simulate(jobs, db, node, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Shards = 5
+		got, err := Simulate(jobs, db, node, cfg)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sharded replay differs from flat replay", p)
+		}
+	}
+}

@@ -53,6 +53,12 @@ type SimConfig struct {
 	// equivalence tests and benchmarks compare against. The two paths
 	// produce bit-identical placements; only the cost differs.
 	NoScoreCache bool
+	// Shards, when > 0, partitions the kernel into that many node-range
+	// shards and fans placement queries over them concurrently (width =
+	// par.Workers() at replay start). Placements stay bit-identical to
+	// the flat kernel at any shard count; Shards takes precedence over
+	// the flat score cache (each shard carries its own).
+	Shards int
 }
 
 // DefaultSimConfig returns the paper's settings for a cluster size.
@@ -159,7 +165,12 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 		MaxScale:     cfg.MaxScale,
 		HasIntensive: state.HasIntensive,
 	}
-	if !cfg.NoScoreCache {
+	switch {
+	case cfg.Shards > 0:
+		ss := state.Shard(cfg.Shards)
+		s.search.UseShards(ss)
+		defer ss.Close()
+	case !cfg.NoScoreCache:
 		cache := placement.NewScoreCache(cfg.ClusterNodes, node.Cores.Int())
 		state.SetOnChange(cache.Invalidate)
 		s.search.Cache = cache
@@ -177,6 +188,7 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 			if aud.Begin() {
 				aud.CheckSimState(s.state)
 				aud.CheckScoreCache(s.search)
+				aud.CheckShardedIndex(s.search)
 			}
 		}
 	}

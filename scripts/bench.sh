@@ -8,8 +8,10 @@
 # (BENCH_PR2.json); PR 5 covers the incremental score cache and the
 # deterministic parallel runner: the Trace32K replay set (now cached),
 # the cached-vs-uncached gate replay pair, and the parallel-speedup-x
-# metric (BENCH_PR5.json). Pass "pr1", "pr2" or "pr5" to run one set;
-# default is all.
+# metric (BENCH_PR5.json); PR 6 covers the sharded placement kernel:
+# the 256K/1M-node gate replays sharded versus flat plus the
+# shard-speedup-x metric (BENCH_PR6.json). Pass "pr1", "pr2", "pr5" or
+# "pr6" to run one set; default is all.
 #
 # The figure-level and trace-replay targets run with -benchtime=1x: the
 # figure studies are cached across b.N iterations (see bench_test.go),
@@ -127,4 +129,30 @@ EOF
 EOF
 	} >BENCH_PR5.json
 	echo "wrote BENCH_PR5.json"
+fi
+
+if [[ "$which" == "all" || "$which" == "pr6" ]]; then
+	: >"$tmp"
+	go test -run '^$' -bench 'ShardedReplay256K|UnshardedReplay256K|ShardedReplay1M|UnshardedReplay1M' -benchmem -benchtime=1x . | tee -a "$tmp"
+	go test -run '^$' -bench 'ShardedKernel' -benchtime=1x . | tee -a "$tmp"
+
+	{
+		cat <<'EOF'
+{
+  "issue": "PR 6: sharded placement kernel \u2014 concurrent deterministic search over 256K-1M-node clusters",
+  "note": "baseline is the flat cached kernel on the same tree (the Unsharded rows, frozen from this recording), so the pairs isolate what sharding itself costs and buys. avg-turn-s must be bit-identical between each sharded/unsharded pair \u2014 that is the determinism contract, gated everywhere by TestShardedReplayMatchesFlat and the placement equivalence suite. shard-speedup-x is flat-vs-64-shard wall clock of the 256K gate replay at full pool width; on a single-CPU machine (this recording) it is ~0.8 \u2014 the fan-out's serial overhead with nothing to overlap it \u2014 and TestShardedReplaySpeedup gates >=3x where >=4 CPUs exist. The sharded rows allocate less than flat at 256K because each shard's score cache flushes and consolidates smaller arrays.",
+  "baseline": [
+    {"name": "BenchmarkUnshardedReplay256K", "iterations": 1, "metrics": {"ns/op": 313552945, "avg-turn-s": 1780, "B/op": 207312368, "allocs/op": 10120}},
+    {"name": "BenchmarkUnshardedReplay1M", "iterations": 1, "metrics": {"ns/op": 372403718, "avg-turn-s": 1780, "B/op": 416019952, "allocs/op": 10123}},
+    {"name": "BenchmarkShardedKernel", "iterations": 1, "metrics": {"shard-speedup-x": 1.0, "workers": 1}}
+  ],
+  "current": [
+EOF
+		emit_current
+		cat <<'EOF'
+  ]
+}
+EOF
+	} >BENCH_PR6.json
+	echo "wrote BENCH_PR6.json"
 fi

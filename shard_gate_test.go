@@ -1,0 +1,80 @@
+// The PR 6 performance gates. The sharded-kernel gate certifies the
+// concurrent search on the regime it exists for — search-dominated
+// replays on 256K-1M-node clusters, where each placement query flushes
+// and walks per-shard score caches that the shards scan in parallel.
+// Placements must stay bit-identical to the flat kernel at any shard
+// count (gated everywhere by TestShardedReplayMatchesFlat and the
+// placement package's equivalence suite); the speedup gate additionally
+// requires real parallel hardware.
+package spreadnshare
+
+import (
+	"runtime"
+	"testing"
+
+	"spreadnshare/internal/experiments"
+	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/trace"
+)
+
+// shardGateTrace is the fan-out-dominated workload at 256K-node scale:
+// 600 jobs of up to 4,096 nodes each, so every placement query collects
+// thousands of candidates across the shard set and the per-query
+// parallel scan is what the clock measures. (The sharded kernel's
+// serial overhead on this shape is ~1.1x — see BENCH_PR6.json — so the
+// fan-out has the most room to win here.)
+func shardGateTrace(tb testing.TB) []trace.Job {
+	tb.Helper()
+	jobs := trace.Synthesize(47, trace.GenConfig{Jobs: 600, SpanHours: 300, MaxNodes: 4096})
+	trace.MapPrograms(47, jobs,
+		experiments.TraceScalingPrograms, experiments.TraceOtherPrograms, 0.9)
+	return jobs
+}
+
+// TestShardedReplaySpeedup enforces the >=3x gate on multi-core
+// machines: the 64-shard SNS replay of the big-job 256K-node workload
+// must beat the flat cached replay by at least 3x while producing the
+// bit-identical average turnaround. Machines without at least 4 CPUs
+// skip — a shard fan-out cannot overlap anything there — but the
+// bit-identical-placement half of the contract still runs everywhere
+// via the equivalence tests.
+func TestShardedReplaySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup gate needs benchmark runs")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("shard speedup needs >=4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	t.Cleanup(invariant.Pause())
+	env, err := experiments.SharedEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := shardGateTrace(t)
+	turns := map[int]float64{}
+	run := func(shards int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := trace.DefaultSimConfig(262144, trace.SNS)
+				cfg.Shards = shards
+				r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				turns[shards] = r.AvgTurn
+			}
+		})
+	}
+	sharded := run(64)
+	flat := run(0)
+	if turns[64] != turns[0] {
+		t.Fatalf("sharded replay avg turnaround %v != flat %v — sharding changed placements",
+			turns[64], turns[0])
+	}
+	speedup := float64(flat.NsPerOp()) / float64(sharded.NsPerOp())
+	t.Logf("sharded %v/op, flat %v/op, speedup %.1fx (avg turnaround %.6f both)",
+		sharded.NsPerOp(), flat.NsPerOp(), speedup, turns[0])
+	if speedup < 3 {
+		t.Errorf("sharded replay only %.2fx faster than flat, gate is 3x", speedup)
+	}
+}
