@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-pr5 bench-pr6 figures
+.PHONY: build test vet lint race check bench bench-pr5 bench-pr6 bench-pr7 smoke figures
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,8 @@ check: build vet lint race
 
 # bench reruns every performance PR's benchmark set and rewrites the
 # BENCH_PR<n>.json files; bench-pr5 reruns only the score-cache /
-# parallel-runner set, bench-pr6 only the sharded-kernel set.
+# parallel-runner set, bench-pr6 only the sharded-kernel set, bench-pr7
+# only the service admission / daemon-latency set.
 bench:
 	scripts/bench.sh
 
@@ -36,6 +37,14 @@ bench-pr5:
 
 bench-pr6:
 	scripts/bench.sh pr6
+
+bench-pr7:
+	scripts/bench.sh pr7
+
+# smoke runs the end-to-end scheduler-as-a-service test: daemon up, load
+# through the REST API, SIGTERM with snapshot, restore, dedup replay.
+smoke:
+	scripts/smoke.sh
 
 # figures regenerates every paper figure as tables on stdout.
 figures:

@@ -231,3 +231,56 @@ func TestDaemonInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestActuateDefragmentsFragmentedWays drives the Defragment-and-retry
+// path: after interleaved allocations and a release, the LLC holds
+// enough free ways for a new job but no contiguous run — Actuate must
+// repack the live partitions and satisfy the request instead of failing.
+func TestActuateDefragmentsFragmentedWays(t *testing.T) {
+	cat := testCatalog(t)
+	mg, _ := cat.Lookup("MG")
+	d := New(0, hw.DefaultNodeSpec()) // 20 LLC ways
+
+	// A: ways 0-5, B: 6-11, C: 12-17; 18-19 stay free.
+	for job := 1; job <= 3; job++ {
+		if _, err := d.Actuate(job, mg, 4, 6, 0); err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+	}
+	// Releasing B frees 6-11: 8 ways free, but the largest contiguous
+	// run is 6 — an 8-way request only fits after defragmentation.
+	if err := d.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := d.Actuate(4, mg, 4, 8, 0)
+	if err != nil {
+		t.Fatalf("fragmented 8-way request not repacked: %v", err)
+	}
+	if plan.WayMask.Count() != 8 || !plan.WayMask.Contiguous() {
+		t.Fatalf("defragmented mask = %v, want 8 contiguous ways", plan.WayMask)
+	}
+	// Survivors keep their sizes, stay contiguous, and stay disjoint.
+	masks := []hw.WayMask{plan.WayMask}
+	for _, job := range []int{1, 3} {
+		m, ok := d.ways.Mask(job)
+		if !ok {
+			t.Fatalf("job %d lost its partition in defragmentation", job)
+		}
+		if m.Count() != 6 || !m.Contiguous() {
+			t.Fatalf("job %d repacked to %v, want 6 contiguous ways", job, m)
+		}
+		masks = append(masks, m)
+	}
+	for i := range masks {
+		for j := i + 1; j < len(masks); j++ {
+			if masks[i].Overlaps(masks[j]) {
+				t.Fatalf("partitions overlap after defragmentation: %v, %v", masks[i], masks[j])
+			}
+		}
+	}
+	// The LLC is now exactly full: a further managed request must fail
+	// outright (free ways < requested, so no defrag retry can save it).
+	if _, err := d.Actuate(5, mg, 2, 4, 0); err == nil {
+		t.Error("over-full LLC request accepted")
+	}
+}

@@ -239,6 +239,7 @@ var DeterministicPackages = map[string]bool{
 	"spreadnshare/internal/core":        true,
 	"spreadnshare/internal/units":       true,
 	"spreadnshare/internal/par":         true,
+	"spreadnshare/internal/svc":         true,
 }
 
 // isFloat reports whether t is a floating-point type (after unaliasing).

@@ -71,6 +71,23 @@ func (q *Pending) First() (Item, bool) {
 	return q.items[0], true
 }
 
+// Remove deletes the queued job with the given id, preserving the
+// relative order of the remaining items. It reports whether the job was
+// queued. The live scheduler core's cancel path is the caller; the
+// simulators never remove jobs except by placing them.
+func (q *Pending) Remove(id int) bool {
+	for i := range q.items {
+		if q.items[i].ID != id {
+			continue
+		}
+		copy(q.items[i:], q.items[i+1:])
+		q.items[len(q.items)-1] = Item{}
+		q.items = q.items[:len(q.items)-1]
+		return true
+	}
+	return false
+}
+
 // Schedule runs one scheduling pass at time now: rank the queue, then
 // offer jobs to try in rank order, removing those it accepts. try must
 // return true when the job was placed.

@@ -131,6 +131,29 @@ func (ss *ShardSet) update(gid, free int) {
 	sh.cache.Invalidate(lid)
 }
 
+// updateSpan mirrors one event's whole batch of reservation changes into
+// the shards: every node in ids moves to its current free-core bucket
+// (read from the authoritative global index) and is dirtied in its
+// shard's cache. Consecutive ids that land in the same shard skip the
+// shardOf arithmetic, so a plan's contiguous node runs cost one route
+// each. State afterwards is identical to calling update once per id in
+// the same order.
+//
+//sns:hotpath
+func (ss *ShardSet) updateSpan(ids []int, global *CoreIndex) {
+	var sh *shard
+	lo, hi := 0, -1 // current shard's global id range [lo, hi]
+	for _, gid := range ids {
+		if gid < lo || gid > hi {
+			sh = &ss.shards[ss.shardOf(gid)]
+			lo, hi = sh.base, sh.base+sh.nodes-1
+		}
+		lid := gid - sh.base
+		sh.idx.Update(lid, global.Free(gid))
+		sh.cache.Invalidate(lid)
+	}
+}
+
 // seed syncs one node's free-core count during construction, without
 // dirtying the cache (a fresh ScoreCache already starts all-dirty).
 func (ss *ShardSet) seed(gid, free int) {

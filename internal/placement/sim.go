@@ -138,6 +138,62 @@ func (s *SimState) Reserve(id int, r Reservation) Reservation {
 	return r
 }
 
+// ReserveSpan applies one uniform, non-exclusive reservation prototype
+// to every node in ids — the common SNS/CS footprint shape, where a
+// placement reserves the same amount on thousands of nodes. It batches
+// the whole mutation per event: all capacity arrays are updated first,
+// then the sharded kernel ingests the span in one call, then the change
+// hook fires per node (the score cache's Invalidate is O(1) and
+// coalescing, so notification order carries no cost). The resulting
+// state, shard bookkeeping, and dirty sets are identical to calling
+// Reserve once per node in the same order.
+func (s *SimState) ReserveSpan(ids []int, r Reservation) {
+	if r.Exclusive {
+		panic("placement: ReserveSpan is for uniform reservations; exclusive takes resolve per node")
+	}
+	for _, id := range ids {
+		s.idx.Update(id, s.idx.Free(id)-r.Cores)
+		s.freeWays[id] -= r.Ways
+		s.freeBW[id] -= r.BW
+		s.freeMem[id] -= r.MemGB
+		s.freeIO[id] -= r.IOBW
+		if r.Intensive {
+			s.intensive[id]++
+		}
+	}
+	s.notifySpan(ids)
+}
+
+// ReleaseSpan undoes a uniform reservation applied by ReserveSpan (or by
+// per-node Reserve calls of the same prototype), with the same batched
+// shard/cache notification as ReserveSpan.
+func (s *SimState) ReleaseSpan(ids []int, r Reservation) {
+	for _, id := range ids {
+		s.idx.Update(id, s.idx.Free(id)+r.Cores)
+		s.freeWays[id] += r.Ways
+		s.freeBW[id] += r.BW
+		s.freeMem[id] += r.MemGB
+		s.freeIO[id] += r.IOBW
+		if r.Intensive {
+			s.intensive[id]--
+		}
+	}
+	s.notifySpan(ids)
+}
+
+// notifySpan feeds one event's whole mutated node set to the sharded
+// kernel and the change hook.
+func (s *SimState) notifySpan(ids []int) {
+	if s.shards != nil {
+		s.shards.updateSpan(ids, s.idx)
+	}
+	if s.onChange != nil {
+		for _, id := range ids {
+			s.onChange(id)
+		}
+	}
+}
+
 // Release undoes an effective reservation returned by Reserve.
 func (s *SimState) Release(id int, r Reservation) {
 	s.idx.Update(id, s.idx.Free(id)+r.Cores)

@@ -1,0 +1,143 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spreadnshare/internal/svc"
+	"spreadnshare/internal/trace"
+)
+
+// LoadConfig shapes a deterministic load run: the same seed and counts
+// always synthesize the same job stream (the trace generator underneath
+// is the repo's deterministic one), so two runs against equal daemons
+// submit identical work.
+type LoadConfig struct {
+	// Seed drives the synthesized stream.
+	Seed int64
+	// Jobs is how many submissions to replay.
+	Jobs int
+	// MaxNodes caps per-job footprints.
+	MaxNodes int
+	// CoresPerNode is the per-node process count (0: 16, the paper's
+	// testbed slice).
+	CoresPerNode int
+	// Concurrency is the number of parallel submitting clients (0: 8).
+	Concurrency int
+	// NamePrefix namespaces idempotency names ("" = "load"): job i
+	// submits as "<prefix>-<i>", so a rerun against a restored daemon
+	// deduplicates instead of double-submitting.
+	NamePrefix string
+}
+
+// LoadResult is one load run's accounting.
+type LoadResult struct {
+	Submitted int
+	// Deduped counts submissions the daemon resolved to an existing job
+	// (idempotent retries after a restart).
+	Deduped int
+	Failed  int
+	Wall    time.Duration
+	// Submission latency distribution: accepted-to-applied, per job.
+	P50, P90, P99, Max time.Duration
+}
+
+func (r *LoadResult) String() string {
+	return fmt.Sprintf("submitted=%d deduped=%d failed=%d wall=%s p50=%s p90=%s p99=%s max=%s",
+		r.Submitted, r.Deduped, r.Failed, r.Wall.Round(time.Microsecond),
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// RunLoad replays a synthesized arrival stream against a daemon,
+// recording per-submission latency (POST accepted to op applied). The
+// submitters run flat out, so a small Concurrency with a large Jobs
+// count produces exactly the sustained burst the daemon's batched
+// admission is built for.
+func RunLoad(c *Client, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("api: load needs jobs, got %d", cfg.Jobs)
+	}
+	if cfg.MaxNodes <= 0 {
+		return nil, fmt.Errorf("api: load needs a max footprint, got %d", cfg.MaxNodes)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 16
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "load"
+	}
+	jobs := trace.Synthesize(cfg.Seed, trace.GenConfig{
+		Jobs: cfg.Jobs, SpanHours: 24, MaxNodes: cfg.MaxNodes,
+	})
+	trace.MapPrograms(cfg.Seed, jobs, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.7)
+
+	lats := make([]time.Duration, len(jobs))
+	outcomes := make([]int, len(jobs)) // 0 submitted, 1 deduped, 2 failed
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				spec := specFor(jobs[i], cfg, i)
+				t0 := time.Now()
+				op, err := c.Submit(spec)
+				if err == nil {
+					op, err = c.WaitOp(op.ID)
+				}
+				lats[i] = time.Since(t0)
+				switch {
+				case err != nil:
+					outcomes[i] = 2
+				case op.Deduped:
+					outcomes[i] = 1
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	res := &LoadResult{Wall: time.Since(start)}
+	for i := range outcomes {
+		switch outcomes[i] {
+		case 0:
+			res.Submitted++
+		case 1:
+			res.Deduped++
+		case 2:
+			res.Failed++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		k := int(p * float64(len(lats)-1))
+		return lats[k]
+	}
+	res.P50, res.P90, res.P99, res.Max = pct(0.50), pct(0.90), pct(0.99), lats[len(lats)-1]
+	return res, nil
+}
+
+// specFor maps a synthesized trace job to a daemon submission.
+func specFor(j trace.Job, cfg LoadConfig, i int) svc.JobSpec {
+	return svc.JobSpec{
+		Name:         fmt.Sprintf("%s-%d", cfg.NamePrefix, i),
+		Program:      j.Program,
+		BaseNodes:    j.Nodes,
+		CoresPerNode: cfg.CoresPerNode,
+		RuntimeSec:   j.RuntimeSec,
+		Alpha:        0.9,
+		MultiNode:    true,
+	}
+}

@@ -1,0 +1,338 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+
+	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/placement"
+)
+
+// ErrDuplicate is returned by Submit when the spec's Name is already
+// taken; the accompanying *Job is the existing record, so idempotent
+// clients treat it as success.
+var ErrDuplicate = errors.New("svc: job name already submitted")
+
+// Cluster is the live scheduler core: one cluster's mutable online
+// state. Not safe for concurrent use — confine it to one goroutine (the
+// daemon's scheduler loop) or one event loop (the simulators).
+type Cluster struct {
+	cfg     Config
+	state   *placement.SimState
+	search  *placement.Search
+	pending *placement.Pending
+	jobs    []*Job
+	byName  map[string]int
+	counts  [4]int // jobs per JobState
+
+	shards *placement.ShardSet
+	audit  func(now float64)
+	placed []*Job // ScheduleRound result scratch
+}
+
+// New builds an all-idle live cluster core.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("svc: cluster needs nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("svc: negative shard count %d", cfg.Shards)
+	}
+	if err := cfg.Node.Validate(); err != nil {
+		return nil, fmt.Errorf("svc: bad node spec: %w", err)
+	}
+	state := placement.NewSimState(cfg.Node, cfg.Nodes)
+	c := &Cluster{
+		cfg:     cfg,
+		state:   state,
+		pending: &placement.Pending{AgingPeriodSec: cfg.AgingPeriodSec, ScanDepth: cfg.ScanDepth},
+		byName:  make(map[string]int),
+	}
+	c.search = &placement.Search{
+		View:         state,
+		Idx:          state.Index(),
+		Spec:         cfg.Node,
+		Nodes:        cfg.Nodes,
+		MaxScale:     cfg.MaxScale,
+		HasIntensive: state.HasIntensive,
+	}
+	switch {
+	case cfg.Shards > 0:
+		c.shards = state.Shard(cfg.Shards)
+		c.search.UseShards(c.shards)
+	case !cfg.NoScoreCache:
+		cache := placement.NewScoreCache(cfg.Nodes, cfg.Node.Cores.Int())
+		state.SetOnChange(cache.Invalidate)
+		c.search.Cache = cache
+	}
+	if invariant.Active() {
+		label := cfg.AuditLabel
+		if label == "" {
+			label = "svc"
+		}
+		aud := invariant.New(label)
+		// A full SimState sweep is O(nodes); on paper-scale clusters
+		// (4K-32K nodes) sample every 64th scheduling point so the
+		// audit does not dominate the scheduling it is checking.
+		if cfg.Nodes > 1024 {
+			aud.Stride = 64
+		}
+		c.audit = func(now float64) {
+			aud.ObserveQueue(now, c.pending)
+			if aud.Begin() {
+				aud.CheckSimState(c.state)
+				aud.CheckScoreCache(c.search)
+				aud.CheckShardedIndex(c.search)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Close releases the sharded kernel's worker pool, if any. The core
+// stays usable afterwards; sharded queries just run serially.
+func (c *Cluster) Close() {
+	if c.shards != nil {
+		c.shards.Close()
+	}
+}
+
+// Config returns the core's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Len returns the cluster size in nodes.
+func (c *Cluster) Len() int { return c.cfg.Nodes }
+
+// Submitted returns how many jobs the core has ever admitted.
+func (c *Cluster) Submitted() int { return len(c.jobs) }
+
+// QueuedLen returns the number of jobs waiting for placement.
+func (c *Cluster) QueuedLen() int { return c.pending.Len() }
+
+// MaxFreeCores returns the largest free-core count on any node — the
+// capacity bound quoted by stuck-placement diagnostics.
+func (c *Cluster) MaxFreeCores() int { return c.state.MaxFreeCores() }
+
+// Job returns the job with the given core ID.
+func (c *Cluster) Job(id int) (*Job, bool) {
+	if id < 0 || id >= len(c.jobs) {
+		return nil, false
+	}
+	return c.jobs[id], true
+}
+
+// JobByName returns the job submitted under the given dedup name.
+func (c *Cluster) JobByName(name string) (*Job, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return c.jobs[id], true
+}
+
+// Each visits every admitted job in ID order.
+func (c *Cluster) Each(fn func(*Job)) {
+	for _, j := range c.jobs {
+		fn(j)
+	}
+}
+
+// FirstQueued returns the highest-ranked stuck job as of the last
+// scheduling round, or false when nothing is queued.
+func (c *Cluster) FirstQueued() (*Job, bool) {
+	it, ok := c.pending.First()
+	if !ok {
+		return nil, false
+	}
+	return c.jobs[it.ID], true
+}
+
+// Stats summarizes the core's current occupancy.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Nodes:        c.cfg.Nodes,
+		Submitted:    len(c.jobs),
+		Queued:       c.counts[Queued],
+		Running:      c.counts[Running],
+		Done:         c.counts[Done],
+		Cancelled:    c.counts[Cancelled],
+		MaxFreeCores: c.state.MaxFreeCores(),
+	}
+}
+
+// Submit admits one job into the pending queue at time now and returns
+// its record. It does not run a placement round: callers batch any
+// number of Submits at one timestamp and then call ScheduleRound once —
+// the batched-admission invariant guarantees the same placements as a
+// round per Submit. A spec whose Name is already taken returns the
+// existing job and ErrDuplicate.
+func (c *Cluster) Submit(spec JobSpec, now float64) (*Job, error) {
+	if spec.Name != "" {
+		if id, ok := c.byName[spec.Name]; ok {
+			return c.jobs[id], ErrDuplicate
+		}
+	}
+	if spec.BaseNodes <= 0 || spec.BaseNodes > c.cfg.Nodes {
+		return nil, fmt.Errorf("svc: job needs %d nodes on a %d-node cluster", spec.BaseNodes, c.cfg.Nodes)
+	}
+	if spec.CoresPerNode <= 0 || spec.CoresPerNode > c.cfg.Node.Cores.Int() {
+		return nil, fmt.Errorf("svc: job wants %d cores per node, nodes have %d", spec.CoresPerNode, c.cfg.Node.Cores.Int())
+	}
+	if spec.RuntimeSec < 0 {
+		return nil, fmt.Errorf("svc: negative runtime %g", spec.RuntimeSec)
+	}
+	j := &Job{
+		ID:        len(c.jobs),
+		Spec:      spec,
+		State:     Queued,
+		SubmitSec: now,
+	}
+	j.req = c.buildReq(&j.Spec)
+	c.jobs = append(c.jobs, j)
+	if spec.Name != "" {
+		c.byName[spec.Name] = j.ID
+	}
+	c.counts[Queued]++
+	// The job's dense ID doubles as the queue's deterministic tie-break
+	// (admission order).
+	c.pending.Push(j.ID, now, spec.Priority, j.ID)
+	return j, nil
+}
+
+// buildReq translates a spec into the kernel request the configured
+// policy consumes: SNS reads the scale profile, TwoSlot the intensive
+// classification, every policy the footprint and alpha.
+func (c *Cluster) buildReq(spec *JobSpec) placement.Request {
+	req := placement.Request{
+		BaseNodes:    spec.BaseNodes,
+		CoresPerNode: spec.CoresPerNode,
+		MemGBPerProc: spec.MemGBPerProc,
+		Alpha:        spec.Alpha,
+		MultiNode:    spec.MultiNode,
+	}
+	switch c.cfg.Policy {
+	case placement.SNS:
+		req.Profile = spec.Profile
+	case placement.TwoSlot:
+		req.Intensive = spec.Intensive
+	}
+	return req
+}
+
+// ScheduleRound runs one admission round at time now: rank the pending
+// queue, try placements in rank order (bounded backfill per ScanDepth),
+// and launch every job the kernel accepts, predicting its completion
+// with the runtime model. It returns the jobs placed this round; the
+// slice is reused by the next round, so callers consume it immediately.
+func (c *Cluster) ScheduleRound(now float64, model RuntimeModel) []*Job {
+	if c.audit != nil {
+		c.audit(now)
+	}
+	c.placed = c.placed[:0]
+	c.pending.Schedule(now, func(id int) bool {
+		j := c.jobs[id]
+		pl := c.search.Place(c.cfg.Policy, j.req)
+		if pl == nil {
+			return false
+		}
+		c.launch(j, pl, now, model)
+		c.placed = append(c.placed, j)
+		return true
+	})
+	return c.placed
+}
+
+// launch reserves a plan's resources and transitions the job to Running.
+func (c *Cluster) launch(j *Job, pl *placement.Plan, now float64, model RuntimeModel) {
+	j.uniform = !pl.Exclusive
+	for i := 1; i < len(pl.Cores) && j.uniform; i++ {
+		j.uniform = pl.Cores[i] == pl.Cores[0]
+	}
+	if j.uniform {
+		// Non-exclusive uniform reservations come back from Reserve
+		// unchanged, so one prototype stands in for every node's record
+		// and the whole mutation batches into one span call.
+		j.res0 = placement.Reservation{
+			Cores:     pl.Cores[0],
+			Ways:      pl.Ways,
+			BW:        pl.BW,
+			IOBW:      pl.IOBW,
+			Intensive: j.req.Intensive,
+		}
+		c.state.ReserveSpan(pl.Nodes, j.res0)
+	} else {
+		j.res = make([]placement.Reservation, len(pl.Nodes))
+		for i, id := range pl.Nodes {
+			j.res[i] = c.state.Reserve(id, placement.Reservation{
+				Cores:     pl.Cores[i],
+				Ways:      pl.Ways,
+				BW:        pl.BW,
+				IOBW:      pl.IOBW,
+				Exclusive: pl.Exclusive,
+				Intensive: j.req.Intensive,
+			})
+		}
+	}
+	j.StartSec = now
+	j.FinishSec = now + model(j, pl)
+	j.Scale = pl.K
+	j.NodesUsed = len(pl.Nodes)
+	j.Nodes = pl.Nodes
+	c.setState(j, Running)
+}
+
+// Complete releases a running job's resources and marks it Done. The
+// caller owns the clock, so it also decides whether now is the job's
+// predicted FinishSec (simulators) or an observed completion (daemon);
+// the record keeps the actual value.
+func (c *Cluster) Complete(id int, now float64) error {
+	j, ok := c.Job(id)
+	if !ok {
+		return fmt.Errorf("svc: complete: unknown job %d", id)
+	}
+	if j.State != Running {
+		return fmt.Errorf("svc: complete: job %d is %s, not running", id, j.State)
+	}
+	c.release(j)
+	j.FinishSec = now
+	c.setState(j, Done)
+	return nil
+}
+
+// Cancel withdraws a queued job or kills a running one at time now.
+// Done and already-cancelled jobs cannot be cancelled.
+func (c *Cluster) Cancel(id int, now float64) error {
+	j, ok := c.Job(id)
+	if !ok {
+		return fmt.Errorf("svc: cancel: unknown job %d", id)
+	}
+	switch j.State {
+	case Queued:
+		c.pending.Remove(id)
+	case Running:
+		c.release(j)
+		j.FinishSec = now
+	default:
+		return fmt.Errorf("svc: cancel: job %d already %s", id, j.State)
+	}
+	c.setState(j, Cancelled)
+	return nil
+}
+
+// release returns a job's effective reservations to the cluster.
+func (c *Cluster) release(j *Job) {
+	if j.uniform {
+		c.state.ReleaseSpan(j.Nodes, j.res0)
+	} else {
+		for i, id := range j.Nodes {
+			c.state.Release(id, j.res[i])
+		}
+	}
+}
+
+// setState moves a job between lifecycle states, keeping the counts.
+func (c *Cluster) setState(j *Job, s JobState) {
+	c.counts[j.State]--
+	c.counts[s]++
+	j.State = s
+}

@@ -1,0 +1,103 @@
+package svc
+
+import (
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/placement"
+	"spreadnshare/internal/profiler"
+)
+
+// RuntimeModel predicts a placed job's run duration in seconds. The core
+// calls it once per launch; simulators schedule the completion event at
+// the returned horizon and the daemon arms a timer.
+type RuntimeModel func(j *Job, pl *placement.Plan) float64
+
+// PolicyRuntime returns the paper's runtime model for a policy on a node
+// spec (previously the trace replay's private model; Section 6.4). The
+// job's RuntimeSec is its CE (compact, exclusive) runtime; the program's
+// scale profile supplies the corrections:
+//
+//   - SNS: the profiled exclusive times give the speedup of the chosen
+//     scale, and the (c, w, b) reservation protects it from neighbors.
+//   - CS: the same scaling ratio (when the footprint was grown), but
+//     sharing is unmanaged — the job runs with only its fair share of the
+//     LLC, so the profiled IPC ratio at that share becomes a slowdown.
+//   - TwoSlot: no scaling; a half-node slot implies half the LLC.
+//
+// A nil profile (an unprofiled program on the daemon's live path) falls
+// back to the base runtime; the trace replay never submits one for the
+// policies that read it.
+func PolicyRuntime(p placement.Policy, spec hw.NodeSpec) RuntimeModel {
+	return func(j *Job, pl *placement.Plan) float64 {
+		base := j.Spec.RuntimeSec
+		prof := j.Spec.Profile
+		switch p {
+		case placement.CE:
+			return base
+		case placement.SNS:
+			if prof == nil {
+				return base
+			}
+			bs := baseScale(prof)
+			sp, ok := prof.AtK(pl.K)
+			if !ok {
+				sp = bs
+			}
+			return base * sp.TimeSec / bs.TimeSec
+		case placement.CS:
+			if prof == nil {
+				return base
+			}
+			bs := baseScale(prof)
+			sp, ok := prof.AtK(pl.K)
+			ratio := 1.0
+			if ok {
+				ratio = sp.TimeSec / bs.TimeSec
+			} else {
+				sp = bs
+			}
+			return base * ratio * cachePenalty(sp, fairWays(spec, pl.Cores[0]))
+		case placement.TwoSlot:
+			if prof == nil {
+				return base
+			}
+			return base * cachePenalty(baseScale(prof), spec.LLCWays.Int()/2)
+		}
+		return base
+	}
+}
+
+// baseScale returns the compact-run reference profile (K=1, or the first
+// recorded scale when the compact run is missing).
+func baseScale(p *profiler.Profile) *profiler.ScaleProfile {
+	if sp, ok := p.AtK(1); ok {
+		return sp
+	}
+	return &p.Scales[0]
+}
+
+// fairWays is a co-located job's LLC fair share given its core share.
+func fairWays(spec hw.NodeSpec, cores int) int {
+	w := spec.LLCWays.Int() * cores / spec.Cores.Int()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cachePenalty is the static unmanaged-sharing slowdown of running with w
+// LLC ways instead of the full cache: the profiled IPC ratio.
+func cachePenalty(sp *profiler.ScaleProfile, w int) float64 {
+	full := sp.IPCAt(sp.FullWays())
+	part := sp.IPCAt(w)
+	if full <= 0 || part <= 0 {
+		return 1
+	}
+	return full / part
+}
+
+// BWIntensive classifies a program for TwoSlot pairing: its compact-run
+// bandwidth drains more than a third of the node's peak.
+func BWIntensive(p *profiler.Profile, spec hw.NodeSpec) bool {
+	base := baseScale(p)
+	return base.BWAt(base.FullWays()) > spec.PeakBandwidth.Float64()/3
+}

@@ -1,0 +1,181 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spreadnshare/internal/placement"
+	"spreadnshare/internal/profiler"
+)
+
+// snapshotVersion guards the wire format; Restore rejects mismatches
+// instead of misreading a stale file.
+const snapshotVersion = 1
+
+// snapshot is the serialized form of a whole core: configuration, every
+// job record (with the effective reservations running jobs must return
+// on completion), and the pending queue in its current order. Profiles
+// are not serialized — Restore re-resolves them by Program from a
+// profiler.DB — and neither is the clock: timestamps are core seconds,
+// and the driver that owns the clock persists its own epoch alongside.
+type snapshot struct {
+	Version int         `json:"version"`
+	Config  Config      `json:"config"`
+	Jobs    []jobRecord `json:"jobs"`
+	Queue   []queueItem `json:"queue"`
+}
+
+// jobRecord mirrors Job plus its unexported release bookkeeping.
+type jobRecord struct {
+	ID        int      `json:"id"`
+	Spec      JobSpec  `json:"spec"`
+	State     JobState `json:"state"`
+	SubmitSec float64  `json:"submit_sec"`
+	StartSec  float64  `json:"start_sec"`
+	FinishSec float64  `json:"finish_sec"`
+	Scale     int      `json:"scale,omitempty"`
+	NodesUsed int      `json:"nodes_used,omitempty"`
+	Nodes     []int    `json:"nodes,omitempty"`
+
+	Uniform bool                    `json:"uniform,omitempty"`
+	Res0    placement.Reservation   `json:"res0,omitempty"`
+	Res     []placement.Reservation `json:"res,omitempty"`
+}
+
+// queueItem mirrors placement.Item.
+type queueItem struct {
+	ID       int     `json:"id"`
+	Submit   float64 `json:"submit"`
+	Priority int     `json:"priority,omitempty"`
+	Order    int     `json:"order"`
+}
+
+// Snapshot serializes the core's full state — every job, the effective
+// reservations of running jobs, and the pending queue — so a daemon can
+// survive a restart. Take it only between scheduling rounds (the daemon's
+// scheduler loop owns the core, so any point in its loop qualifies).
+func (c *Cluster) Snapshot(w io.Writer) error {
+	s := snapshot{
+		Version: snapshotVersion,
+		Config:  c.cfg,
+		Jobs:    make([]jobRecord, 0, len(c.jobs)),
+	}
+	for _, j := range c.jobs {
+		s.Jobs = append(s.Jobs, jobRecord{
+			ID:        j.ID,
+			Spec:      j.Spec,
+			State:     j.State,
+			SubmitSec: j.SubmitSec,
+			StartSec:  j.StartSec,
+			FinishSec: j.FinishSec,
+			Scale:     j.Scale,
+			NodesUsed: j.NodesUsed,
+			Nodes:     j.Nodes,
+			Uniform:   j.uniform,
+			Res0:      j.res0,
+			Res:       j.res,
+		})
+	}
+	c.pending.Each(func(it placement.Item) {
+		s.Queue = append(s.Queue, queueItem{
+			ID: it.ID, Submit: it.Submit, Priority: it.Priority, Order: it.Order,
+		})
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(&s)
+}
+
+// Restore rebuilds a core from a Snapshot stream: jobs are re-admitted
+// with their recorded lifecycle, running jobs re-apply their effective
+// reservations (bit-identical capacity state), and the pending queue
+// comes back in its snapshotted order, so the next scheduling round
+// behaves exactly as it would have on the original process. Profiles are
+// re-resolved from db by program name; db may be nil when no job carries
+// a program.
+func Restore(r io.Reader, db *profiler.DB) (*Cluster, error) {
+	var s snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("svc: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("svc: snapshot version %d, this build reads %d", s.Version, snapshotVersion)
+	}
+	c, err := New(s.Config)
+	if err != nil {
+		return nil, fmt.Errorf("svc: restoring config: %w", err)
+	}
+	for i := range s.Jobs {
+		rec := &s.Jobs[i]
+		if rec.ID != i {
+			return nil, fmt.Errorf("svc: snapshot job %d carries id %d (records must be dense and ordered)", i, rec.ID)
+		}
+		spec := rec.Spec
+		if spec.Program != "" && db != nil {
+			if p, ok := db.Get(spec.Program, spec.CoresPerNode); ok {
+				spec.Profile = p
+			} else if c.cfg.Policy != placement.CE && (rec.State == Queued || rec.State == Running) {
+				return nil, fmt.Errorf("svc: snapshot job %d program %q unprofiled at %d cores",
+					rec.ID, spec.Program, spec.CoresPerNode)
+			}
+		}
+		j := &Job{
+			ID:        rec.ID,
+			Spec:      spec,
+			State:     rec.State,
+			SubmitSec: rec.SubmitSec,
+			StartSec:  rec.StartSec,
+			FinishSec: rec.FinishSec,
+			Scale:     rec.Scale,
+			NodesUsed: rec.NodesUsed,
+			Nodes:     rec.Nodes,
+			uniform:   rec.Uniform,
+			res0:      rec.Res0,
+			res:       rec.Res,
+		}
+		j.req = c.buildReq(&j.Spec)
+		c.jobs = append(c.jobs, j)
+		if spec.Name != "" {
+			c.byName[spec.Name] = j.ID
+		}
+		c.counts[j.State]++
+		if j.State != Running {
+			continue
+		}
+		// Re-apply the effective reservations. Exclusive takes were
+		// already resolved to concrete core counts when first reserved,
+		// so the replayed form must not re-resolve against the (still
+		// idle) restored nodes.
+		for _, id := range j.Nodes {
+			if id < 0 || id >= c.cfg.Nodes {
+				return nil, fmt.Errorf("svc: snapshot job %d placed on node %d of a %d-node cluster",
+					j.ID, id, c.cfg.Nodes)
+			}
+		}
+		if j.uniform {
+			c.state.ReserveSpan(j.Nodes, j.res0)
+		} else {
+			if len(j.res) != len(j.Nodes) {
+				return nil, fmt.Errorf("svc: snapshot job %d has %d reservations for %d nodes",
+					j.ID, len(j.res), len(j.Nodes))
+			}
+			for i, id := range j.Nodes {
+				eff := j.res[i]
+				eff.Exclusive = false
+				c.state.Reserve(id, eff)
+			}
+		}
+	}
+	for _, it := range s.Queue {
+		j, ok := c.Job(it.ID)
+		if !ok || j.State != Queued {
+			return nil, fmt.Errorf("svc: snapshot queues job %d, which is not a queued job", it.ID)
+		}
+		c.pending.Push(it.ID, it.Submit, it.Priority, it.Order)
+	}
+	if q := c.pending.Len(); q != c.counts[Queued] {
+		return nil, fmt.Errorf("svc: snapshot queues %d jobs but %d are in state queued", q, c.counts[Queued])
+	}
+	return c, nil
+}

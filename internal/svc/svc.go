@@ -1,0 +1,171 @@
+// Package svc is the live scheduler core: the mutable online state of a
+// cluster admitting jobs as they arrive, extracted from the trace
+// replay's event loop so one admission implementation serves both the
+// closed-trace simulators and the long-running daemon (cmd/snsd).
+//
+// The core owns a placement.SimState (capacity bookkeeping + free-core
+// index, optionally sharded or score-cached), the aging placement.Pending
+// queue, and the job lifecycle:
+//
+//	submitted ── Submit ──▶ Queued ── ScheduleRound ──▶ Running ── Complete ──▶ Done
+//	                          │                            │
+//	                          └────────── Cancel ──────────┴──▶ Cancelled
+//
+// It is deliberately clock-free: every entry point takes `now` as a
+// parameter, so a discrete-event replay drives it with simulated seconds
+// and the daemon drives it with wall-derived virtual seconds, and the
+// same inputs always produce the same placements (the package is under
+// the determinism lint). A Cluster is single-owner: the daemon confines
+// it to one scheduler goroutine, the simulators to one event loop.
+//
+// Batched admission invariant (DESIGN.md "Scheduler as a service"): any
+// number of Submit calls at one timestamp followed by one ScheduleRound
+// places exactly the jobs, on exactly the nodes, that a ScheduleRound
+// after each Submit would have placed — placement is monotone in free
+// resources and rounds at a fixed timestamp are idempotent — so a burst
+// of thousands of submissions legally drains into a single round.
+package svc
+
+import (
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/placement"
+	"spreadnshare/internal/profiler"
+)
+
+// Config shapes a live cluster core.
+type Config struct {
+	// Node is the per-node hardware spec; Nodes the cluster size.
+	Node  hw.NodeSpec
+	Nodes int
+	// Policy is the placement strategy every admission round runs.
+	Policy placement.Policy
+	// MaxScale bounds the scale-factor search (SNS/CS).
+	MaxScale int
+	// ScanDepth bounds failed placement attempts per round (backfill
+	// depth; 0 = unlimited).
+	ScanDepth int
+	// AgingPeriodSec is the wait that promotes a queued job one
+	// priority level (<= 0: one second).
+	AgingPeriodSec float64
+	// NoScoreCache disables the incremental score cache (the
+	// from-scratch reference path; placements are bit-identical).
+	NoScoreCache bool
+	// Shards, when > 0, partitions the kernel into that many node-range
+	// shards scanned concurrently. Takes precedence over the flat score
+	// cache.
+	Shards int
+	// AuditLabel names the runtime invariant auditor attached when
+	// auditing is active ("" = "svc").
+	AuditLabel string
+}
+
+// JobState is a job's position in the core lifecycle.
+type JobState int32
+
+const (
+	// Queued: admitted to the pending queue, not yet placed.
+	Queued JobState = iota
+	// Running: placed; resources reserved until Complete or Cancel.
+	Running
+	// Done: completed; resources released.
+	Done
+	// Cancelled: withdrawn while queued, or killed while running.
+	Cancelled
+)
+
+// String renders the state for logs and API payloads.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Cancelled:
+		return "cancelled"
+	}
+	return "invalid"
+}
+
+// JobSpec describes one job to admit, independent of which layer
+// submits it (the trace replay or the daemon's REST handlers).
+type JobSpec struct {
+	// Name is the client's idempotency handle: a resubmission under a
+	// taken name returns the existing job instead of a duplicate ("" =
+	// no deduplication).
+	Name string `json:"name,omitempty"`
+	// Program is the job's program, the key profiles are resolved by.
+	Program string `json:"program,omitempty"`
+	// BaseNodes is the node footprint at scale factor 1.
+	BaseNodes int `json:"base_nodes"`
+	// CoresPerNode is the per-node process count at scale 1.
+	CoresPerNode int `json:"cores_per_node"`
+	// RuntimeSec is the job's base (compact, exclusive) runtime; the
+	// policy runtime model scales it for the chosen placement.
+	RuntimeSec float64 `json:"runtime_sec"`
+	// Alpha is the SNS slowdown threshold for demand estimation.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Priority is the base queue priority (higher first).
+	Priority int `json:"priority,omitempty"`
+	// MemGBPerProc is the per-process main-memory demand (0 =
+	// unaccounted).
+	MemGBPerProc float64 `json:"mem_gb_per_proc,omitempty"`
+	// MultiNode permits spreading over more nodes than BaseNodes.
+	MultiNode bool `json:"multi_node"`
+	// Intensive marks the job shared-resource intensive (TwoSlot).
+	Intensive bool `json:"intensive,omitempty"`
+	// Profile is the program's scale profile, consulted by SNS
+	// placement and the policy runtime models. It is resolved from a
+	// profiler.DB, never serialized: snapshots persist Program and
+	// Restore re-resolves.
+	Profile *profiler.Profile `json:"-"`
+}
+
+// Job is one admitted job's live record. Fields are written only by the
+// core; callers treat placed node lists as read-only.
+type Job struct {
+	// ID is the core-assigned handle: dense, ascending in admission
+	// order, and the queue's deterministic tie-break.
+	ID    int      `json:"id"`
+	Spec  JobSpec  `json:"spec"`
+	State JobState `json:"state"`
+	// SubmitSec/StartSec/FinishSec are core timestamps (simulated or
+	// virtual seconds). StartSec/FinishSec are zero until placed;
+	// FinishSec is the model-predicted completion once Running and the
+	// actual completion once Done.
+	SubmitSec float64 `json:"submit_sec"`
+	StartSec  float64 `json:"start_sec"`
+	FinishSec float64 `json:"finish_sec"`
+	// Scale is the chosen scale factor; NodesUsed the placed footprint.
+	Scale     int `json:"scale,omitempty"`
+	NodesUsed int `json:"nodes_used,omitempty"`
+	// Nodes is the placed node set, in the kernel's selection order.
+	Nodes []int `json:"nodes,omitempty"`
+
+	// req is the kernel request, rebuilt from Spec on restore.
+	req placement.Request
+	// res/res0/uniform hold the effective reservations to return on
+	// completion. The common footprint plan reserves the same amount on
+	// every node, recorded once in res0 (a 32K-node replay reserves
+	// ~19M node-slots; per-node records for each were the replay's
+	// dominant allocation); exclusive and TwoSlot plans resolve per
+	// node into res.
+	res     []placement.Reservation
+	res0    placement.Reservation
+	uniform bool
+}
+
+// Wait returns submit-to-start (only meaningful once placed).
+func (j *Job) Wait() float64 { return j.StartSec - j.SubmitSec }
+
+// Stats is a point-in-time cluster summary.
+type Stats struct {
+	Nodes        int `json:"nodes"`
+	Submitted    int `json:"submitted"`
+	Queued       int `json:"queued"`
+	Running      int `json:"running"`
+	Done         int `json:"done"`
+	Cancelled    int `json:"cancelled"`
+	MaxFreeCores int `json:"max_free_cores"`
+}

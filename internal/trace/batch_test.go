@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// burstyTrace synthesizes a trace and quantizes its submission times so
+// many jobs share each timestamp — the arrival shape batched admission
+// coalesces. Quantization preserves the sort order.
+func burstyTrace(seed int64, jobs int, stepSec float64) []Job {
+	t := Synthesize(seed, GenConfig{Jobs: jobs, SpanHours: 24, MaxNodes: 16})
+	MapPrograms(seed, t, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.7)
+	for i := range t {
+		t[i].SubmitSec = math.Floor(t[i].SubmitSec/stepSec) * stepSec
+	}
+	return t
+}
+
+// TestSimulateBatchedEquivalence is the acceptance gate for batched
+// admission: replaying a bursty trace through single rounds per burst
+// must be bit-identical to a round per submission, at every batch size.
+func TestSimulateBatchedEquivalence(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := burstyTrace(41, 400, 1800) // ~48 bursts of ~8 jobs
+	for _, pol := range []Policy{CE, SNS, TwoSlot} {
+		cfg := DefaultSimConfig(128, pol)
+		want, err := Simulate(jobs, db, node, cfg)
+		if err != nil {
+			t.Fatalf("%v serial: %v", pol, err)
+		}
+		for _, batch := range []int{1, 64, 4096} {
+			got, err := SimulateBatched(jobs, db, node, cfg, batch)
+			if err != nil {
+				t.Fatalf("%v batch %d: %v", pol, batch, err)
+			}
+			for i := range want.Jobs {
+				a, b := want.Jobs[i], got.Jobs[i]
+				if a.Start != b.Start || a.Finish != b.Finish || a.Scale != b.Scale || a.NodesUsed != b.NodesUsed { //lint:floateq bit-identity is the contract under test
+					t.Fatalf("%v batch %d job %d diverges: serial {%g %g %d %d}, batched {%g %g %d %d}",
+						pol, batch, i, a.Start, a.Finish, a.Scale, a.NodesUsed,
+						b.Start, b.Finish, b.Scale, b.NodesUsed)
+				}
+				for k := range a.Nodes {
+					if a.Nodes[k] != b.Nodes[k] {
+						t.Fatalf("%v batch %d job %d node sets diverge: %v vs %v",
+							pol, batch, i, a.Nodes, b.Nodes)
+					}
+				}
+			}
+			if want.Makespan != got.Makespan || want.AvgWait != got.AvgWait { //lint:floateq bit-identity is the contract under test
+				t.Fatalf("%v batch %d summaries diverge", pol, batch)
+			}
+		}
+	}
+}
+
+func TestSimulateBatchedRejectsBadBatch(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := burstyTrace(41, 10, 600)
+	for _, batch := range []int{0, -3} {
+		if _, err := SimulateBatched(jobs, db, node, DefaultSimConfig(64, CE), batch); err == nil {
+			t.Errorf("batch %d accepted", batch)
+		}
+	}
+}
+
+func TestSimConfigValidate(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := burstyTrace(7, 10, 600)
+	base := DefaultSimConfig(64, SNS)
+
+	if err := base.Validate(jobs, db, node); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	ceNoDB := DefaultSimConfig(64, CE)
+	if err := ceNoDB.Validate(jobs, nil, node); err != nil {
+		t.Fatalf("CE must not need a profile DB: %v", err)
+	}
+
+	mod := func(f func(*SimConfig)) SimConfig { c := base; f(&c); return c }
+	cases := []struct {
+		name string
+		cfg  SimConfig
+		jobs []Job
+		db   bool
+		want string
+	}{
+		{"zero nodes", mod(func(c *SimConfig) { c.ClusterNodes = 0 }), jobs, true, "cluster needs nodes"},
+		{"bad cores", mod(func(c *SimConfig) { c.CoresPerJobNode = 99 }), jobs, true, "CoresPerJobNode"},
+		{"negative shards", mod(func(c *SimConfig) { c.Shards = -2 }), jobs, true, "shard count"},
+		{"negative scan", mod(func(c *SimConfig) { c.ScanDepth = -1 }), jobs, true, "scan depth"},
+		{"no jobs", base, nil, true, "no jobs"},
+		{"nil db", base, jobs, false, "profile DB is nil"},
+		{"zero max scale", mod(func(c *SimConfig) { c.MaxScale = 0 }), jobs, true, "MaxScale"},
+		{"bad alpha", mod(func(c *SimConfig) { c.Alpha = 1.5 }), jobs, true, "Alpha"},
+	}
+	for _, tc := range cases {
+		d := db
+		if !tc.db {
+			d = nil
+		}
+		err := tc.cfg.Validate(tc.jobs, d, node)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

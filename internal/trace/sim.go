@@ -5,11 +5,11 @@ import (
 	"sort"
 
 	"spreadnshare/internal/hw"
-	"spreadnshare/internal/invariant"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
 	"spreadnshare/internal/sim"
 	"spreadnshare/internal/stats"
+	"spreadnshare/internal/svc"
 )
 
 // Policy selects the strategy replayed by the trace simulator. It is the
@@ -73,6 +73,43 @@ func DefaultSimConfig(nodes int, p Policy) SimConfig {
 	}
 }
 
+// Validate checks a replay configuration against its inputs and node
+// type, returning a descriptive error for the first problem found.
+// Simulate, SimulateBatched, and SimulateAll all call it before touching
+// any state, so a bad config in a parallel fan-out fails fast with its
+// own message instead of a mid-replay panic.
+func (cfg SimConfig) Validate(jobs []Job, db *profiler.DB, node hw.NodeSpec) error {
+	if cfg.ClusterNodes <= 0 {
+		return fmt.Errorf("trace: cluster needs nodes, got %d", cfg.ClusterNodes)
+	}
+	if cfg.CoresPerJobNode <= 0 || cfg.CoresPerJobNode > node.Cores.Int() {
+		return fmt.Errorf("trace: bad CoresPerJobNode %d (node has %d cores)", cfg.CoresPerJobNode, node.Cores.Int())
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("trace: negative shard count %d", cfg.Shards)
+	}
+	if cfg.ScanDepth < 0 {
+		return fmt.Errorf("trace: negative backfill scan depth %d", cfg.ScanDepth)
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("trace: no jobs to replay")
+	}
+	if cfg.Policy != CE {
+		if db == nil {
+			return fmt.Errorf("trace: policy %s replays profiled programs but the profile DB is nil", cfg.Policy)
+		}
+		if cfg.Policy == SNS || cfg.Policy == CS {
+			if cfg.MaxScale < 1 {
+				return fmt.Errorf("trace: policy %s needs MaxScale >= 1, got %d", cfg.Policy, cfg.MaxScale)
+			}
+		}
+		if cfg.Policy == SNS && (cfg.Alpha <= 0 || cfg.Alpha > 1) {
+			return fmt.Errorf("trace: SNS slowdown threshold Alpha must be in (0, 1], got %g", cfg.Alpha)
+		}
+	}
+	return nil
+}
+
 // SimJob is the outcome of one replayed job.
 type SimJob struct {
 	Trace         Job
@@ -105,94 +142,74 @@ type Result struct {
 	WaitP50, WaitP90, WaitP99 float64
 }
 
-// runJob is the in-flight bookkeeping of one replayed job: its kernel
-// request plus the effective reservations to return on completion.
-type runJob struct {
-	out  *SimJob
-	req  placement.Request
-	prof *profiler.Profile
-	// res holds the per-node effective reservations, but only when they
-	// can differ across nodes (exclusive takes resolve per node, TwoSlot
-	// plans vary core counts). The common SNS/CS footprint plan reserves
-	// the same amount on every node, recorded once in res0 — a full
-	// 32K-node replay reserves ~19M node-slots, and a per-node slice for
-	// each was the replay's dominant allocation.
-	res     []placement.Reservation
-	res0    placement.Reservation
-	uniform bool
-}
-
-// simulator replays a trace under one policy, backed by the placement
-// kernel's SimState/Search/Pending.
+// simulator drives the extracted live scheduler core (internal/svc) with
+// a discrete-event clock: submission events admit jobs, completion
+// events release them, and every event runs one admission round. All
+// placement, reservation, queue, and audit logic lives in the core — the
+// replay owns only the clock, the runtime model, and the summaries.
 type simulator struct {
-	cfg    SimConfig
-	spec   hw.NodeSpec
-	q      *sim.Queue
-	state  *placement.SimState
-	search *placement.Search
-	queue  *placement.Pending
-	jobs   []*runJob
-
-	// auditPass, when set, runs the invariant auditor at every
-	// scheduling point.
-	auditPass func(now float64)
+	q     *sim.Queue
+	core  *svc.Cluster
+	model svc.RuntimeModel
+	// outs maps a core job ID (admission order) to its output record
+	// (trace slice order); the two orders differ when a trace file is
+	// not submit-sorted.
+	outs []*SimJob
 }
 
 // Simulate replays a mapped trace on a cluster of the given node type.
 // Every job's program must be mapped, and — for every policy but CE,
 // whose runtime is the trace runtime — profiled in db at the configured
-// per-node process count.
+// per-node process count. Each submission runs its own admission round;
+// SimulateBatched coalesces same-time bursts and produces bit-identical
+// results.
 func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Result, error) {
-	if cfg.ClusterNodes <= 0 {
-		return nil, fmt.Errorf("trace: cluster needs nodes, got %d", cfg.ClusterNodes)
+	return simulate(jobs, db, node, cfg, 1)
+}
+
+// SimulateBatched replays like Simulate but drains submission bursts —
+// runs of consecutive jobs sharing one submission timestamp — into
+// single admission rounds of at most batch jobs each. By the core's
+// batched-admission invariant the placements, start/finish times, and
+// summaries are bit-identical to Simulate at any batch size; only the
+// number of queue passes (and therefore the replay cost under heavy
+// bursts) changes.
+func SimulateBatched(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig, batch int) (*Result, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("trace: batch size must be >= 1, got %d", batch)
 	}
-	if cfg.CoresPerJobNode <= 0 || cfg.CoresPerJobNode > node.Cores.Int() {
-		return nil, fmt.Errorf("trace: bad CoresPerJobNode %d", cfg.CoresPerJobNode)
+	return simulate(jobs, db, node, cfg, batch)
+}
+
+func simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig, batch int) (*Result, error) {
+	if err := cfg.Validate(jobs, db, node); err != nil {
+		return nil, err
 	}
-	state := placement.NewSimState(node, cfg.ClusterNodes)
+	core, err := svc.New(svc.Config{
+		Node:           node,
+		Nodes:          cfg.ClusterNodes,
+		Policy:         cfg.Policy,
+		MaxScale:       cfg.MaxScale,
+		ScanDepth:      cfg.ScanDepth,
+		AgingPeriodSec: 1,
+		NoScoreCache:   cfg.NoScoreCache,
+		Shards:         cfg.Shards,
+		AuditLabel:     "trace",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer core.Close()
 	s := &simulator{
-		cfg:   cfg,
-		spec:  node,
 		q:     &sim.Queue{},
-		state: state,
-		queue: &placement.Pending{AgingPeriodSec: 1, ScanDepth: cfg.ScanDepth},
-	}
-	s.search = &placement.Search{
-		View:         state,
-		Idx:          state.Index(),
-		Spec:         node,
-		Nodes:        cfg.ClusterNodes,
-		MaxScale:     cfg.MaxScale,
-		HasIntensive: state.HasIntensive,
-	}
-	switch {
-	case cfg.Shards > 0:
-		ss := state.Shard(cfg.Shards)
-		s.search.UseShards(ss)
-		defer ss.Close()
-	case !cfg.NoScoreCache:
-		cache := placement.NewScoreCache(cfg.ClusterNodes, node.Cores.Int())
-		state.SetOnChange(cache.Invalidate)
-		s.search.Cache = cache
-	}
-	if invariant.Active() {
-		aud := invariant.New("trace")
-		// A full SimState sweep is O(nodes); on paper-scale replays
-		// (4K-32K nodes) sample every 64th scheduling point so the
-		// audit does not dominate the replay it is checking.
-		if cfg.ClusterNodes > 1024 {
-			aud.Stride = 64
-		}
-		s.auditPass = func(now float64) {
-			aud.ObserveQueue(now, s.queue)
-			if aud.Begin() {
-				aud.CheckSimState(s.state)
-				aud.CheckScoreCache(s.search)
-				aud.CheckShardedIndex(s.search)
-			}
-		}
+		core:  core,
+		model: svc.PolicyRuntime(cfg.Policy, node),
+		outs:  make([]*SimJob, 0, len(jobs)),
 	}
 	res := &Result{Policy: cfg.Policy}
+	// Build every job's spec (and fail on unplaceable or unprofiled
+	// jobs) before the clock starts.
+	specs := make([]svc.JobSpec, len(jobs))
 	for i := range jobs {
 		tj := jobs[i]
 		if tj.Nodes > cfg.ClusterNodes {
@@ -207,40 +224,51 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 			}
 			prof = p
 		}
-		out := &SimJob{Trace: tj}
-		res.Jobs = append(res.Jobs, out)
-		rj := &runJob{
-			out:  out,
-			prof: prof,
-			req: placement.Request{
-				BaseNodes:    tj.Nodes,
-				CoresPerNode: cfg.CoresPerJobNode,
-				Alpha:        cfg.Alpha,
-				MultiNode:    true,
-			},
+		res.Jobs = append(res.Jobs, &SimJob{Trace: tj})
+		specs[i] = svc.JobSpec{
+			Program:      tj.Program,
+			BaseNodes:    tj.Nodes,
+			CoresPerNode: cfg.CoresPerJobNode,
+			RuntimeSec:   tj.RuntimeSec,
+			Alpha:        cfg.Alpha,
+			MultiNode:    true,
+			Profile:      prof,
+			Intensive:    cfg.Policy == TwoSlot && svc.BWIntensive(prof, node),
 		}
-		switch cfg.Policy {
-		case SNS:
-			rj.req.Profile = prof
-		case TwoSlot:
-			rj.req.Intensive = bwIntensive(prof, node)
+	}
+	// One submission event per burst: consecutive jobs sharing a
+	// submission timestamp coalesce, up to the batch cap. Simulate runs
+	// with batch 1, which degenerates to one event (and one admission
+	// round) per job.
+	for lo := 0; lo < len(jobs); {
+		hi := lo + 1
+		//lint:floateq exact timestamp equality defines a burst; near-equal submits are distinct events
+		for hi < len(jobs) && hi-lo < batch && jobs[hi].SubmitSec == jobs[lo].SubmitSec {
+			hi++
 		}
-		// Queue bookkeeping is keyed by the job's slice index, not its
-		// trace ID (SWF replays may carry colliding IDs).
-		idx := len(s.jobs)
-		s.jobs = append(s.jobs, rj)
-		s.q.At(tj.SubmitSec, func() {
-			s.queue.Push(idx, tj.SubmitSec, 0, idx)
+		chunk := specs[lo:hi]
+		recs := res.Jobs[lo:hi]
+		s.q.At(jobs[lo].SubmitSec, func() {
+			now := s.q.Now()
+			for i := range chunk {
+				if _, err := s.core.Submit(chunk[i], now); err != nil {
+					// Specs were validated above; a core rejection here
+					// is a programming error.
+					panic(err)
+				}
+				s.outs = append(s.outs, recs[i])
+			}
 			s.schedule()
 		})
+		lo = hi
 	}
 	s.q.Run(0)
-	if s.queue.Len() > 0 {
-		first, _ := s.queue.First()
-		tj := s.jobs[first.ID].out.Trace
+	if n := s.core.QueuedLen(); n > 0 {
+		first, _ := s.core.FirstQueued()
+		tj := s.outs[first.ID].Trace
 		return nil, fmt.Errorf(
 			"trace: %d jobs never placed under %s (first stuck: job %d wants %d nodes × %d cores, max free is %d cores/node)",
-			s.queue.Len(), cfg.Policy, tj.ID, tj.Nodes, cfg.CoresPerJobNode, s.state.MaxFreeCores())
+			n, cfg.Policy, tj.ID, tj.Nodes, cfg.CoresPerJobNode, s.core.MaxFreeCores())
 	}
 	// Summaries.
 	waits := make([]float64, len(res.Jobs))
@@ -264,149 +292,23 @@ func Simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig) (*Re
 	return res, nil
 }
 
-// schedule runs one kernel queue pass (FIFO by wait, bounded backfill).
+// schedule runs one core admission round at the current clock and
+// registers a completion event for every job placed.
 func (s *simulator) schedule() {
 	now := s.q.Now()
-	if s.auditPass != nil {
-		s.auditPass(now)
-	}
-	s.queue.Schedule(now, func(i int) bool {
-		return s.tryPlace(s.jobs[i])
-	})
-}
-
-// tryPlace attempts one job under the policy, launching it on success.
-func (s *simulator) tryPlace(rj *runJob) bool {
-	pl := s.search.Place(s.cfg.Policy, rj.req)
-	if pl == nil {
-		return false
-	}
-	s.launch(rj, pl)
-	return true
-}
-
-// launch reserves the plan's resources and schedules completion.
-func (s *simulator) launch(rj *runJob, pl *placement.Plan) {
-	rj.uniform = !pl.Exclusive
-	for i := 1; i < len(pl.Cores) && rj.uniform; i++ {
-		rj.uniform = pl.Cores[i] == pl.Cores[0]
-	}
-	if rj.uniform {
-		// Non-exclusive reservations come back from Reserve unchanged,
-		// so one prototype stands in for every node's record.
-		rj.res0 = placement.Reservation{
-			Cores:     pl.Cores[0],
-			Ways:      pl.Ways,
-			BW:        pl.BW,
-			IOBW:      pl.IOBW,
-			Intensive: rj.req.Intensive,
-		}
-		for _, id := range pl.Nodes {
-			s.state.Reserve(id, rj.res0)
-		}
-	} else {
-		rj.res = make([]placement.Reservation, len(pl.Nodes))
-		for i, id := range pl.Nodes {
-			rj.res[i] = s.state.Reserve(id, placement.Reservation{
-				Cores:     pl.Cores[i],
-				Ways:      pl.Ways,
-				BW:        pl.BW,
-				IOBW:      pl.IOBW,
-				Exclusive: pl.Exclusive,
-				Intensive: rj.req.Intensive,
-			})
-		}
-	}
-	now := s.q.Now()
-	rj.out.Start = now
-	rj.out.Finish = now + s.runtime(rj, pl)
-	rj.out.Scale = pl.K
-	rj.out.NodesUsed = len(pl.Nodes)
-	rj.out.Nodes = pl.Nodes
-	nodes := pl.Nodes
-	s.q.At(rj.out.Finish, func() {
-		if rj.uniform {
-			for _, id := range nodes {
-				s.state.Release(id, rj.res0)
+	for _, j := range s.core.ScheduleRound(now, s.model) {
+		out := s.outs[j.ID]
+		out.Start = j.StartSec
+		out.Finish = j.FinishSec
+		out.Scale = j.Scale
+		out.NodesUsed = j.NodesUsed
+		out.Nodes = j.Nodes
+		id := j.ID
+		s.q.At(j.FinishSec, func() {
+			if err := s.core.Complete(id, s.q.Now()); err != nil {
+				panic(err)
 			}
-		} else {
-			for i, id := range nodes {
-				s.state.Release(id, rj.res[i])
-			}
-		}
-		s.schedule()
-	})
-}
-
-// runtime models a placed job's duration. The trace runtime is the CE
-// (compact, exclusive) runtime; the profiles supply the corrections:
-//
-//   - SNS: the profiled exclusive times give the speedup of the chosen
-//     scale, and the (c, w, b) reservation protects it from neighbors.
-//   - CS: the same scaling ratio (when the footprint was grown), but
-//     sharing is unmanaged — the job runs with only its fair share of the
-//     LLC, so the profiled IPC ratio at that share becomes a slowdown.
-//   - TwoSlot: no scaling; a half-node slot implies half the LLC.
-func (s *simulator) runtime(rj *runJob, pl *placement.Plan) float64 {
-	tj := rj.out.Trace
-	switch s.cfg.Policy {
-	case CE:
-		return tj.RuntimeSec
-	case SNS:
-		base := baseScale(rj.prof)
-		sp, ok := rj.prof.AtK(pl.K)
-		if !ok {
-			sp = base
-		}
-		return tj.RuntimeSec * sp.TimeSec / base.TimeSec
-	case CS:
-		base := baseScale(rj.prof)
-		sp, ok := rj.prof.AtK(pl.K)
-		ratio := 1.0
-		if ok {
-			ratio = sp.TimeSec / base.TimeSec
-		} else {
-			sp = base
-		}
-		return tj.RuntimeSec * ratio * cachePenalty(sp, fairWays(s.spec, pl.Cores[0]))
-	case TwoSlot:
-		return tj.RuntimeSec * cachePenalty(baseScale(rj.prof), s.spec.LLCWays.Int()/2)
+			s.schedule()
+		})
 	}
-	return tj.RuntimeSec
-}
-
-// baseScale returns the compact-run reference profile (K=1, or the first
-// recorded scale when the compact run is missing).
-func baseScale(p *profiler.Profile) *profiler.ScaleProfile {
-	if sp, ok := p.AtK(1); ok {
-		return sp
-	}
-	return &p.Scales[0]
-}
-
-// fairWays is a co-located job's LLC fair share given its core share.
-func fairWays(spec hw.NodeSpec, cores int) int {
-	w := spec.LLCWays.Int() * cores / spec.Cores.Int()
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// cachePenalty is the static unmanaged-sharing slowdown of running with w
-// LLC ways instead of the full cache: the profiled IPC ratio.
-func cachePenalty(sp *profiler.ScaleProfile, w int) float64 {
-	full := sp.IPCAt(sp.FullWays())
-	part := sp.IPCAt(w)
-	if full <= 0 || part <= 0 {
-		return 1
-	}
-	return full / part
-}
-
-// bwIntensive classifies a program for TwoSlot pairing: its compact-run
-// bandwidth drains more than a third of the node's peak.
-func bwIntensive(p *profiler.Profile, spec hw.NodeSpec) bool {
-	base := baseScale(p)
-	return base.BWAt(base.FullWays()) > spec.PeakBandwidth.Float64()/3
 }

@@ -156,3 +156,27 @@ EOF
 	} >BENCH_PR6.json
 	echo "wrote BENCH_PR6.json"
 fi
+
+if [[ "$which" == "all" || "$which" == "pr7" ]]; then
+	: >"$tmp"
+	go test -run '^$' -bench 'AdmissionSerial|AdmissionBatched' -benchmem -benchtime=1x . | tee -a "$tmp"
+	go test -run '^$' -bench 'DaemonLoad' -benchtime=1x . | tee -a "$tmp"
+
+	{
+		cat <<'EOF2'
+{
+  "issue": "PR 7: scheduler-as-a-service — live cluster core behind an async REST daemon with batched admission",
+  "note": "baseline is the serial admission discipline on the same tree (the AdmissionSerial row, frozen from this recording): one queue pass per submission, which is what trace.Simulate ran before the core was extracted and what a naive daemon would do per request. AdmissionBatched drains the same 4,096-job single-timestamp burst into one round — placements are bit-identical (the batched-admission invariant, gated by TestBatchedAdmissionEquivalence and TestSimulateBatchedEquivalence at batch sizes 1/64/4096) — and jobs/s is the admission throughput. DaemonLoad drives the full HTTP + async-op + scheduler-goroutine path with the deterministic load generator; p50-µs/p99-µs are accepted-to-applied submission latency, gated under 150ms p99 by TestSubmitLatencyGate where >=4 CPUs exist.",
+  "baseline": [
+    {"name": "BenchmarkAdmissionSerial", "iterations": 1, "metrics": {"ns/op": 32739960905, "jobs/s": 125.1}}
+  ],
+  "current": [
+EOF2
+		emit_current
+		cat <<'EOF2'
+  ]
+}
+EOF2
+	} >BENCH_PR7.json
+	echo "wrote BENCH_PR7.json"
+fi

@@ -1,0 +1,140 @@
+// PR 7 service benchmarks: batched-vs-serial admission throughput on the
+// extracted core, and end-to-end daemon submission latency under the
+// deterministic load generator. scripts/bench.sh pr7 records these into
+// BENCH_PR7.json.
+package spreadnshare
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"spreadnshare/internal/experiments"
+	"spreadnshare/internal/placement"
+	"spreadnshare/internal/svc"
+	"spreadnshare/internal/svc/api"
+	"spreadnshare/internal/trace"
+)
+
+// admissionBurst is the benchmark's arrival shape: one burst of 4,096
+// jobs at a single timestamp on an 8,192-node cluster — the regime the
+// daemon's batched drain exists for.
+const (
+	admissionBurstJobs  = 4096
+	admissionBenchNodes = 8192
+)
+
+func admissionSpecs(b *testing.B) ([]svc.JobSpec, svc.Config, svc.RuntimeModel) {
+	b.Helper()
+	env, err := experiments.SharedEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := trace.Synthesize(53, trace.GenConfig{
+		Jobs: admissionBurstJobs, SpanHours: 100, MaxNodes: 64,
+	})
+	trace.MapPrograms(53, jobs,
+		experiments.TraceScalingPrograms, experiments.TraceOtherPrograms, 0.9)
+	specs := make([]svc.JobSpec, len(jobs))
+	for i, j := range jobs {
+		p, ok := env.DB.Get(j.Program, 16)
+		if !ok {
+			b.Fatalf("program %q unprofiled", j.Program)
+		}
+		specs[i] = svc.JobSpec{
+			Program: j.Program, BaseNodes: j.Nodes, CoresPerNode: 16,
+			RuntimeSec: j.RuntimeSec, Alpha: 0.9, MultiNode: true, Profile: p,
+		}
+	}
+	cfg := svc.Config{
+		Node: env.Spec.Node, Nodes: admissionBenchNodes, Policy: placement.SNS,
+		MaxScale: 8, ScanDepth: 32, AgingPeriodSec: 1,
+	}
+	return specs, cfg, svc.PolicyRuntime(placement.SNS, env.Spec.Node)
+}
+
+// benchAdmission drains one 4,096-job burst with the given number of
+// admission rounds per submission (1 = serial, 0 = one round at the
+// end). The metric of interest is jobs admitted per second of wall time.
+func benchAdmission(b *testing.B, serial bool) {
+	specs, cfg, model := admissionSpecs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core, err := svc.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range specs {
+			if _, err := core.Submit(s, 0); err != nil {
+				b.Fatal(err)
+			}
+			if serial {
+				core.ScheduleRound(0, model)
+			}
+		}
+		if !serial {
+			core.ScheduleRound(0, model)
+		}
+		core.Close()
+	}
+	b.ReportMetric(float64(admissionBurstJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkAdmissionSerial runs one queue pass per submission — the
+// pre-daemon admission discipline (trace.Simulate's batch size 1).
+func BenchmarkAdmissionSerial(b *testing.B) { benchAdmission(b, true) }
+
+// BenchmarkAdmissionBatched drains the whole burst into a single round —
+// the daemon's discipline. Placements are bit-identical to serial (the
+// batched-admission invariant, gated by the svc and trace equivalence
+// tests); only the cost differs.
+func BenchmarkAdmissionBatched(b *testing.B) { benchAdmission(b, false) }
+
+// BenchmarkDaemonLoad measures the full service path — HTTP, async ops,
+// scheduler goroutine, batched drain — and reports the submission-latency
+// percentiles of a 500-job burst as benchmark metrics.
+func BenchmarkDaemonLoad(b *testing.B) {
+	env, err := experiments.SharedEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	core, err := svc.New(svc.Config{
+		Node: env.Spec.Node, Nodes: 2048, Policy: placement.SNS,
+		MaxScale: 8, ScanDepth: 32, AgingPeriodSec: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := api.New(api.Config{
+		Core: core, Model: svc.PolicyRuntime(placement.SNS, env.Spec.Node),
+		DB: env.DB, Timescale: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Shutdown()
+	}()
+	client := api.NewClient(ts.URL)
+	b.ResetTimer()
+	var last *api.LoadResult
+	for i := 0; i < b.N; i++ {
+		res, err := api.RunLoad(client, api.LoadConfig{
+			Seed: 47, Jobs: 500, MaxNodes: 64, Concurrency: 16,
+			NamePrefix: fmt.Sprintf("bench-%d", i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d submissions failed", res.Failed)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.P50.Microseconds()), "p50-µs")
+	b.ReportMetric(float64(last.P99.Microseconds()), "p99-µs")
+	b.ReportMetric(float64(500*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
