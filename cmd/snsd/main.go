@@ -105,6 +105,7 @@ func main() {
 
 	hs := &http.Server{Addr: *listen, Handler: srv}
 	errc := make(chan error, 1)
+	//lint:goleak listener goroutine lives until the process does; the buffered errc send cannot block, so it exits once hs.Close returns
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "snsd: %s policy on %d nodes, listening on %s\n", policy, *nodes, *listen)
 
@@ -116,7 +117,10 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	}
-	hs.Close() // stop accepting before draining the op queue
+	// Stop accepting before draining the op queue.
+	if err := hs.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "snsd: closing listener: %v\n", err)
+	}
 	if err := srv.Shutdown(); err != nil {
 		fatal(err)
 	}

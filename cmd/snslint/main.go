@@ -1,25 +1,28 @@
-// Command snslint is the determinism multichecker: it runs the
-// internal/lint analysis suite (mapiter, walltime, floateq, unitflow,
-// allocfree) over the simulator's deterministic packages and fails the
-// build on any finding. It is the mechanical form of DESIGN.md's
-// determinism and dimensional rules and runs as part of `make lint` /
+// Command snslint is the determinism and concurrency multichecker: it
+// runs the internal/lint analysis suite (mapiter, walltime, floateq,
+// unitflow, allocfree, confine, guardedby, goleak) and fails the build
+// on any finding. It is the mechanical form of DESIGN.md's determinism,
+// dimensional, and concurrency rules and runs as part of `make lint` /
 // `make check` / CI.
 //
 // Usage:
 //
 //	snslint [-all] [-doc] [-json] [packages]
 //
-// With no arguments it checks ./... — of which only the deterministic
-// set (see internal/lint.DeterministicPackages) is analyzed, unless
-// -all forces every matched package through the suite. The whole match
-// is type-checked once and shared by all passes; the interprocedural
-// passes (unitflow, allocfree) resolve calls and types across it, so
-// run the full module (the default ./...) rather than a subset —
-// analyzing a slice of the module leaves boundary calls unresolvable.
-// Findings are suppressed line by line with a justified directive, e.g.
+// With no arguments it checks ./... — the deterministic set (see
+// internal/lint.DeterministicPackages) gets every pass, every other
+// matched package (the daemon, CLI glue, examples) gets the Wide
+// concurrency passes, and -all forces every matched package through the
+// whole suite. The whole match is type-checked once and shared by all
+// passes; the interprocedural passes (unitflow, allocfree, and the
+// concurrency trio) resolve calls and types across it, so run the full
+// module (the default ./...) rather than a subset — analyzing a slice
+// of the module leaves boundary calls unresolvable. Findings are
+// suppressed line by line with a justified directive, e.g.
 //
 //	//lint:ordered ids are sorted before use
 //	//lint:allocfree scratch append; capacity is stable after warm-up
+//	//lint:goleak listener goroutine is process-lifetime by design
 //
 // -json replaces the file:line:col text lines with a JSON array of
 // findings on stdout, for machine consumers; the plain format is matched
@@ -73,11 +76,14 @@ func main() {
 	findings := []jsonFinding{}
 	checked := 0
 	for _, p := range pkgs {
-		if !*all && !lint.DeterministicPackages[p.Path] {
-			continue
+		det := lint.DeterministicPackages[p.Path]
+		if det {
+			checked++
 		}
-		checked++
 		for _, a := range lint.Analyzers() {
+			if !*all && !det && !a.Wide {
+				continue
+			}
 			for _, d := range lint.Run(a, prog, p) {
 				if !*jsonOut {
 					fmt.Println(d)

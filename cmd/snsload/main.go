@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"spreadnshare/internal/svc/api"
 )
@@ -52,6 +53,9 @@ func main() {
 			if st.Queued == 0 && st.Running == 0 {
 				break
 			}
+			// Completions fire on the daemon's virtual clock; polling
+			// faster than it ticks just burns both processes' CPU.
+			time.Sleep(200 * time.Millisecond)
 		}
 	}
 	st, err := c.Stats()

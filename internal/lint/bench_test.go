@@ -18,6 +18,35 @@ func BenchmarkLoadRepo(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeConcurrency measures the warm cost of the three Wide
+// concurrency passes (confine, guardedby, goleak) over every loaded
+// package — the daemon, the CLIs, and the examples included.
+//
+// Time budget: the interprocedural work (the confinement fixpoint and
+// the leak-join index) runs once per Program and is cached; a warm
+// analyze is directive matching plus cached-finding replay and must
+// stay well under 100ms on CI hardware so `make lint` remains dominated
+// by the one-time load, not the passes.
+func BenchmarkAnalyzeConcurrency(b *testing.B) {
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	passes := []*Analyzer{Confine, Guardedby, Goleak}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, p := range prog.Packages {
+			for _, a := range passes {
+				n += len(Run(a, prog, p))
+			}
+		}
+		if n != 0 {
+			b.Fatalf("repo is not concurrency-clean: %d findings", n)
+		}
+	}
+}
+
 // BenchmarkAnalyzeRepo measures the marginal cost of the analysis suite
 // itself once the program is loaded and its interprocedural indexes are
 // warm — the part that reruns per analyzer, not per process.

@@ -21,10 +21,25 @@
 //     provably free of allocation-inducing constructs, transitively
 //     across the call graph — the static form of the runtime zero-alloc
 //     gates in internal/exec/alloc_test.go.
+//   - confine: //sns:owner-annotated types and fields (the live cluster
+//     core, the daemon's scheduler state, the pool's batch fields) may
+//     be reached only from code proven to execute on the named owner
+//     goroutine — //sns:goroutine entry points, closures handed to
+//     //sns:dispatch functions, and everything the call graph proves
+//     onto them.
+//   - guardedby: every load and store of a //sns:guardedby-annotated
+//     field must happen with the named sibling mutex held (writes need
+//     the write lock; RLock admits reads only).
+//   - goleak: every `go` statement must carry a statically provable
+//     join or termination path — a WaitGroup Done/Wait pair, a
+//     done-channel close/receive pair, or a close-terminated worker
+//     loop.
 //
-// The last two passes are interprocedural: they run over a Program (all
+// The last five passes are interprocedural: they run over a Program (all
 // packages type-checked once, with shared cross-package indexes) rather
-// than one package at a time.
+// than one package at a time. The three concurrency passes additionally
+// run Wide — over every loaded package, because the daemon and CLI glue
+// sit outside the deterministic set but still own goroutines and locks.
 //
 // A finding can be suppressed with a justified directive comment on the
 // offending line or the line above:
@@ -33,6 +48,8 @@
 //	//lint:floateq exact sentinel comparison, both sides same computation
 //	//lint:walltime operator-facing log timestamp, not simulation state
 //	//lint:allocfree scratch append; capacity is stable after warm-up
+//	//lint:confine read after <-done: the owner goroutine's exit happens-before
+//	//lint:goleak listener goroutine is process-lifetime by design
 //
 // The justification text is mandatory: a bare directive is itself a
 // diagnostic. cmd/snslint wires the passes into a multichecker run by
@@ -61,6 +78,11 @@ type Analyzer struct {
 	Directive string
 	// Doc is the one-paragraph rule statement.
 	Doc string
+	// Wide marks a pass that applies to every loaded package, not just
+	// the deterministic set: the concurrency passes police the daemon
+	// (internal/svc/api, cmd/snsd), which legitimately uses wall time
+	// and maps but must still honor ownership, lock, and leak rules.
+	Wide bool
 	// Run reports findings on one type-checked package.
 	Run func(*Pass)
 }
@@ -216,9 +238,11 @@ func Run(a *Analyzer, prog *Program, pkg *Package) []Diagnostic {
 }
 
 // Analyzers returns the full suite in report order: the three
-// determinism passes, then the two interprocedural semantic passes.
+// determinism passes, the two interprocedural semantic passes, then the
+// three concurrency passes (which are Wide: they run over every loaded
+// package, not just the deterministic set).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Mapiter, Walltime, Floateq, Unitflow, Allocfree}
+	return []*Analyzer{Mapiter, Walltime, Floateq, Unitflow, Allocfree, Confine, Guardedby, Goleak}
 }
 
 // DeterministicPackages is the set of import paths whose runtime code

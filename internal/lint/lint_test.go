@@ -84,10 +84,15 @@ func TestWalltimeFixture(t *testing.T)  { runFixture(t, Walltime, "walltimefix")
 func TestFloateqFixture(t *testing.T)   { runFixture(t, Floateq, "floateqfix") }
 func TestUnitflowFixture(t *testing.T)  { runFixture(t, Unitflow, "unitflowfix") }
 func TestAllocfreeFixture(t *testing.T) { runFixture(t, Allocfree, "allocfreefix") }
+func TestConfineFixture(t *testing.T)   { runFixture(t, Confine, "confinefix") }
+func TestGuardedbyFixture(t *testing.T) { runFixture(t, Guardedby, "guardedbyfix") }
+func TestGoleakFixture(t *testing.T)    { runFixture(t, Goleak, "goleakfix") }
 
-// TestRepoIsClean runs the full suite over the deterministic packages —
-// the same gate `make lint` enforces, kept inside `go test ./...` so
-// the contract cannot drift even where only the test suite runs.
+// TestRepoIsClean runs the full suite over the repository — the same
+// gate `make lint` enforces, kept inside `go test ./...` so the
+// contract cannot drift even where only the test suite runs. The
+// deterministic packages get every pass; everything else (the daemon,
+// CLI glue, examples) still gets the Wide concurrency passes.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide lint needs go list + full type-checking")
@@ -98,11 +103,14 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	checked := 0
 	for _, p := range prog.Packages {
-		if !DeterministicPackages[p.Path] {
-			continue
+		det := DeterministicPackages[p.Path]
+		if det {
+			checked++
 		}
-		checked++
 		for _, a := range Analyzers() {
+			if !det && !a.Wide {
+				continue
+			}
 			for _, d := range Run(a, prog, p) {
 				t.Errorf("%s", d)
 			}
@@ -110,6 +118,78 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if checked != len(DeterministicPackages) {
 		t.Errorf("checked %d deterministic packages, want %d", checked, len(DeterministicPackages))
+	}
+}
+
+// TestConcurrencyAnnotationCoverage pins the real packages' concurrency
+// annotations. The confine/guardedby/goleak passes are annotation-
+// driven: deleting a marker silences the checks it anchors, so the
+// anchors themselves are part of the contract — dropping //sns:owner
+// from svc.Cluster or //sns:guardedby from the daemon's op table fails
+// this test, not just quietly stops linting.
+func TestConcurrencyAnnotationCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint needs go list + full type-checking")
+	}
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	ownedTypes, ownedFields := prog.OwnedState()
+	wantOwnedTypes := map[string]string{
+		"spreadnshare/internal/svc.Cluster": "core",
+	}
+	for key, owner := range wantOwnedTypes {
+		if got := ownedTypes[key]; got != owner {
+			t.Errorf("type %s: owner = %q, want %q (//sns:owner missing or changed)", key, got, owner)
+		}
+	}
+	wantOwnedFields := map[string]string{
+		"spreadnshare/internal/svc/api.Server.fin":     "scheduler",
+		"spreadnshare/internal/svc/api.Server.stopErr": "scheduler",
+		"spreadnshare/internal/par.Pool.fn":            "poolbatch",
+		"spreadnshare/internal/par.Pool.n":             "poolbatch",
+	}
+	for key, owner := range wantOwnedFields {
+		if got := ownedFields[key]; got != owner {
+			t.Errorf("field %s: owner = %q, want %q (//sns:owner missing or changed)", key, got, owner)
+		}
+	}
+	guarded := prog.GuardedFields()
+	for _, fld := range []string{"seq", "ops", "pending"} {
+		key := "spreadnshare/internal/svc/api.opTable." + fld
+		if got := guarded[key]; got != "mu" {
+			t.Errorf("field %s: guardedby = %q, want %q (//sns:guardedby missing or changed)", key, got, "mu")
+		}
+	}
+	wantMarked := map[string][]string{
+		"sns:goroutine": {
+			"(*spreadnshare/internal/svc/api.Server).run",
+			"(*spreadnshare/internal/par.Pool).Run",
+			"(*spreadnshare/internal/par.Pool).loop",
+			"spreadnshare/internal/trace.simulate",
+		},
+		"sns:dispatch": {
+			"(*spreadnshare/internal/svc/api.Server).exec",
+			"(*spreadnshare/internal/svc/api.Server).view",
+		},
+		"sns:ownerinit": {
+			"spreadnshare/internal/svc.New",
+			"spreadnshare/internal/svc.Restore",
+			"spreadnshare/internal/svc/api.New",
+			"spreadnshare/internal/svc/api.Load",
+		},
+	}
+	for marker, names := range wantMarked {
+		have := map[string]bool{}
+		for _, n := range prog.MarkedFunctions(marker) {
+			have[n] = true
+		}
+		for _, n := range names {
+			if !have[n] {
+				t.Errorf("function %s is missing its //%s marker", n, marker)
+			}
+		}
 	}
 }
 

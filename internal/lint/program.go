@@ -27,12 +27,27 @@ type Program struct {
 	units    map[string]bool     // "pkgpath.Name" of //sns:unit types
 	hotroots []*SrcFunc          // //sns:hotpath functions, in load order
 
+	// Concurrency-contract annotations (see confine.go / guardedby.go):
+	// owned maps //sns:owner-marked type keys to their owner-goroutine
+	// name, ownedField the same for individual struct fields
+	// ("pkgpath.Type.field"), and guarded maps //sns:guardedby-marked
+	// field keys to the name of the mutex field that must be held.
+	owned      map[string]string
+	ownedField map[string]string
+	guarded    map[string]string
+
 	implMu sync.Mutex
 	impls  map[string][]*SrcFunc // interface-method FullName -> source impls
 
 	allocOnce sync.Once
 	allocHot  map[string]*SrcFunc
 	allocMap  map[*types.Package][]allocFinding
+
+	confOnce sync.Once
+	confMap  map[*types.Package][]posFinding
+
+	leakOnce sync.Once
+	leakMap  map[*types.Package][]posFinding
 }
 
 // SrcFunc is a function declaration paired with the package that holds
@@ -65,11 +80,34 @@ func hasMarker(doc *ast.CommentGroup, name string) bool {
 	return false
 }
 
+// markerArgs returns the whitespace-separated arguments of the
+// //sns:<name> marker in doc ("//sns:owner core" -> ["core"]) and
+// whether the marker is present at all. Like hasMarker, names are
+// prefix-free checked.
+func markerArgs(doc *ast.CommentGroup, name string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == name {
+			return nil, true
+		}
+		if strings.HasPrefix(text, name+" ") {
+			return strings.Fields(text[len(name)+1:]), true
+		}
+	}
+	return nil, false
+}
+
 // index builds the function and unit-type tables on first use.
 func (pr *Program) index() {
 	pr.once.Do(func() {
 		pr.funcs = map[string]*SrcFunc{}
 		pr.units = map[string]bool{}
+		pr.owned = map[string]string{}
+		pr.ownedField = map[string]string{}
+		pr.guarded = map[string]string{}
 		for _, pkg := range pr.Packages {
 			for _, f := range pkg.Files {
 				for _, decl := range f.Decls {
@@ -93,9 +131,33 @@ func (pr *Program) index() {
 							if !ok {
 								continue
 							}
+							typeKey := pkg.Path + "." + ts.Name.Name
 							if hasMarker(ts.Doc, "sns:unit") ||
 								(len(d.Specs) == 1 && hasMarker(d.Doc, "sns:unit")) {
-								pr.units[pkg.Path+"."+ts.Name.Name] = true
+								pr.units[typeKey] = true
+							}
+							if args, ok := markerArgs(ts.Doc, "sns:owner"); ok && len(args) == 1 {
+								pr.owned[typeKey] = args[0]
+							} else if len(d.Specs) == 1 {
+								if args, ok := markerArgs(d.Doc, "sns:owner"); ok && len(args) == 1 {
+									pr.owned[typeKey] = args[0]
+								}
+							}
+							st, ok := ts.Type.(*ast.StructType)
+							if !ok {
+								continue
+							}
+							for _, fld := range st.Fields.List {
+								if args, ok := markerArgs(fld.Doc, "sns:owner"); ok && len(args) == 1 {
+									for _, nm := range fld.Names {
+										pr.ownedField[typeKey+"."+nm.Name] = args[0]
+									}
+								}
+								if args, ok := markerArgs(fld.Doc, "sns:guardedby"); ok && len(args) == 1 {
+									for _, nm := range fld.Names {
+										pr.guarded[typeKey+"."+nm.Name] = args[0]
+									}
+								}
 							}
 						}
 					}
@@ -103,6 +165,36 @@ func (pr *Program) index() {
 			}
 		}
 	})
+}
+
+// OwnedState returns the //sns:owner annotation tables: confined type
+// keys ("pkgpath.Name") and confined field keys ("pkgpath.Type.field"),
+// each mapped to the owner-goroutine name. Tests pin the real packages'
+// annotations against these so a dropped marker fails the suite.
+func (pr *Program) OwnedState() (types, fields map[string]string) {
+	pr.index()
+	return pr.owned, pr.ownedField
+}
+
+// GuardedFields returns the //sns:guardedby annotation table: field keys
+// ("pkgpath.Type.field") mapped to the guarding mutex field's name.
+func (pr *Program) GuardedFields() map[string]string {
+	pr.index()
+	return pr.guarded
+}
+
+// MarkedFunctions returns the sorted FullNames of every function whose
+// doc comment carries the given //sns:<marker>.
+func (pr *Program) MarkedFunctions(marker string) []string {
+	pr.index()
+	var out []string
+	for name, sf := range pr.funcs {
+		if hasMarker(sf.Decl.Doc, marker) {
+			out = append(out, name)
+		}
+	}
+	insertionSortStrings(out)
+	return out
 }
 
 // FuncSource returns the source declaration of fn, if the program holds

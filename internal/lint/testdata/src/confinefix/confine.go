@@ -1,0 +1,111 @@
+// Package confinefix exercises the confine analyzer: an owner-annotated
+// core type and field, a trusted //sns:goroutine loop, a //sns:dispatch
+// conveyor, an //sns:ownerinit constructor, and the leak shapes the pass
+// must flag — direct access from an unproven context, a go-statement
+// literal, and a function that escapes as a value.
+package confinefix
+
+// Core is the confined state: only the looper goroutine may touch it.
+//
+//sns:owner looper
+type Core struct {
+	n int
+}
+
+// Tick mutates the core; receiver-field access inside the confined
+// type's own methods is exempt — the boundary is Tick's call sites.
+func (c *Core) Tick() { c.n++ }
+
+// Server routes work to the looper goroutine over cmds.
+type Server struct {
+	core *Core
+	cmds chan func()
+	// fin is the looper's scratch state.
+	//
+	//sns:owner looper
+	fin []int
+}
+
+// New runs before the looper goroutine exists, so it may touch anything.
+//
+//sns:ownerinit
+func New() *Server {
+	s := &Server{core: &Core{}, cmds: make(chan func(), 8)}
+	s.fin = nil
+	s.core.Tick()
+	go s.run()
+	return s
+}
+
+// run is the looper goroutine's body: the annotation is the trust root.
+//
+//sns:goroutine looper
+func (s *Server) run() {
+	s.core.Tick()
+	s.fin = nil
+	helper(s)
+	for f := range s.cmds {
+		f()
+	}
+}
+
+// helper has no annotation: the fixpoint proves it onto the looper
+// because run is its only caller.
+func helper(s *Server) {
+	s.core.Tick()
+}
+
+// exec conveys closures to the looper goroutine over cmds.
+//
+//sns:dispatch looper
+func (s *Server) exec(f func()) {
+	s.cmds <- f
+}
+
+// handler runs on a request goroutine: dispatched closures are fine,
+// direct access is a leak.
+func handler(s *Server) {
+	s.exec(func() {
+		s.core.Tick()
+		s.fin = nil
+	})
+	s.core.Tick() // want "confined type confinefix.Core"
+	s.fin = nil   // want "confined field confinefix.Server.fin"
+}
+
+// spawnBad mints a fresh goroutine that reaches into the core.
+func spawnBad(s *Server) {
+	go func() {
+		s.core.Tick() // want "confined type confinefix.Core"
+	}()
+}
+
+// escaped is referenced as a value below, so it may run anywhere.
+func escaped(s *Server) {
+	s.core.Tick() // want "confined type confinefix.Core"
+}
+
+var hook = escaped
+
+// suppressed carries a justified directive on the offending line.
+func suppressed(s *Server) {
+	//lint:confine read-only probe during single-threaded shutdown, looper already joined
+	s.core.Tick()
+}
+
+// bare shows that an unjustified directive is itself a finding and
+// suppresses nothing.
+func bare(s *Server) {
+	//lint:confine // want "needs a justification"
+	s.core.Tick() // want "confined type confinefix.Core"
+}
+
+// spawnAll roots the request-path functions in an anonymous-goroutine
+// context, so the fixpoint assigns them the empty owner set.
+func spawnAll(s *Server) {
+	go func() {
+		handler(s)
+		suppressed(s)
+		bare(s)
+	}()
+}

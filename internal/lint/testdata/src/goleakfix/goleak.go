@@ -1,0 +1,113 @@
+// Package goleakfix exercises the goleak analyzer: the three provable
+// join shapes (WaitGroup fan-out, done-channel pair, close-terminated
+// worker), the leak shapes that lack them, and the directive escape
+// hatch for process-lifetime goroutines.
+package goleakfix
+
+import "sync"
+
+// worker joins through a quit/done channel pair: loop closes done on
+// exit, Stop receives it.
+type worker struct {
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newWorker() *worker {
+	w := &worker{quit: make(chan struct{}), done: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+func (w *worker) loop() {
+	defer close(w.done)
+	<-w.quit
+}
+
+func (w *worker) Stop() {
+	close(w.quit)
+	<-w.done
+}
+
+// fanOut joins through the WaitGroup: every spawn Dones a group this
+// same function Waits on.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutNoWait Dones a group nobody Waits on.
+func fanOutNoWait(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "join"
+			defer wg.Done()
+		}()
+	}
+}
+
+// spawnNoReceive closes a channel nothing in the program receives from.
+func spawnNoReceive() chan struct{} {
+	done := make(chan struct{})
+	go func() { // want "join"
+		close(done)
+	}()
+	return done
+}
+
+// pool's worker is close-terminated: run ranges over the channel its
+// spawner passed in, and Close closes that channel.
+type pool struct {
+	start chan int
+}
+
+func newPool() *pool {
+	p := &pool{start: make(chan int)}
+	go p.run(p.start)
+	return p
+}
+
+func (p *pool) run(ch chan int) {
+	for range ch {
+	}
+}
+
+func (p *pool) Close() { close(p.start) }
+
+// leaky spins forever with no join evidence.
+func leaky() {
+	for {
+	}
+}
+
+func spawnLeaky() {
+	go leaky() // want "join"
+}
+
+func spawnAnon() {
+	go func() {}() // want "join"
+}
+
+// probe's goroutine is unprovable but harmless: the buffered send never
+// blocks, so a justified directive documents it.
+func probe() chan int {
+	res := make(chan int, 1)
+	//lint:goleak buffered result channel: the probe sends once and exits, it cannot block
+	go func() {
+		res <- 1
+	}()
+	return res
+}
+
+// bareDirective shows an unjustified directive is itself a finding.
+func bareDirective() {
+	//lint:goleak // want "needs a justification"
+	go func() {}() // want "join"
+}

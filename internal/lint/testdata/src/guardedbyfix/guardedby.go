@@ -1,0 +1,112 @@
+// Package guardedbyfix exercises the guardedby analyzer: a Mutex- and an
+// RWMutex-guarded field, straight-line and branchy lock/unlock shapes, a
+// //sns:locked helper with checked call sites, and the RLock write rule.
+package guardedbyfix
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	//sns:guardedby mu
+	n int
+
+	rw sync.RWMutex
+	//sns:guardedby rw
+	m map[string]int
+}
+
+// newTable constructs without locks: composite-literal initialization of
+// an unshared value is exempt.
+func newTable() *table {
+	return &table{m: map[string]int{}}
+}
+
+// locked holds the mutex across the access, released by defer.
+func (t *table) locked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+func (t *table) unlocked() int {
+	return t.n // want "guarded"
+}
+
+// branchLock releases in one branch only: the fall-through access is not
+// provably protected.
+func (t *table) branchLock(b bool) {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+	}
+	t.n = 1 // want "guarded"
+	if !b {
+		t.mu.Unlock()
+	}
+}
+
+func (t *table) unlockThenTouch() {
+	t.mu.Lock()
+	t.n = 1
+	t.mu.Unlock()
+	t.n = 2 // want "guarded"
+}
+
+// get reads under the read lock: allowed.
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// putUnderRLock writes under the read lock: a write needs Lock.
+func (t *table) putUnderRLock(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = 1 // want "write"
+}
+
+func (t *table) put(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = 1
+}
+
+// bump assumes the caller already holds mu.
+//
+//sns:locked mu
+func (t *table) bump() {
+	t.n++
+}
+
+func (t *table) callsHelperLocked() {
+	t.mu.Lock()
+	t.bump()
+	t.mu.Unlock()
+}
+
+func (t *table) callsHelperUnlocked() {
+	t.bump() // want "requires t.mu held"
+}
+
+// closureLeak captures the receiver: the literal may run later on any
+// goroutine, so it starts with an empty lockset.
+func (t *table) closureLeak() func() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return func() {
+		t.n = 3 // want "guarded"
+	}
+}
+
+// suppressed carries a justified directive.
+func (t *table) suppressed() int {
+	//lint:guardedby read during single-threaded teardown; all writers have exited
+	return t.n
+}
+
+// bareDirective shows an unjustified directive is itself a finding.
+func (t *table) bareDirective() int {
+	//lint:guardedby // want "needs a justification"
+	return t.n // want "guarded"
+}

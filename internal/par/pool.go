@@ -28,8 +28,13 @@ type Pool struct {
 
 	// fn/n are the active batch, published to the workers by the start
 	// sends (channel send happens-before the matching receive) and read
-	// back by wg.Wait (Done happens-before Wait returns).
-	fn   func(i int)
+	// back by wg.Wait (Done happens-before Wait returns). That pairing is
+	// the "poolbatch" ownership the confine pass pins: only Run and loop
+	// may touch these.
+	//
+	//sns:owner poolbatch
+	fn func(i int)
+	//sns:owner poolbatch
 	n    int
 	next atomic.Int64
 }
@@ -65,7 +70,13 @@ func (p *Pool) Width() int { return p.width }
 // The result of every fn call is visible to the caller when Run
 // returns.
 //
+// Run is a trusted "poolbatch" context: the pool is not reentrant, and
+// the start-send / wg.Wait pair orders its batch-field writes against
+// every worker's reads, so whichever goroutine calls Run owns the batch
+// for the duration of the call.
+//
 //sns:hotpath
+//sns:goroutine poolbatch
 func (p *Pool) Run(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -94,7 +105,12 @@ func (p *Pool) Run(n int, fn func(i int)) {
 }
 
 // loop is one worker: park on the wake channel, drain the shared index
-// counter, report done; exit when the channel closes.
+// counter, report done; exit when the channel closes. A parked worker
+// reads the batch fields only between a start receive and its Done —
+// the window Run publishes them for — so it is a trusted "poolbatch"
+// context too.
+//
+//sns:goroutine poolbatch
 func (p *Pool) loop(start chan struct{}) {
 	for range start {
 		n := p.n

@@ -44,7 +44,9 @@ func (c *Client) do(req *http.Request, want int, out any) error {
 		var e struct {
 			Error string `json:"error"`
 		}
-		json.NewDecoder(resp.Body).Decode(&e)
+		// Best-effort: the status code alone is a usable error; a body
+		// that is not the error shape just leaves Msg empty.
+		_ = json.NewDecoder(resp.Body).Decode(&e)
 		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
 	}
 	if out == nil {

@@ -44,9 +44,12 @@ type Op struct {
 // request goroutines and the scheduler goroutine resolves them, so the
 // table takes a lock; the core itself never does.
 type opTable struct {
-	mu      sync.Mutex
-	seq     int
-	ops     map[string]*Op
+	mu sync.Mutex
+	//sns:guardedby mu
+	seq int
+	//sns:guardedby mu
+	ops map[string]*Op
+	//sns:guardedby mu
 	pending int
 }
 
@@ -148,9 +151,11 @@ func (t *opTable) load(ops []Op) {
 	t.pending = 0
 }
 
-// opSeq extracts the numeric suffix of an op ID for ordering.
+// opSeq extracts the numeric suffix of an op ID for ordering. A
+// malformed ID (impossible for table-minted ops) scans as 0 and sorts
+// first, so the error is deliberately dropped.
 func opSeq(id string) int {
 	var n int
-	fmt.Sscanf(id, "op-%d", &n)
+	_, _ = fmt.Sscanf(id, "op-%d", &n)
 	return n
 }

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -83,9 +84,17 @@ type Server struct {
 	once  sync.Once
 	reqID atomic.Int64
 
-	// Scheduler-goroutine state.
-	clock   clock
-	fin     finishHeap
+	// clock is written only during construction (//sns:ownerinit); after
+	// Start it is read-only, so handlers may stamp ops with clock.now().
+	clock clock
+	// fin is the completion heap, owned by the scheduler goroutine.
+	//
+	//sns:owner scheduler
+	fin finishHeap
+	// stopErr is written by the scheduler goroutine during drainAndStop;
+	// Shutdown reads it only after <-done orders the write before it.
+	//
+	//sns:owner scheduler
 	stopErr error
 }
 
@@ -100,7 +109,11 @@ func (c clock) now() float64 {
 	return c.base + time.Since(c.start).Seconds()*c.scale
 }
 
-// New builds a daemon over a fresh (or externally prepared) core.
+// New builds a daemon over a fresh (or externally prepared) core. It
+// runs before the scheduler goroutine exists, so it may touch the core
+// and the scheduler state freely.
+//
+//sns:ownerinit
 func New(cfg Config) (*Server, error) {
 	if cfg.Core == nil {
 		return nil, errors.New("api: config needs a core")
@@ -144,7 +157,10 @@ func New(cfg Config) (*Server, error) {
 
 // Load rebuilds a daemon from the snapshot at cfg.SnapshotPath: the core
 // (with every reservation re-applied), the op table, and the virtual
-// clock epoch. Profiles are re-resolved from db.
+// clock epoch. Profiles are re-resolved from db. Like New, it runs
+// before the scheduler goroutine exists.
+//
+//sns:ownerinit
 func Load(cfg Config, db *profiler.DB) (*Server, error) {
 	if cfg.SnapshotPath == "" {
 		return nil, errors.New("api: Load needs a snapshot path")
@@ -210,12 +226,16 @@ func (s *Server) Start() {
 func (s *Server) Shutdown() error {
 	s.once.Do(func() { close(s.quit) })
 	<-s.done
+	//lint:confine read after <-s.done: the scheduler goroutine's exit (and its stopErr write) happens-before this load
 	return s.stopErr
 }
 
 // Nodes returns the served cluster's size. It reads configuration, not
 // mutable core state, so it is safe from any goroutine.
-func (s *Server) Nodes() int { return s.cfg.Core.Config().Nodes }
+func (s *Server) Nodes() int {
+	//lint:confine Config copies the immutable construction-time config; no mutable core state is read
+	return s.cfg.Core.Config().Nodes
+}
 
 // ServeHTTP implements http.Handler with the daemon middleware applied.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +264,12 @@ func (h finishHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *finishHeap) Push(x any)   { *h = append(*h, x.(finishEntry)) }
 func (h *finishHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
+// run is the scheduler goroutine: the one context that owns the core
+// and the completion heap. The annotation is the trust root the confine
+// pass builds its proof from; Start spawning exactly this function is
+// what makes it true.
+//
+//sns:goroutine scheduler core
 func (s *Server) run() {
 	defer close(s.done)
 	for {
@@ -336,7 +362,11 @@ func (s *Server) drainAndStop() {
 	s.cfg.Core.Close()
 }
 
-// exec hands a mutation to the scheduler goroutine.
+// exec hands a mutation to the scheduler goroutine: closures passed
+// here execute on it (run drains cmds), which is what lets handlers
+// touch the core inside them.
+//
+//sns:dispatch scheduler core
 func (s *Server) exec(fn func(now float64)) error {
 	select {
 	case <-s.quit:
@@ -348,6 +378,8 @@ func (s *Server) exec(fn func(now float64)) error {
 
 // view runs a read on the scheduler goroutine and waits for it, so
 // handlers never touch the core concurrently.
+//
+//sns:dispatch scheduler core
 func (s *Server) view(fn func(now float64)) error {
 	ready := make(chan struct{})
 	if err := s.exec(func(now float64) {
@@ -450,6 +482,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/ops/{id}", s.handleOp)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/debug/goroutines", handleGoroutines)
+}
+
+// handleGoroutines reports the process goroutine count, for leak checks:
+// the smoke test baselines it after startup and asserts the post-load
+// count returns to (near) the baseline, so an orphaned goroutine per
+// request fails the gate instead of accumulating silently.
+func handleGoroutines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int{"goroutines": runtime.NumGoroutine()})
 }
 
 // JobView is a job payload: the core record plus the state rendered for
@@ -466,7 +507,9 @@ func viewOf(j *svc.Job) JobView {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	// The status line is already on the wire; an encode failure here is
+	// a dead client connection, which the server loop already surfaces.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {

@@ -15,7 +15,11 @@ var ErrDuplicate = errors.New("svc: job name already submitted")
 
 // Cluster is the live scheduler core: one cluster's mutable online
 // state. Not safe for concurrent use — confine it to one goroutine (the
-// daemon's scheduler loop) or one event loop (the simulators).
+// daemon's scheduler loop) or one event loop (the simulators). The
+// confine lint pass enforces this: every method call on a Cluster must
+// come from a context proven to run on its owner goroutine.
+//
+//sns:owner core
 type Cluster struct {
 	cfg     Config
 	state   *placement.SimState
@@ -30,7 +34,10 @@ type Cluster struct {
 	placed []*Job // ScheduleRound result scratch
 }
 
-// New builds an all-idle live cluster core.
+// New builds an all-idle live cluster core. Construction runs before
+// the core has an owner goroutine.
+//
+//sns:ownerinit
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("svc: cluster needs nodes, got %d", cfg.Nodes)

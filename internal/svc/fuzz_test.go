@@ -1,0 +1,179 @@
+package svc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"spreadnshare/internal/app"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/placement"
+	"spreadnshare/internal/profiler"
+)
+
+// Profiling the application catalog dominates a fuzz iteration's cost,
+// so the profile DB is built once per process and shared across
+// iterations; it is read-only after construction.
+var (
+	fuzzOnce    sync.Once
+	fuzzDB      *profiler.DB
+	fuzzNode    hw.NodeSpec
+	fuzzProfErr error
+)
+
+func fuzzProfiles() (*profiler.DB, hw.NodeSpec, error) {
+	fuzzOnce.Do(func() {
+		spec := hw.DefaultClusterSpec()
+		cat, err := app.NewCatalog(spec.Node)
+		if err != nil {
+			fuzzProfErr = err
+			return
+		}
+		fuzzDB = profiler.NewDB()
+		fuzzProfErr = profiler.New(spec).ProfileAll(cat, []string{"MG", "BW", "HC", "EP"}, 16, fuzzDB)
+		fuzzNode = spec.Node
+	})
+	return fuzzDB, fuzzNode, fuzzProfErr
+}
+
+var fuzzPrograms = [4]string{"MG", "BW", "HC", "EP"}
+
+// fuzzCore interprets one action stream over one live core. Two
+// interpreters fed the same bytes must traverse identical state
+// trajectories — that is the determinism contract the fuzzer leans on.
+type fuzzCore struct {
+	c     *Cluster
+	model RuntimeModel
+	db    *profiler.DB
+	now   float64
+}
+
+func newFuzzCore(t *testing.T, db *profiler.DB, node hw.NodeSpec) *fuzzCore {
+	t.Helper()
+	c, err := New(Config{
+		Node: node, Nodes: 32, Policy: placement.SNS,
+		MaxScale: 8, ScanDepth: 32, AgingPeriodSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fuzzCore{c: c, model: PolicyRuntime(placement.SNS, node), db: db}
+}
+
+// apply decodes one byte into a core action: submit, round+advance,
+// complete-first-running, or cancel. Every decode is a pure function of
+// the byte and the core's (deterministic) state, so two cores replaying
+// the same stream perform the same calls with the same arguments.
+func (f *fuzzCore) apply(t *testing.T, b byte) {
+	t.Helper()
+	switch b % 4 {
+	case 0: // submit, with a small name space so retries exercise dedup
+		prog := fuzzPrograms[(b>>2)%4]
+		sp := JobSpec{
+			Name:         fmt.Sprintf("f-%d", int(b>>2)%24),
+			Program:      prog,
+			BaseNodes:    1 + int(b>>4)%8,
+			CoresPerNode: 16,
+			RuntimeSec:   50 + float64(b>>3),
+			Alpha:        0.9,
+			MultiNode:    true,
+		}
+		if p, ok := f.db.Get(prog, 16); ok {
+			sp.Profile = p
+		}
+		if _, err := f.c.Submit(sp, f.now); err != nil && !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("submit %+v: %v", sp, err)
+		}
+	case 1: // admission round, then advance the clock
+		f.c.ScheduleRound(f.now, f.model)
+		f.now++
+	case 2: // complete the lowest-ID running job at its predicted finish
+		var target *Job
+		f.c.Each(func(j *Job) {
+			if j.State == Running && (target == nil || j.ID < target.ID) {
+				target = j
+			}
+		})
+		if target != nil {
+			if target.FinishSec > f.now {
+				f.now = target.FinishSec
+			}
+			if err := f.c.Complete(target.ID, f.now); err != nil {
+				t.Fatalf("complete job %d: %v", target.ID, err)
+			}
+		}
+	case 3: // cancel by dense ID; unknown/finished IDs fail identically
+		_ = f.c.Cancel(int(b>>2), f.now)
+	}
+}
+
+// dump renders every observable bit of job and cluster state; two cores
+// are equivalent iff their dumps are byte-identical.
+func dumpCore(c *Cluster) string {
+	var sb strings.Builder
+	c.Each(func(j *Job) {
+		fmt.Fprintf(&sb, "%d %q %s sub=%.6f start=%.6f fin=%.6f scale=%d used=%d nodes=%v\n",
+			j.ID, j.Spec.Name, j.State, j.SubmitSec, j.StartSec, j.FinishSec,
+			j.Scale, j.NodesUsed, j.Nodes)
+	})
+	fmt.Fprintf(&sb, "stats=%+v queued=%d maxfree=%d", c.Stats(), c.QueuedLen(), c.MaxFreeCores())
+	return sb.String()
+}
+
+// FuzzSnapshotRoundTrip drives two identical cores with a fuzzed
+// submit/round/complete/cancel stream, snapshots one mid-stream,
+// restores it, and continues both: the restored core's subsequent
+// placements (and every job timestamp, scale, and node set) must be
+// bit-identical to the uninterrupted run's. This is the live-daemon
+// crash/restore guarantee — a snapshot is a perfect suffix seed, at any
+// split point the fuzzer can find.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 4, 1, 0, 1, 2, 2, 1, 3, 1})
+	f.Add([]byte{16, 48, 80, 1, 112, 1, 2, 0, 1, 2, 3, 7, 1, 2})
+	f.Add(bytes.Repeat([]byte{0, 1, 2}, 20))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256] // bound one iteration's work
+		}
+		db, node, err := fuzzProfiles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := newFuzzCore(t, db, node) // uninterrupted reference
+		snap := newFuzzCore(t, db, node) // snapshotted mid-stream
+		defer func() {
+			full.c.Close()
+			snap.c.Close()
+		}()
+		split := len(data) / 2
+		for _, b := range data[:split] {
+			full.apply(t, b)
+			snap.apply(t, b)
+		}
+		var buf bytes.Buffer
+		if err := snap.c.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(bytes.NewReader(buf.Bytes()), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.c.Close()
+		snap.c = restored
+		for _, b := range data[split:] {
+			full.apply(t, b)
+			snap.apply(t, b)
+		}
+		// A final round each, so work left queued at the end of the
+		// stream is placed — and compared — on both sides too.
+		full.c.ScheduleRound(full.now, full.model)
+		snap.c.ScheduleRound(snap.now, snap.model)
+		if a, b := dumpCore(full.c), dumpCore(snap.c); a != b {
+			t.Fatalf("restored core diverged from uninterrupted run:\n-- uninterrupted --\n%s\n-- restored --\n%s", a, b)
+		}
+	})
+}

@@ -24,6 +24,16 @@ type snapshot struct {
 	Config  Config      `json:"config"`
 	Jobs    []jobRecord `json:"jobs"`
 	Queue   []queueItem `json:"queue"`
+
+	// Capacity carries the raw per-node float capacity arrays. Replaying
+	// the surviving reservations reconstructs integer state exactly, but
+	// the float accumulators keep rounding residue from completed jobs
+	// ((peak-a-b)+a vs peak-b), and those ULPs decide (score, id)
+	// placement ties — FuzzSnapshotRoundTrip found a restored core
+	// picking different nodes than the live one it cloned. Persisting
+	// the floats verbatim makes restore bit-identical. Older snapshots
+	// without the field still restore, from replayed reservations alone.
+	Capacity *placement.Capacity `json:"capacity,omitempty"`
 }
 
 // jobRecord mirrors Job plus its unexported release bookkeeping.
@@ -77,6 +87,8 @@ func (c *Cluster) Snapshot(w io.Writer) error {
 			Res:       j.res,
 		})
 	}
+	capState := c.state.ExportCapacity()
+	s.Capacity = &capState
 	c.pending.Each(func(it placement.Item) {
 		s.Queue = append(s.Queue, queueItem{
 			ID: it.ID, Submit: it.Submit, Priority: it.Priority, Order: it.Order,
@@ -88,11 +100,16 @@ func (c *Cluster) Snapshot(w io.Writer) error {
 
 // Restore rebuilds a core from a Snapshot stream: jobs are re-admitted
 // with their recorded lifecycle, running jobs re-apply their effective
-// reservations (bit-identical capacity state), and the pending queue
+// reservations and the float capacity arrays are then installed
+// verbatim (bit-identical capacity state, rounding residue and all),
+// and the pending queue
 // comes back in its snapshotted order, so the next scheduling round
 // behaves exactly as it would have on the original process. Profiles are
 // re-resolved from db by program name; db may be nil when no job carries
-// a program.
+// a program. Like New, it runs before the rebuilt core has an owner
+// goroutine, so it may mutate core state freely.
+//
+//sns:ownerinit
 func Restore(r io.Reader, db *profiler.DB) (*Cluster, error) {
 	var s snapshot
 	dec := json.NewDecoder(r)
@@ -165,6 +182,15 @@ func Restore(r io.Reader, db *profiler.DB) (*Cluster, error) {
 				eff.Exclusive = false
 				c.state.Reserve(id, eff)
 			}
+		}
+	}
+	// Overwrite the float capacity arrays with the snapshotted values:
+	// reservation replay above rebuilt integer state exactly but cannot
+	// reproduce the rounding residue completed jobs left in the float
+	// accumulators, and that residue participates in placement ties.
+	if s.Capacity != nil {
+		if err := c.state.ImportCapacity(*s.Capacity); err != nil {
+			return nil, fmt.Errorf("svc: restoring capacity: %w", err)
 		}
 	}
 	for _, it := range s.Queue {

@@ -181,6 +181,11 @@ func SimulateBatched(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfi
 	return simulate(jobs, db, node, cfg, batch)
 }
 
+// simulate constructs a private core and drives it from one
+// discrete-event loop on the calling goroutine — nothing escapes, so
+// the whole replay is a legitimate "core" owner context.
+//
+//sns:goroutine core
 func simulate(jobs []Job, db *profiler.DB, node hw.NodeSpec, cfg SimConfig, batch int) (*Result, error) {
 	if err := cfg.Validate(jobs, db, node); err != nil {
 		return nil, err

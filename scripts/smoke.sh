@@ -6,9 +6,17 @@
 # (snapshot on shutdown), restarts it with -restore, and replays the
 # same stream: every retried submission must deduplicate against its
 # pre-restart job, and new work must still flow. Exits non-zero on any
-# lost job, duplicated job, or failed submission.
+# lost job, duplicated job, failed submission, leaked goroutine, or if
+# the whole run exceeds the watchdog timeout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Watchdog: a hung daemon (deadlocked scheduler goroutine, stuck drain)
+# must fail the gate, not wedge CI. Re-exec the script under timeout.
+SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-300}"
+if [[ -z "${SMOKE_WATCHDOG:-}" ]] && command -v timeout >/dev/null 2>&1; then
+	SMOKE_WATCHDOG=1 exec timeout --signal=TERM --kill-after=10 "$SMOKE_TIMEOUT" "$0" "$@"
+fi
 
 PORT="${SMOKE_PORT:-18080}"
 ADDR="http://127.0.0.1:${PORT}"
@@ -36,17 +44,40 @@ wait_healthy() {
 	return 1
 }
 
+goroutines() {
+	curl -fsS "$ADDR/v1/debug/goroutines" | grep -o '[0-9]\+'
+}
+
+# check_no_leak polls the daemon's goroutine count until it returns to
+# the post-startup baseline (plus slack for in-flight HTTP conns); a
+# count that stays elevated means request handling leaked goroutines.
+check_no_leak() {
+	local baseline="$1" now
+	for _ in $(seq 1 50); do
+		now="$(goroutines)"
+		if (( now <= baseline + 2 )); then
+			echo "smoke: goroutines ok (baseline=$baseline now=$now)"
+			return 0
+		fi
+		sleep 0.2
+	done
+	echo "smoke: goroutine leak: baseline=$baseline now=$(goroutines)" >&2
+	return 1
+}
+
 echo "== smoke: fresh daemon =="
 "$WORK/snsd" -listen "127.0.0.1:${PORT}" -nodes 256 -policy SNS \
 	-timescale 1 -snapshot "$SNAP" &
 DAEMON_PID=$!
 wait_healthy
+BASELINE1="$(goroutines)"
 
 echo "== smoke: load (jobs stay live: long runtimes at timescale 1) =="
 "$WORK/snsload" -addr "$ADDR" -jobs 200 -max-nodes 16 -concurrency 8 \
 	-name-prefix smoke | tee "$WORK/load1.out"
 grep -q 'failed=0' "$WORK/load1.out"
 grep -q 'submitted=200' "$WORK/load1.out"
+check_no_leak "$BASELINE1"
 
 echo "== smoke: SIGTERM (drain + snapshot) =="
 kill -TERM "$DAEMON_PID"
@@ -59,6 +90,7 @@ echo "== smoke: restore =="
 	-timescale 1 -snapshot "$SNAP" -restore &
 DAEMON_PID=$!
 wait_healthy
+BASELINE2="$(goroutines)"
 
 echo "== smoke: replay the same stream (must fully dedup) =="
 "$WORK/snsload" -addr "$ADDR" -jobs 200 -max-nodes 16 -concurrency 8 \
@@ -73,6 +105,7 @@ echo "== smoke: new work still flows =="
 	-name-prefix smoke2 | tee "$WORK/load3.out"
 grep -q 'failed=0' "$WORK/load3.out"
 grep -q 'submitted=20' "$WORK/load3.out"
+check_no_leak "$BASELINE2"
 
 echo "== smoke: clean shutdown =="
 kill -TERM "$DAEMON_PID"
