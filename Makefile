@@ -11,9 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs the determinism linter (internal/lint via cmd/snslint) over
-# the deterministic packages. Findings are hard failures; suppressions
-# need a justified //lint: directive.
+# lint runs the snslint multichecker (internal/lint via cmd/snslint):
+# the determinism passes over the deterministic packages plus the Wide
+# concurrency and state-integrity passes (confine/guardedby/goleak,
+# statefield/transition/exhaustive) over every package. Findings are
+# hard failures; suppressions need a justified //lint: directive.
 lint:
 	$(GO) run ./cmd/snslint ./...
 

@@ -1,9 +1,10 @@
-// Command snslint is the determinism and concurrency multichecker: it
-// runs the internal/lint analysis suite (mapiter, walltime, floateq,
-// unitflow, allocfree, confine, guardedby, goleak) and fails the build
-// on any finding. It is the mechanical form of DESIGN.md's determinism,
-// dimensional, and concurrency rules and runs as part of `make lint` /
-// `make check` / CI.
+// Command snslint is the determinism, concurrency, and state-integrity
+// multichecker: it runs the internal/lint analysis suite (mapiter,
+// walltime, floateq, unitflow, allocfree, confine, guardedby, goleak,
+// statefield, transition, exhaustive) and fails the build on any
+// finding. It is the mechanical form of DESIGN.md's determinism,
+// dimensional, concurrency, and state-integrity rules and runs as part
+// of `make lint` / `make check` / CI.
 //
 // Usage:
 //
@@ -12,12 +13,15 @@
 // With no arguments it checks ./... — the deterministic set (see
 // internal/lint.DeterministicPackages) gets every pass, every other
 // matched package (the daemon, CLI glue, examples) gets the Wide
-// concurrency passes, and -all forces every matched package through the
-// whole suite. The whole match is type-checked once and shared by all
-// passes; the interprocedural passes (unitflow, allocfree, and the
-// concurrency trio) resolve calls and types across it, so run the full
-// module (the default ./...) rather than a subset — analyzing a slice
-// of the module leaves boundary calls unresolvable. Findings are
+// concurrency and state-integrity passes, and -all forces every matched
+// package through the whole suite. The whole match is type-checked once
+// and shared by all passes; the interprocedural passes (unitflow,
+// allocfree, the concurrency trio, and the state-integrity trio)
+// resolve calls and types across it, so run the full module (the
+// default ./...) rather than a subset — analyzing a slice of the module
+// leaves boundary calls unresolvable. After the shared caches are
+// warmed, packages are analyzed in parallel over an internal/par pool;
+// findings are reported in position order either way. Findings are
 // suppressed line by line with a justified directive, e.g.
 //
 //	//lint:ordered ids are sorted before use
@@ -73,30 +77,37 @@ func main() {
 	}
 	prog := lint.NewProgram(pkgs)
 
-	findings := []jsonFinding{}
 	checked := 0
 	for _, p := range pkgs {
-		det := lint.DeterministicPackages[p.Path]
-		if det {
+		if lint.DeterministicPackages[p.Path] {
 			checked++
 		}
+	}
+	// Packages fan out over a worker pool; RunParallel sorts the merged
+	// findings by position, so the output is byte-identical at any width.
+	diags := lint.RunParallel(prog, func(p *lint.Package) []lint.Diagnostic {
+		det := lint.DeterministicPackages[p.Path]
+		var out []lint.Diagnostic
 		for _, a := range lint.Analyzers() {
 			if !*all && !det && !a.Wide {
 				continue
 			}
-			for _, d := range lint.Run(a, prog, p) {
-				if !*jsonOut {
-					fmt.Println(d)
-				}
-				findings = append(findings, jsonFinding{
-					File:     d.Pos.Filename,
-					Line:     d.Pos.Line,
-					Column:   d.Pos.Column,
-					Analyzer: d.Analyzer,
-					Message:  d.Message,
-				})
-			}
+			out = append(out, lint.Run(a, prog, p)...)
 		}
+		return out
+	})
+	findings := []jsonFinding{}
+	for _, d := range diags {
+		if !*jsonOut {
+			fmt.Println(d)
+		}
+		findings = append(findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -25,7 +25,10 @@ import (
 	"spreadnshare/internal/units"
 )
 
-// State is a job's lifecycle state.
+// State is a job's lifecycle state. The exhaustive lint pass keeps
+// every switch over it covering all four states.
+//
+//sns:enum
 type State int
 
 const (
@@ -89,7 +92,10 @@ type Job struct {
 
 	// Start and Finish are set by the engine.
 	Start, Finish float64
-	// State is the lifecycle state.
+	// State is the lifecycle state; the transition lint pass checks
+	// every write against these edges.
+	//
+	//sns:statemachine Pending>Running,Running>Done,Running>Cancelled
 	State State
 
 	// remaining is normalized remaining work in [0, 1].

@@ -47,6 +47,86 @@ func BenchmarkAnalyzeConcurrency(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeState measures the warm cost of the three Wide
+// state-integrity passes (statefield, transition, exhaustive) over
+// every loaded package. Like the concurrency trio, the interprocedural
+// work (the field-flow index, the state-machine proofs) runs once per
+// Program and is cached; a warm analyze is directive matching, the
+// per-package exhaustive switch walk, and cached-finding replay, and
+// must stay well under 100ms on CI hardware.
+func BenchmarkAnalyzeState(b *testing.B) {
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	passes := []*Analyzer{Statefield, Transition, Exhaustive}
+	prog.Warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, p := range prog.Packages {
+			for _, a := range passes {
+				n += len(Run(a, prog, p))
+			}
+		}
+		if n != 0 {
+			b.Fatalf("repo is not state-clean: %d findings", n)
+		}
+	}
+}
+
+// BenchmarkWideSerial and BenchmarkWideParallel record the before/after
+// of fanning the Wide passes out over internal/par (the cmd/snslint and
+// TestRepoIsClean execution shape). The parallel speedup is bounded by
+// the pool width — on a single-CPU runner the two are equivalent and
+// the comparison just prices RunParallel's pool and sort overhead.
+func BenchmarkWideSerial(b *testing.B) {
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.Warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var diags []Diagnostic
+		for _, p := range prog.Packages {
+			for _, a := range Analyzers() {
+				if !a.Wide {
+					continue
+				}
+				diags = append(diags, Run(a, prog, p)...)
+			}
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo is not lint-clean: %d findings", len(diags))
+		}
+	}
+}
+
+func BenchmarkWideParallel(b *testing.B) {
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.Warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags := RunParallel(prog, func(p *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, a := range Analyzers() {
+				if !a.Wide {
+					continue
+				}
+				out = append(out, Run(a, prog, p)...)
+			}
+			return out
+		})
+		if len(diags) != 0 {
+			b.Fatalf("repo is not lint-clean: %d findings", len(diags))
+		}
+	}
+}
+
 // BenchmarkAnalyzeRepo measures the marginal cost of the analysis suite
 // itself once the program is loaded and its interprocedural indexes are
 // warm — the part that reruns per analyzer, not per process.

@@ -34,12 +34,26 @@
 //     join or termination path — a WaitGroup Done/Wait pair, a
 //     done-channel close/receive pair, or a close-terminated worker
 //     loop.
+//   - statefield: every field of a //sns:persist-annotated struct must
+//     be proven copied into and restored from its snapshot mirror, be
+//     //sns:derived with the rebuild function reachable from the
+//     restore path, or carry a justified suppression — persistence
+//     gaps (the PR 8 capacity bug) become vet-time findings.
+//   - transition: //sns:statemachine-annotated fields may only be
+//     written where the prior state is a provable predecessor of the
+//     new one along the declared edges (dominating comparison or
+//     switch on the field, or a //sns:transition helper whose call
+//     sites are checked instead).
+//   - exhaustive: switches over //sns:enum types must cover every
+//     declared constant; a default clause that silently swallows
+//     unhandled values is itself a finding.
 //
-// The last five passes are interprocedural: they run over a Program (all
+// The last eight passes are interprocedural: they run over a Program (all
 // packages type-checked once, with shared cross-package indexes) rather
-// than one package at a time. The three concurrency passes additionally
-// run Wide — over every loaded package, because the daemon and CLI glue
-// sit outside the deterministic set but still own goroutines and locks.
+// than one package at a time. The concurrency and state-integrity passes
+// additionally run Wide — over every loaded package, because the daemon
+// and CLI glue sit outside the deterministic set but still own
+// goroutines, locks, and persisted state.
 //
 // A finding can be suppressed with a justified directive comment on the
 // offending line or the line above:
@@ -50,6 +64,9 @@
 //	//lint:allocfree scratch append; capacity is stable after warm-up
 //	//lint:confine read after <-done: the owner goroutine's exit happens-before
 //	//lint:goleak listener goroutine is process-lifetime by design
+//	//lint:statefield round-local scratch, rebuilt from zero each ScheduleRound
+//	//lint:transition restore re-admits recorded states written by checked transitions
+//	//lint:exhaustive remaining arms unreachable: parser rejects them upstream
 //
 // The justification text is mandatory: a bare directive is itself a
 // diagnostic. cmd/snslint wires the passes into a multichecker run by
@@ -64,6 +81,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"spreadnshare/internal/par"
 )
 
 // An Analyzer describes one static-analysis pass. It mirrors the shape
@@ -238,11 +257,51 @@ func Run(a *Analyzer, prog *Program, pkg *Package) []Diagnostic {
 }
 
 // Analyzers returns the full suite in report order: the three
-// determinism passes, the two interprocedural semantic passes, then the
-// three concurrency passes (which are Wide: they run over every loaded
-// package, not just the deterministic set).
+// determinism passes, the two interprocedural semantic passes, the
+// three concurrency passes, then the three state-integrity passes (the
+// last six are Wide: they run over every loaded package, not just the
+// deterministic set).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Mapiter, Walltime, Floateq, Unitflow, Allocfree, Confine, Guardedby, Goleak}
+	return []*Analyzer{
+		Mapiter, Walltime, Floateq, Unitflow, Allocfree,
+		Confine, Guardedby, Goleak,
+		Statefield, Transition, Exhaustive,
+	}
+}
+
+// RunParallel runs the given per-package analysis over every package of
+// prog on an internal/par.Pool and returns the merged findings in a
+// fixed order — sorted by file, line, column, then analyzer name — so
+// the output is byte-identical at any pool width. The program-wide
+// caches are warmed on the calling goroutine first; after that the
+// per-package work only reads immutable type information and replays
+// cached findings, so the fan-out is race-free.
+func RunParallel(prog *Program, analyze func(*Package) []Diagnostic) []Diagnostic {
+	prog.Warm()
+	results := make([][]Diagnostic, len(prog.Packages))
+	pool := par.NewPool(0)
+	defer pool.Close()
+	pool.Run(len(prog.Packages), func(i int) {
+		results[i] = analyze(prog.Packages[i])
+	})
+	var out []Diagnostic
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i].Pos, out[k].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[k].Analyzer
+	})
+	return out
 }
 
 // DeterministicPackages is the set of import paths whose runtime code

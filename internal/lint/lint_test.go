@@ -88,11 +88,71 @@ func TestConfineFixture(t *testing.T)   { runFixture(t, Confine, "confinefix") }
 func TestGuardedbyFixture(t *testing.T) { runFixture(t, Guardedby, "guardedbyfix") }
 func TestGoleakFixture(t *testing.T)    { runFixture(t, Goleak, "goleakfix") }
 
+func TestStatefieldFixture(t *testing.T) { runFixture(t, Statefield, "statefieldfix") }
+func TestTransitionFixture(t *testing.T) { runFixture(t, Transition, "transitionfix") }
+func TestExhaustiveFixture(t *testing.T) { runFixture(t, Exhaustive, "exhaustivefix") }
+
+// TestStatefieldMutation is the mutation-style pin from the issue: the
+// statefield pass exists to catch PR 8's capacity bug (a dropped copy
+// in Snapshot), so deleting the capacity copy from the fixture's encode
+// twin must produce exactly one new finding, on that field.
+func TestStatefieldMutation(t *testing.T) {
+	src := filepath.Join("testdata", "src", "statefieldfix", "statefield.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	deleted := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "// mutation:capacity") {
+			deleted++
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if deleted != 1 {
+		t.Fatalf("fixture has %d mutation:capacity lines, want 1", deleted)
+	}
+	dir := filepath.Join(t.TempDir(), "statefieldfix")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "statefield.go"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(dir string) []Diagnostic {
+		pkg, err := LoadDir(dir, "statefieldfix")
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		return Run(Statefield, NewProgram([]*Package{pkg}), pkg)
+	}
+	base := run(filepath.Join("testdata", "src", "statefieldfix"))
+	mutated := run(dir)
+	if len(mutated) != len(base)+1 {
+		t.Fatalf("mutant produced %d findings, want baseline %d + 1:\n%v", len(mutated), len(base), mutated)
+	}
+	fresh := 0
+	for _, d := range mutated {
+		if strings.Contains(d.Message, "field capacity") &&
+			strings.Contains(d.Message, "never copied into it on the snapshot path") {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Fatalf("deleting the capacity copy yielded %d capacity findings, want exactly 1:\n%v", fresh, mutated)
+	}
+}
+
 // TestRepoIsClean runs the full suite over the repository — the same
 // gate `make lint` enforces, kept inside `go test ./...` so the
 // contract cannot drift even where only the test suite runs. The
 // deterministic packages get every pass; everything else (the daemon,
-// CLI glue, examples) still gets the Wide concurrency passes.
+// CLI glue, examples) still gets the Wide concurrency and
+// state-integrity passes. Packages fan out over RunParallel, exactly as
+// cmd/snslint runs them.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide lint needs go list + full type-checking")
@@ -103,18 +163,23 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	checked := 0
 	for _, p := range prog.Packages {
-		det := DeterministicPackages[p.Path]
-		if det {
+		if DeterministicPackages[p.Path] {
 			checked++
 		}
+	}
+	diags := RunParallel(prog, func(p *Package) []Diagnostic {
+		det := DeterministicPackages[p.Path]
+		var out []Diagnostic
 		for _, a := range Analyzers() {
 			if !det && !a.Wide {
 				continue
 			}
-			for _, d := range Run(a, prog, p) {
-				t.Errorf("%s", d)
-			}
+			out = append(out, Run(a, prog, p)...)
 		}
+		return out
+	})
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 	if checked != len(DeterministicPackages) {
 		t.Errorf("checked %d deterministic packages, want %d", checked, len(DeterministicPackages))
@@ -250,6 +315,73 @@ func TestHotpathCoverage(t *testing.T) {
 	}
 	if len(covered) < len(required) {
 		t.Errorf("allocfree covers %d functions, expected at least %d", len(covered), len(required))
+	}
+}
+
+// TestStateAnnotationCoverage pins the real packages' state-integrity
+// annotations, the same way the concurrency coverage test pins the
+// confine/guardedby/goleak anchors: the statefield, transition, and
+// exhaustive passes are annotation-driven, so deleting a //sns:persist,
+// //sns:statemachine, or //sns:enum marker must fail this test instead
+// of silently shrinking what gets linted.
+func TestStateAnnotationCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint needs go list + full type-checking")
+	}
+	prog, err := LoadRepoProgram()
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	pairs := prog.PersistPairs()
+	wantPairs := map[string]string{
+		"spreadnshare/internal/svc.Cluster":     "snapshot",
+		"spreadnshare/internal/svc.Job":         "jobRecord",
+		"spreadnshare/internal/svc/api.opTable": "daemonSnapshot",
+	}
+	for key, mirror := range wantPairs {
+		if got := pairs[key]; got != mirror {
+			t.Errorf("type %s: persist mirror = %q, want %q (//sns:persist missing or changed)", key, got, mirror)
+		}
+	}
+	derived := prog.DerivedFields()
+	wantDerived := map[string]string{
+		"spreadnshare/internal/svc.Job.req":             "buildReq",
+		"spreadnshare/internal/svc.Cluster.search":      "New",
+		"spreadnshare/internal/svc.Cluster.shards":      "New",
+		"spreadnshare/internal/svc.Cluster.audit":       "New",
+		"spreadnshare/internal/svc.Cluster.byName":      "Restore",
+		"spreadnshare/internal/svc.Cluster.counts":      "Restore",
+		"spreadnshare/internal/svc/api.opTable.seq":     "load",
+		"spreadnshare/internal/svc/api.opTable.pending": "load",
+	}
+	for key, fn := range wantDerived {
+		if got := derived[key]; got != fn {
+			t.Errorf("field %s: derived = %q, want %q (//sns:derived missing or changed)", key, got, fn)
+		}
+	}
+	machines := prog.StateMachines()
+	for _, key := range []string{
+		"spreadnshare/internal/svc.Job.State",
+		"spreadnshare/internal/exec.Job.State",
+		"spreadnshare/internal/svc/api.Op.Status",
+	} {
+		if machines[key] == "" {
+			t.Errorf("field %s has no //sns:statemachine annotation", key)
+		}
+	}
+	enums := map[string]bool{}
+	for _, key := range prog.EnumTypes() {
+		enums[key] = true
+	}
+	for _, key := range []string{
+		"spreadnshare/internal/svc.JobState",
+		"spreadnshare/internal/placement.Policy",
+		"spreadnshare/internal/exec.State",
+		"spreadnshare/internal/svc/api.OpStatus",
+	} {
+		if !enums[key] {
+			t.Errorf("type %s has no //sns:enum annotation", key)
+		}
 	}
 }
 

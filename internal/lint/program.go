@@ -36,6 +36,18 @@ type Program struct {
 	ownedField map[string]string
 	guarded    map[string]string
 
+	// State-integrity annotations (see statefield.go / transition.go /
+	// exhaustive.go): persist maps //sns:persist-marked live types
+	// ("pkgpath.Name") to their declared mirror pair, derived maps field
+	// keys ("pkgpath.Type.field") to the //sns:derived rebuild function
+	// name, machines maps //sns:statemachine field keys to their edge
+	// declarations, and enums holds the //sns:enum type keys whose
+	// switches must be exhaustive.
+	persist  map[string]*persistPair
+	derived  map[string]string
+	machines map[string]*machineDecl
+	enums    map[string]bool
+
 	implMu sync.Mutex
 	impls  map[string][]*SrcFunc // interface-method FullName -> source impls
 
@@ -48,6 +60,12 @@ type Program struct {
 
 	leakOnce sync.Once
 	leakMap  map[*types.Package][]posFinding
+
+	stateOnce sync.Once
+	stateMap  map[*types.Package][]posFinding
+
+	transOnce sync.Once
+	transMap  map[*types.Package][]posFinding
 }
 
 // SrcFunc is a function declaration paired with the package that holds
@@ -108,6 +126,10 @@ func (pr *Program) index() {
 		pr.owned = map[string]string{}
 		pr.ownedField = map[string]string{}
 		pr.guarded = map[string]string{}
+		pr.persist = map[string]*persistPair{}
+		pr.derived = map[string]string{}
+		pr.machines = map[string]*machineDecl{}
+		pr.enums = map[string]bool{}
 		for _, pkg := range pr.Packages {
 			for _, f := range pkg.Files {
 				for _, decl := range f.Decls {
@@ -143,6 +165,18 @@ func (pr *Program) index() {
 									pr.owned[typeKey] = args[0]
 								}
 							}
+							if hasMarker(ts.Doc, "sns:enum") ||
+								(len(d.Specs) == 1 && hasMarker(d.Doc, "sns:enum")) {
+								pr.enums[typeKey] = true
+							}
+							if args, ok := typeMarkerArgs(d, ts, "sns:persist"); ok && len(args) == 1 {
+								pr.persist[typeKey] = &persistPair{
+									pkg:     pkg,
+									spec:    ts,
+									liveKey: typeKey,
+									mirror:  args[0],
+								}
+							}
 							st, ok := ts.Type.(*ast.StructType)
 							if !ok {
 								continue
@@ -158,6 +192,22 @@ func (pr *Program) index() {
 										pr.guarded[typeKey+"."+nm.Name] = args[0]
 									}
 								}
+								if args, ok := markerArgs(fld.Doc, "sns:derived"); ok && len(args) == 1 {
+									for _, nm := range fld.Names {
+										pr.derived[typeKey+"."+nm.Name] = args[0]
+									}
+								}
+								if args, ok := markerArgs(fld.Doc, "sns:statemachine"); ok && len(args) == 1 {
+									for _, nm := range fld.Names {
+										pr.machines[typeKey+"."+nm.Name] = &machineDecl{
+											pkg:       pkg,
+											structKey: typeKey,
+											field:     nm.Name,
+											pos:       nm.Pos(),
+											edges:     args[0],
+										}
+									}
+								}
 							}
 						}
 					}
@@ -165,6 +215,73 @@ func (pr *Program) index() {
 			}
 		}
 	})
+}
+
+// typeMarkerArgs reads a marker off a type declaration, accepting both
+// comment placements gofmt produces: on the TypeSpec (grouped decls) and
+// on the GenDecl (the common single-spec `type Foo struct { ... }`).
+func typeMarkerArgs(d *ast.GenDecl, ts *ast.TypeSpec, name string) ([]string, bool) {
+	if args, ok := markerArgs(ts.Doc, name); ok {
+		return args, true
+	}
+	if len(d.Specs) == 1 {
+		return markerArgs(d.Doc, name)
+	}
+	return nil, false
+}
+
+// PersistPairs returns the //sns:persist annotation table: live type
+// keys ("pkgpath.Name") mapped to the mirror type's name in the same
+// package. Tests pin the real packages' annotations against this.
+func (pr *Program) PersistPairs() map[string]string {
+	pr.index()
+	out := map[string]string{}
+	for key, p := range pr.persist {
+		out[key] = p.mirror
+	}
+	return out
+}
+
+// DerivedFields returns the //sns:derived annotation table: field keys
+// ("pkgpath.Type.field") mapped to the rebuild function's name.
+func (pr *Program) DerivedFields() map[string]string {
+	pr.index()
+	return pr.derived
+}
+
+// StateMachines returns the //sns:statemachine annotation table: field
+// keys ("pkgpath.Type.field") mapped to the raw edge declaration.
+func (pr *Program) StateMachines() map[string]string {
+	pr.index()
+	out := map[string]string{}
+	for key, m := range pr.machines {
+		out[key] = m.edges
+	}
+	return out
+}
+
+// EnumTypes returns the sorted type keys carrying //sns:enum.
+func (pr *Program) EnumTypes() []string {
+	pr.index()
+	var out []string
+	for key := range pr.enums {
+		out = append(out, key)
+	}
+	insertionSortStrings(out)
+	return out
+}
+
+// Warm forces every lazily-built index and cached whole-program analysis
+// serially, so a subsequent parallel per-package fan-out (RunParallel)
+// only reads shared state. Each computation is sync.Once-guarded, so
+// Warm is idempotent and cheap when already warm.
+func (pr *Program) Warm() {
+	pr.index()
+	pr.allocFindings()
+	pr.confineFindings()
+	pr.goleakFindings()
+	pr.statefieldFindings()
+	pr.transitionFindings()
 }
 
 // OwnedState returns the //sns:owner annotation tables: confined type

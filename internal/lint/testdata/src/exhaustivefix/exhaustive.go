@@ -1,0 +1,110 @@
+// Package exhaustivefix exercises the exhaustive analyzer: full
+// coverage, missing arms with and without a default, the all-arms-plus-
+// default out-of-range defense, non-constant arms (not decidable, left
+// alone), unannotated types, and the directive escape hatch.
+package exhaustivefix
+
+// color is the checked enum.
+//
+//sns:enum
+type color int
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+// full covers every arm: clean.
+func full(c color) int {
+	switch c {
+	case red:
+		return 1
+	case green:
+		return 2
+	case blue:
+		return 3
+	}
+	return 0
+}
+
+// partial misses an arm and has nowhere for it to go.
+func partial(c color) int {
+	switch c { // want "not exhaustive: missing blue"
+	case red, green:
+		return 1
+	}
+	return 0
+}
+
+// swallow hides the missing arms behind a default.
+func swallow(c color) int {
+	switch c {
+	case red:
+		return 1
+	default: // want "swallows unhandled"
+		return 0
+	}
+}
+
+// defended has every arm plus an out-of-range default: clean.
+func defended(c color) int {
+	switch c {
+	case red, green, blue:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// justified suppresses the swallow with a reason.
+func justified(c color) int {
+	switch c {
+	case red:
+		return 1
+	//lint:exhaustive the parser upstream rejects every non-red input
+	default:
+		return 0
+	}
+}
+
+// bare shows an unjustified directive is itself a finding and does not
+// suppress.
+func bare(c color) int {
+	switch c {
+	case green:
+		return 1
+	//lint:exhaustive // want "needs a justification"
+	default: // want "swallows unhandled"
+		return 0
+	}
+}
+
+// dynamic has a non-constant arm; completeness is not decidable, so the
+// switch is left alone.
+func dynamic(c, x color) int {
+	switch c {
+	case x:
+		return 1
+	}
+	return 0
+}
+
+// plain switches over unannotated types are ignored.
+func plain(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// tagless boolean switches are ignored even when the cases mention the
+// enum.
+func tagless(c color) int {
+	switch {
+	case c == red:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+// Package statefieldfix exercises the statefield analyzer: the clean
+// round trip, every incompleteness shape (never persisted, encode-only,
+// decode-only), the //sns:derived escape with its two failure modes,
+// the sync-type exemption, and the directive escape hatch. The line
+// marked mutation:capacity is deleted by the mutation test to prove the
+// pass catches a dropped copy with exactly one finding.
+package statefieldfix
+
+import "sync"
+
+// core is the live state; snap is its serialized mirror.
+//
+//sns:persist snap
+type core struct {
+	mu       sync.Mutex // never persists: a restored process starts unlocked
+	name     string
+	capacity float64
+	jobs     []int
+	// index is a lookup cache rebuilt from jobs on restore.
+	//
+	//sns:derived reindex
+	index map[string]int
+	// phantom names a rebuild function that does not exist.
+	//
+	//sns:derived vanished
+	phantom int // want "no such function"
+	// stray names a rebuild function the restore path never calls.
+	//
+	//sns:derived orphanRebuild
+	stray    float64 // want "not reachable from the restore path"
+	ghost    int     // want "neither copied"
+	sendOnly int     // want "never written back on the restore path"
+	recvOnly int     // want "never copied into it on the snapshot path"
+	//lint:statefield scratch is rebuilt from zero at the start of every round
+	scratch []int
+	//lint:statefield // want "needs a justification"
+	bare int // want "neither copied"
+}
+
+// snap is core's wire image.
+type snap struct {
+	Name     string
+	Capacity float64
+	Jobs     []int
+	SendOnly int
+	RecvOnly int
+}
+
+// encode builds the wire image of c. The capacity copy carries the
+// mutation marker; everything else exercises a distinct evidence shape
+// (composite key, local carrier, direct assignment).
+func (c *core) encode() snap {
+	s := snap{Name: c.name}
+	s.Capacity = c.capacity // mutation:capacity
+	jobs := c.jobs
+	s.Jobs = jobs
+	s.SendOnly = c.sendOnly
+	return s
+}
+
+// decode rebuilds a core from its wire image.
+func decode(s snap) *core {
+	c := &core{}
+	c.name = s.Name
+	c.capacity = s.Capacity
+	c.jobs = s.Jobs
+	c.recvOnly = s.RecvOnly
+	c.reindex()
+	return c
+}
+
+// reindex rebuilds the jobs index; decode calls it, so index is proven
+// derived.
+func (c *core) reindex() {
+	c.index = make(map[string]int, len(c.jobs))
+}
+
+// orphanRebuild could rebuild stray, but nothing on the restore path
+// calls it.
+func (c *core) orphanRebuild() {
+	c.stray = 0
+}
+
+// lost's mirror never got written.
+//
+//sns:persist lostMirror
+type lost struct { // want "declares no such type"
+	id int
+}
+
+// notAStruct cannot be mirrored field-by-field.
+//
+//sns:persist snap
+type notAStruct int // want "not a struct type"

@@ -1,0 +1,120 @@
+// Package transitionfix exercises the transition analyzer: writes
+// proven by dominating if-guards, early returns, and switch clauses;
+// unproven and wrong-edge writes; non-constant and arithmetic writes;
+// construction seeding; //sns:transition helpers and their call sites;
+// and the directive escape hatch.
+package transitionfix
+
+// phase is the task lifecycle enum.
+type phase int
+
+const (
+	idle phase = iota
+	running
+	done
+	failed
+)
+
+// task walks idle>running, then running>done or running>failed.
+type task struct {
+	id int
+	// state follows the declared lifecycle.
+	//
+	//sns:statemachine idle>running,running>done,running>failed
+	state phase
+}
+
+// start is proven by a dominating comparison.
+func start(t *task) {
+	if t.state == idle {
+		t.state = running
+	}
+}
+
+// finish is proven by an early return that excludes everything else.
+func finish(t *task) {
+	if t.state != running {
+		return
+	}
+	t.state = done
+}
+
+// fail is proven by the enclosing switch clause.
+func fail(t *task) {
+	switch t.state {
+	case running:
+		t.state = failed
+	}
+}
+
+// clobber writes with no guard at all.
+func clobber(t *task) {
+	t.state = done // want "not proven"
+}
+
+// skip proves the wrong predecessor: idle>done is not a declared edge.
+func skip(t *task) {
+	if t.state == idle {
+		t.state = done // want "not proven"
+	}
+}
+
+// restore copies a recorded state wholesale.
+func restore(t *task, s phase) {
+	t.state = s // want "non-constant"
+}
+
+// step moves the enum arithmetically.
+func step(t *task) {
+	t.state++ // want "stepped arithmetically"
+}
+
+// newTask seeds the initial state: clean.
+func newTask(id int) *task {
+	return &task{id: id, state: idle}
+}
+
+// resurrect constructs mid-lifecycle.
+func resurrect(id int) *task {
+	return &task{id: id, state: done} // want "construction may only seed initial states"
+}
+
+// toDone is the checked helper: it asserts running on entry, so its own
+// write is proven and the obligation moves to its call sites.
+//
+//sns:transition running
+func (t *task) toDone() {
+	t.state = done
+}
+
+// completeChecked proves the state before calling the helper.
+func completeChecked(t *task) {
+	if t.state == running {
+		t.toDone()
+	}
+}
+
+// completeUnchecked calls the helper blind.
+func completeUnchecked(t *task) {
+	t.toDone() // want "requires prior state"
+}
+
+// adminReset re-enters the lifecycle deliberately; idle has no incoming
+// edge, so only a justified directive admits this write.
+func adminReset(t *task) {
+	//lint:transition operator-initiated reset discards the run by design
+	t.state = idle
+}
+
+// bareDirective shows an unjustified mute is itself a finding and does
+// not suppress the one it meant to hide.
+func bareDirective(t *task) {
+	//lint:transition // want "needs a justification"
+	t.state = idle // want "not proven"
+}
+
+// wonky names a state the enum does not declare.
+type wonky struct {
+	//sns:statemachine idle>flying
+	state phase // want "does not name two declared"
+}

@@ -1,0 +1,873 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Transition enforces state-machine discipline on fields annotated
+//
+//	//sns:statemachine A>B,B>C,B>D
+//
+// (constant names of the field's enum type, `from>to` edges). A write
+// of such a field to constant C is legal only where the prior state is
+// provably one of C's declared predecessors:
+//
+//   - a dominating comparison on the same field (`if x.f == A {...}`,
+//     `if x.f != A { return }`, including &&/||/! compositions),
+//   - a dominating `switch x.f` case clause (or a preceding switch
+//     whose other clauses all terminate),
+//   - or //sns:transition <from...> on the enclosing helper, which
+//     asserts the prior set for the helper's state-carrying parameter —
+//     and moves the proof obligation to the helper's call sites.
+//
+// Composite literals may set the field only to an initial state (one
+// with no incoming edge); snapshot-restore literals that re-admit
+// recorded states carry a justified suppression instead. Non-constant
+// writes and any write outside the field's declaring package are
+// findings. Suppress with a justified //lint:transition.
+var Transition = &Analyzer{
+	Name: "transition",
+	Wide: true,
+	Doc: "proves writes to //sns:statemachine-annotated fields follow the " +
+		"declared lifecycle edges: the prior state must be a provable " +
+		"predecessor (dominating comparison/switch on the field, or a " +
+		"//sns:transition helper checked at its call sites)",
+	Run: runTransition,
+}
+
+func runTransition(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, f := range pass.Prog.transitionFindings()[pass.Pkg] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// machineDecl is one raw //sns:statemachine annotation site.
+type machineDecl struct {
+	pkg       *Package
+	structKey string // "pkgpath.Type" of the struct declaring the field
+	field     string
+	pos       token.Pos
+	edges     string // raw "A>B,C>D" edge list
+}
+
+// machine is a resolved state machine: the enum type, its declared
+// constants, and the predecessor relation parsed from the edges.
+type machine struct {
+	decl     *machineDecl
+	fieldKey string // structKey + "." + field
+	typeKey  string // "pkgpath.Name" of the enum type
+	states   []string
+	all      map[string]bool
+	preds    map[string]map[string]bool // to -> legal from set
+	initial  map[string]bool            // states with no incoming edge
+}
+
+// transHelper is one //sns:transition-annotated function: it asserts
+// that its state-carrying parameter arrives in one of the from states.
+type transHelper struct {
+	m        *machine
+	from     map[string]bool
+	param    string // the state-carrying parameter's name
+	argIndex int    // index into call Args; -1 = method receiver
+}
+
+// transitionFindings runs the whole-program transition proof once per
+// Program and caches the per-package findings.
+func (pr *Program) transitionFindings() map[*types.Package][]posFinding {
+	pr.transOnce.Do(func() {
+		pr.transMap = map[*types.Package][]posFinding{}
+		pr.index()
+		if len(pr.machines) == 0 {
+			return
+		}
+		machines := pr.resolveMachines()
+		helpers := pr.resolveHelpers(machines)
+		tc := &transChecker{pr: pr, machines: machines, helpers: helpers}
+		for _, pkg := range pr.Packages {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					tc.checkFunc(&SrcFunc{Pkg: pkg, Decl: fd, Obj: obj})
+				}
+			}
+		}
+	})
+	return pr.transMap
+}
+
+func (pr *Program) transReport(pkg *Package, pos token.Pos, format string, args ...any) {
+	pr.transMap[pkg.Types] = append(pr.transMap[pkg.Types],
+		posFinding{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// resolveMachines parses every //sns:statemachine declaration: the
+// field's enum type, the type's declared constants (in value order),
+// and the edge list.
+func (pr *Program) resolveMachines() []*machine {
+	keys := make([]string, 0, len(pr.machines))
+	for k := range pr.machines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []*machine
+	for _, key := range keys {
+		decl := pr.machines[key]
+		m := pr.resolveMachine(decl, key)
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (pr *Program) resolveMachine(decl *machineDecl, fieldKey string) *machine {
+	structName := strings.TrimPrefix(decl.structKey, decl.pkg.Path+".")
+	tn, ok := decl.pkg.Types.Scope().Lookup(structName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var fieldType types.Type
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == decl.field {
+			fieldType = st.Field(i).Type()
+		}
+	}
+	if fieldType == nil {
+		return nil
+	}
+	typeKey, ok := namedKey(fieldType)
+	if !ok {
+		pr.transReport(decl.pkg, decl.pos,
+			"//sns:statemachine on field %s, whose type is not a defined enum type", fieldKey)
+		return nil
+	}
+	m := &machine{
+		decl:     decl,
+		fieldKey: fieldKey,
+		typeKey:  typeKey,
+		all:      map[string]bool{},
+		preds:    map[string]map[string]bool{},
+		initial:  map[string]bool{},
+	}
+	for _, name := range enumConstNames(fieldType) {
+		m.states = append(m.states, name)
+		m.all[name] = true
+	}
+	if len(m.states) == 0 {
+		pr.transReport(decl.pkg, decl.pos,
+			"//sns:statemachine on field %s, but type %s declares no constants", fieldKey, typeKey)
+		return nil
+	}
+	targets := map[string]bool{}
+	for _, edge := range strings.Split(decl.edges, ",") {
+		from, to, ok := strings.Cut(edge, ">")
+		if !ok || !m.all[from] || !m.all[to] {
+			pr.transReport(decl.pkg, decl.pos,
+				"//sns:statemachine edge %q on field %s does not name two declared %s constants",
+				edge, fieldKey, typeKey)
+			return nil
+		}
+		if m.preds[to] == nil {
+			m.preds[to] = map[string]bool{}
+		}
+		m.preds[to][from] = true
+		targets[to] = true
+	}
+	for _, s := range m.states {
+		if !targets[s] {
+			m.initial[s] = true
+		}
+	}
+	return m
+}
+
+// enumConstNames returns the names of every package-level constant of
+// the defined type t, ordered by constant value then name. The scope of
+// the type's own declaring package is authoritative, which keeps the
+// lookup stable across the loader's duplicated type universes.
+func enumConstNames(t types.Type) []string {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	scope := named.Obj().Pkg().Scope()
+	type cv struct {
+		name string
+		val  constant.Value
+	}
+	var consts []cv
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if k, ok := namedKey(c.Type()); !ok || k != key {
+			continue
+		}
+		consts = append(consts, cv{name, c.Val()})
+	}
+	sort.SliceStable(consts, func(i, j int) bool {
+		if c := constant.Compare(consts[i].val, token.LSS, consts[j].val); c {
+			return true
+		}
+		if constant.Compare(consts[i].val, token.EQL, consts[j].val) {
+			return consts[i].name < consts[j].name
+		}
+		return false
+	})
+	out := make([]string, len(consts))
+	for i, c := range consts {
+		out[i] = c.name
+	}
+	return out
+}
+
+// resolveHelpers validates every //sns:transition annotation and binds
+// it to the machine its from-states name.
+func (pr *Program) resolveHelpers(machines []*machine) map[string]*transHelper {
+	var names []string
+	for name, sf := range pr.funcs {
+		if hasMarker(sf.Decl.Doc, "sns:transition") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := map[string]*transHelper{}
+	for _, name := range names {
+		sf := pr.funcs[name]
+		args, _ := markerArgs(sf.Decl.Doc, "sns:transition")
+		var matches []*machine
+		for _, m := range machines {
+			if m.decl.pkg.Path != sf.Pkg.Path {
+				continue
+			}
+			ok := len(args) > 0
+			for _, a := range args {
+				if !m.all[a] {
+					ok = false
+				}
+			}
+			if ok {
+				matches = append(matches, m)
+			}
+		}
+		if len(matches) != 1 {
+			pr.transReport(sf.Pkg, sf.Decl.Pos(),
+				"//sns:transition on %s must name states of exactly one state machine declared in package %s (matched %d)",
+				sf.Obj.Name(), sf.Pkg.Path, len(matches))
+			continue
+		}
+		m := matches[0]
+		h := &transHelper{m: m, from: map[string]bool{}, argIndex: -2}
+		for _, a := range args {
+			h.from[a] = true
+		}
+		// The state-carrying parameter: the receiver or first parameter
+		// whose type is the struct declaring the machine field.
+		if sf.Decl.Recv != nil && len(sf.Decl.Recv.List) == 1 && len(sf.Decl.Recv.List[0].Names) == 1 {
+			if key, ok := namedKey(sf.Pkg.Info.Defs[sf.Decl.Recv.List[0].Names[0]].Type()); ok && key == m.decl.structKey {
+				h.param = sf.Decl.Recv.List[0].Names[0].Name
+				h.argIndex = -1
+			}
+		}
+		if h.argIndex == -2 {
+			i := 0
+			for _, p := range sf.Decl.Type.Params.List {
+				for _, nm := range p.Names {
+					if h.argIndex == -2 {
+						if key, ok := namedKey(sf.Pkg.Info.Defs[nm].Type()); ok && key == m.decl.structKey {
+							h.param = nm.Name
+							h.argIndex = i
+						}
+					}
+					i++
+				}
+			}
+		}
+		if h.argIndex == -2 {
+			pr.transReport(sf.Pkg, sf.Decl.Pos(),
+				"//sns:transition on %s, but no receiver or parameter has the state machine's struct type %s",
+				sf.Obj.Name(), m.decl.structKey)
+			continue
+		}
+		out[name] = h
+	}
+	return out
+}
+
+type transChecker struct {
+	pr       *Program
+	machines []*machine
+	helpers  map[string]*transHelper
+}
+
+// machineFor matches a field selection against the declared machines.
+func (tc *transChecker) machineFor(info *types.Info, sel *ast.SelectorExpr) *machine {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	key, ok := namedKey(s.Recv())
+	if !ok {
+		return nil
+	}
+	fieldKey := key + "." + s.Obj().Name()
+	for _, m := range tc.machines {
+		if m.fieldKey == fieldKey {
+			return m
+		}
+	}
+	return nil
+}
+
+// constName resolves e to a declared constant of m's enum type.
+func (tc *transChecker) constName(info *types.Info, e ast.Expr, m *machine) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return "", false
+	}
+	if key, ok := namedKey(c.Type()); !ok || key != m.typeKey {
+		return "", false
+	}
+	if !m.all[c.Name()] {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// checkFunc finds every write, construction, and helper call touching a
+// state machine in one function and proves each against the edges.
+func (tc *transChecker) checkFunc(sf *SrcFunc) {
+	info := sf.Pkg.Info
+	ast.Inspect(sf.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				m := tc.machineFor(info, sel)
+				if m == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				}
+				tc.checkWrite(sf, x, sel, rhs, m)
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+				if m := tc.machineFor(info, sel); m != nil {
+					tc.pr.transReport(sf.Pkg, x.Pos(),
+						"state field %s is stepped arithmetically; states move only along declared edges (route through a checked transition or justify with //lint:transition)",
+						m.fieldKey)
+				}
+			}
+		case *ast.CompositeLit:
+			tc.checkComposite(sf, x)
+		case *ast.CallExpr:
+			callee := resolveCallee(info, x)
+			if callee == nil {
+				return true
+			}
+			h, ok := tc.helpers[callee.FullName()]
+			if !ok {
+				return true
+			}
+			tc.checkHelperCall(sf, x, callee, h)
+		}
+		return true
+	})
+}
+
+// checkWrite proves one `x.f = v` assignment.
+func (tc *transChecker) checkWrite(sf *SrcFunc, stmt ast.Stmt, sel *ast.SelectorExpr, rhs ast.Expr, m *machine) {
+	if sf.Pkg.Path != m.decl.pkg.Path {
+		tc.pr.transReport(sf.Pkg, sel.Pos(),
+			"state field %s may only be written inside its owning package %s",
+			m.fieldKey, m.decl.pkg.Path)
+		return
+	}
+	if rhs == nil {
+		tc.pr.transReport(sf.Pkg, sel.Pos(),
+			"state field %s is written from a tuple assignment; assign a declared %s constant under a dominating state guard",
+			m.fieldKey, m.typeKey)
+		return
+	}
+	to, ok := tc.constName(sf.Pkg.Info, rhs, m)
+	if !ok {
+		tc.pr.transReport(sf.Pkg, sel.Pos(),
+			"state field %s is written from a non-constant expression; assign a declared %s constant under a dominating state guard, or justify with //lint:transition",
+			m.fieldKey, m.typeKey)
+		return
+	}
+	obj := canonExpr(sel.X)
+	prior := tc.priorStates(sf, stmt, obj, m)
+	legal := m.preds[to]
+	if illegal := minusStates(prior, legal); len(illegal) > 0 {
+		tc.pr.transReport(sf.Pkg, sel.Pos(),
+			"transition of %s to %s is not proven: prior state could be %s, legal predecessors are %s (guard on %s.%s, use a //sns:transition helper, or justify with //lint:transition)",
+			m.fieldKey, to, stateList(illegal, m), stateList(legal, m), obj, m.decl.field)
+	}
+}
+
+// checkComposite proves a struct literal only seeds initial states.
+func (tc *transChecker) checkComposite(sf *SrcFunc, lit *ast.CompositeLit) {
+	info := sf.Pkg.Info
+	key, st, ok := structLit(info, lit)
+	if !ok {
+		return
+	}
+	var m *machine
+	for _, cand := range tc.machines {
+		if cand.decl.structKey == key {
+			m = cand
+		}
+	}
+	if m == nil {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var val ast.Expr
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			id, isID := kv.Key.(*ast.Ident)
+			if !isID || id.Name != m.decl.field {
+				continue
+			}
+			val = kv.Value
+		} else {
+			if i >= st.NumFields() || st.Field(i).Name() != m.decl.field {
+				continue
+			}
+			val = elt
+		}
+		name, isConst := tc.constName(info, val, m)
+		switch {
+		case !isConst:
+			tc.pr.transReport(sf.Pkg, val.Pos(),
+				"composite literal sets state field %s from a non-constant expression; new values start in an initial state (%s), or justify with //lint:transition",
+				m.fieldKey, stateList(m.initial, m))
+		case !m.initial[name]:
+			tc.pr.transReport(sf.Pkg, val.Pos(),
+				"composite literal sets state field %s to %s, which has incoming edges; construction may only seed initial states (%s)",
+				m.fieldKey, name, stateList(m.initial, m))
+		}
+	}
+}
+
+// checkHelperCall proves the prior state at a //sns:transition helper's
+// call site is within the helper's declared from set.
+func (tc *transChecker) checkHelperCall(sf *SrcFunc, call *ast.CallExpr, callee *types.Func, h *transHelper) {
+	var target ast.Expr
+	if h.argIndex >= 0 {
+		if h.argIndex < len(call.Args) {
+			target = call.Args[h.argIndex]
+		}
+	} else if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		target = fun.X
+	}
+	if target == nil {
+		return
+	}
+	obj := canonExpr(target)
+	prior := tc.priorStates(sf, call, obj, h.m)
+	if illegal := minusStates(prior, h.from); len(illegal) > 0 {
+		tc.pr.transReport(sf.Pkg, call.Pos(),
+			"call to //sns:transition helper %s requires prior state in %s, but %s's state here could be %s (guard on %s.%s or justify with //lint:transition)",
+			callee.Name(), stateList(h.from, h.m), obj, stateList(illegal, h.m), obj, h.m.decl.field)
+	}
+}
+
+// priorStates computes the provable set of states obj's machine field
+// can hold when control reaches node inside sf: the universe (or the
+// //sns:transition seed when sf is a helper and obj its parameter),
+// narrowed by every dominating condition on the path — enclosing if
+// branches, enclosing switch clauses on the field, preceding sibling
+// guards whose bodies terminate, and preceding switches on the field
+// whose matching clauses all return. Crossing into a function literal
+// resets to the universe: the closure may run under any state.
+func (tc *transChecker) priorStates(sf *SrcFunc, node ast.Node, obj string, m *machine) map[string]bool {
+	cur := cloneStates(m.all)
+	if h, ok := tc.helpers[sf.Obj.FullName()]; ok && h.m == m && obj == h.param {
+		cur = cloneStates(h.from)
+	}
+	objField := obj + "." + m.decl.field
+
+	// Every ancestor of node, outer to inner, by position containment.
+	pos := node.Pos()
+	var path []ast.Node
+	ast.Inspect(sf.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	for i := 0; i < len(path)-1; i++ {
+		child := path[i+1]
+		switch p := path[i].(type) {
+		case *ast.FuncLit:
+			cur = cloneStates(m.all)
+		case *ast.IfStmt:
+			if child == p.Body {
+				cur = intersectStates(cur, tc.condStates(sf, p.Cond, objField, m, true))
+			} else if child == p.Else {
+				cur = intersectStates(cur, tc.condStates(sf, p.Cond, objField, m, false))
+			}
+		case *ast.SwitchStmt:
+			// The path descends SwitchStmt -> BlockStmt -> CaseClause.
+			var cc *ast.CaseClause
+			if i+2 < len(path) {
+				cc, _ = path[i+2].(*ast.CaseClause)
+			}
+			if cc == nil || p.Tag == nil || !tc.fieldExprIs(sf, p.Tag, objField, m) {
+				continue
+			}
+			if cc.List == nil {
+				// default: everything the other clauses name is excluded.
+				for _, other := range p.Body.List {
+					oc := other.(*ast.CaseClause)
+					for _, e := range oc.List {
+						if name, ok := tc.constName(sf.Pkg.Info, e, m); ok {
+							delete(cur, name)
+						}
+					}
+				}
+			} else {
+				listed := map[string]bool{}
+				exact := true
+				for _, e := range cc.List {
+					name, ok := tc.constName(sf.Pkg.Info, e, m)
+					if !ok {
+						exact = false
+					}
+					listed[name] = true
+				}
+				if exact {
+					cur = intersectStates(cur, listed)
+				}
+			}
+		case *ast.BlockStmt:
+			if i > 0 {
+				// A switch/select body's clauses are exclusive
+				// alternatives, not sequential statements.
+				switch path[i-1].(type) {
+				case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+					continue
+				}
+			}
+			cur = tc.applySiblings(sf, p.List, child, objField, m, cur)
+		case *ast.CaseClause:
+			cur = tc.applySiblings(sf, p.Body, child, objField, m, cur)
+		case *ast.CommClause:
+			cur = tc.applySiblings(sf, p.Body, child, objField, m, cur)
+		}
+	}
+	return cur
+}
+
+// applySiblings narrows cur with the statements preceding child in one
+// block: terminal if-guards contribute their negated condition,
+// preceding switches on the field remove the states whose clauses
+// terminate, and any other statement that writes the field resets the
+// set (to the written constant when that is all the statement does).
+func (tc *transChecker) applySiblings(sf *SrcFunc, list []ast.Stmt, child ast.Node, objField string, m *machine, cur map[string]bool) map[string]bool {
+	for _, s := range list {
+		if s == child {
+			break
+		}
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil && terminates(ifs.Body.List) {
+			// Writes inside a terminated body never reach past it.
+			cur = intersectStates(cur, tc.condStates(sf, ifs.Cond, objField, m, false))
+			continue
+		}
+		if sw, ok := s.(*ast.SwitchStmt); ok && sw.Tag != nil && sw.Init == nil && tc.fieldExprIs(sf, sw.Tag, objField, m) {
+			cur = tc.switchSurvivors(sf, sw, objField, m, cur)
+			continue
+		}
+		if wrote, name := tc.writesField(sf, s, objField, m); wrote {
+			if name != "" {
+				cur = map[string]bool{name: true}
+			} else {
+				cur = cloneStates(m.all)
+			}
+		}
+	}
+	return cur
+}
+
+// switchSurvivors computes which states can flow past a preceding
+// `switch x.f` statement: a state survives when no clause matches it,
+// or its clause neither terminates nor writes the field.
+func (tc *transChecker) switchSurvivors(sf *SrcFunc, sw *ast.SwitchStmt, objField string, m *machine, cur map[string]bool) map[string]bool {
+	type clause struct {
+		states  map[string]bool // nil = default
+		exact   bool
+		term    bool
+		rewrite string // "" = none or unknown
+		writes  bool
+	}
+	var clauses []clause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		c := clause{term: terminates(cc.Body), exact: true}
+		if cc.List != nil {
+			c.states = map[string]bool{}
+			for _, e := range cc.List {
+				name, ok := tc.constName(sf.Pkg.Info, e, m)
+				if !ok {
+					c.exact = false
+				}
+				c.states[name] = true
+			}
+		}
+		for _, body := range cc.Body {
+			if wrote, name := tc.writesField(sf, body, objField, m); wrote {
+				c.writes = true
+				c.rewrite = name
+			}
+		}
+		clauses = append(clauses, c)
+	}
+	out := map[string]bool{}
+	for s := range cur {
+		var match *clause
+		for i := range clauses {
+			if clauses[i].states != nil && clauses[i].exact && clauses[i].states[s] {
+				match = &clauses[i]
+				break
+			}
+			if !clauses[i].exact {
+				// A non-constant case arm could match anything.
+				match = &clauses[i]
+				break
+			}
+		}
+		if match == nil {
+			for i := range clauses {
+				if clauses[i].states == nil {
+					match = &clauses[i]
+				}
+			}
+		}
+		switch {
+		case match == nil:
+			out[s] = true // no clause matches: falls through unchanged
+		case match.term:
+			// removed: that path never reaches past the switch
+		case match.writes && match.rewrite != "":
+			out[match.rewrite] = true
+		case match.writes:
+			return cloneStates(m.all)
+		default:
+			out[s] = true
+		}
+	}
+	return out
+}
+
+// writesField reports whether stmt's subtree assigns objField, and the
+// constant written when stmt is exactly that single assignment.
+func (tc *transChecker) writesField(sf *SrcFunc, stmt ast.Stmt, objField string, m *machine) (bool, string) {
+	info := sf.Pkg.Info
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok &&
+					tc.fieldExprIs(sf, sel, objField, m) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok &&
+				tc.fieldExprIs(sf, sel, objField, m) {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		return false, ""
+	}
+	if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr); ok && tc.fieldExprIs(sf, sel, objField, m) {
+			if name, ok := tc.constName(info, as.Rhs[0], m); ok {
+				return true, name
+			}
+		}
+	}
+	return true, ""
+}
+
+// condStates evaluates a boolean condition into the state set objField
+// must lie in when the condition is truthy (or falsy).
+func (tc *transChecker) condStates(sf *SrcFunc, cond ast.Expr, objField string, m *machine, truthy bool) map[string]bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			a := tc.condStates(sf, c.X, objField, m, truthy)
+			b := tc.condStates(sf, c.Y, objField, m, truthy)
+			if truthy {
+				return intersectStates(a, b)
+			}
+			return unionStates(a, b)
+		case token.LOR:
+			a := tc.condStates(sf, c.X, objField, m, truthy)
+			b := tc.condStates(sf, c.Y, objField, m, truthy)
+			if truthy {
+				return unionStates(a, b)
+			}
+			return intersectStates(a, b)
+		case token.EQL, token.NEQ:
+			name, ok := tc.comparedConst(sf, c, objField, m)
+			if !ok {
+				return cloneStates(m.all)
+			}
+			if (c.Op == token.EQL) == truthy {
+				return map[string]bool{name: true}
+			}
+			out := cloneStates(m.all)
+			delete(out, name)
+			return out
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return tc.condStates(sf, c.X, objField, m, !truthy)
+		}
+	}
+	return cloneStates(m.all)
+}
+
+// comparedConst matches `x.f == C` / `C == x.f` shapes against objField.
+func (tc *transChecker) comparedConst(sf *SrcFunc, c *ast.BinaryExpr, objField string, m *machine) (string, bool) {
+	for _, pair := range [2][2]ast.Expr{{c.X, c.Y}, {c.Y, c.X}} {
+		sel, ok := ast.Unparen(pair[0]).(*ast.SelectorExpr)
+		if !ok || !tc.fieldExprIs(sf, sel, objField, m) {
+			continue
+		}
+		if name, ok := tc.constName(sf.Pkg.Info, pair[1], m); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// fieldExprIs reports whether e is a field selection of m's field on
+// the same canonical object objField names.
+func (tc *transChecker) fieldExprIs(sf *SrcFunc, e ast.Expr, objField string, m *machine) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if tc.machineFor(sf.Pkg.Info, sel) != m {
+		return false
+	}
+	return canonExpr(sel.X)+"."+m.decl.field == objField
+}
+
+// terminates reports whether a statement list always leaves the
+// enclosing block: its last statement returns, branches, or panics.
+func terminates(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	switch last := body[len(body)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cloneStates(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectStates(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func unionStates(a, b map[string]bool) map[string]bool {
+	out := cloneStates(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func minusStates(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if !b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// stateList renders a state set in the machine's declaration order.
+func stateList(set map[string]bool, m *machine) string {
+	if len(set) == 0 {
+		return "(none)"
+	}
+	var out []string
+	for _, s := range m.states {
+		if set[s] {
+			out = append(out, s)
+		}
+	}
+	return strings.Join(out, "/")
+}

@@ -109,6 +109,8 @@ func (c *Client) WaitOp(id string) (Op, error) {
 			return op, nil
 		case OpFailed:
 			return op, fmt.Errorf("api: op %s failed: %s", id, op.Error)
+		case OpPending:
+			// Not resolved yet: fall through to the poll sleep.
 		}
 		time.Sleep(c.poll())
 	}

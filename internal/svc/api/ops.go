@@ -6,13 +6,19 @@ import (
 	"sync"
 )
 
-// Op states. An op is created pending by the HTTP handler, applied by
-// the scheduler goroutine, and then either done or failed; it never
-// moves again.
+// OpStatus is an op's position in its tiny lifecycle: created pending
+// by the HTTP handler, applied by the scheduler goroutine, and then
+// either done or failed; it never moves again. The exhaustive lint
+// pass keeps switches over it covering all three states.
+//
+//sns:enum
+type OpStatus string
+
+// Op states.
 const (
-	OpPending = "pending"
-	OpDone    = "done"
-	OpFailed  = "failed"
+	OpPending OpStatus = "pending"
+	OpDone    OpStatus = "done"
+	OpFailed  OpStatus = "failed"
 )
 
 // Op is one asynchronous operation: the daemon accepts a mutation with
@@ -23,8 +29,12 @@ const (
 type Op struct {
 	ID string `json:"id"`
 	// Kind is the mutation: "submit" or "cancel".
-	Kind   string `json:"kind"`
-	Status string `json:"status"`
+	Kind string `json:"kind"`
+	// Status resolves exactly once; the transition lint pass checks
+	// every write against these edges.
+	//
+	//sns:statemachine OpPending>OpDone,OpPending>OpFailed
+	Status OpStatus `json:"status"`
 	// RequestID echoes the X-Request-Id that created the op.
 	RequestID string `json:"request_id,omitempty"`
 	// JobID is the affected job, valid once Status is done (and from
@@ -42,14 +52,21 @@ type Op struct {
 
 // opTable is the daemon's operation registry. Handlers create ops from
 // request goroutines and the scheduler goroutine resolves them, so the
-// table takes a lock; the core itself never does.
+// table takes a lock; the core itself never does. The statefield lint
+// pass proves the table round-trips through the daemon snapshot.
+//
+//sns:persist daemonSnapshot
 type opTable struct {
 	mu sync.Mutex
+	// seq and pending are recomputed from the records by load.
+	//
 	//sns:guardedby mu
+	//sns:derived load
 	seq int
 	//sns:guardedby mu
 	ops map[string]*Op
 	//sns:guardedby mu
+	//sns:derived load
 	pending int
 }
 

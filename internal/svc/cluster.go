@@ -19,18 +19,33 @@ var ErrDuplicate = errors.New("svc: job name already submitted")
 // confine lint pass enforces this: every method call on a Cluster must
 // come from a context proven to run on its owner goroutine.
 //
+// The statefield lint pass proves every field below round-trips through
+// the snapshot mirror or is rebuilt on the restore path.
+//
 //sns:owner core
+//sns:persist snapshot
 type Cluster struct {
 	cfg     Config
 	state   *placement.SimState
-	search  *placement.Search
 	pending *placement.Pending
 	jobs    []*Job
-	byName  map[string]int
-	counts  [4]int // jobs per JobState
+	// search wraps state; New rebuilds it on construction and restore.
+	//
+	//sns:derived New
+	search *placement.Search
+	// byName and counts are indexes over jobs; Restore rebuilds them
+	// record by record.
+	//
+	//sns:derived Restore
+	byName map[string]int
+	//sns:derived Restore
+	counts [4]int // jobs per JobState
 
+	//sns:derived New
 	shards *placement.ShardSet
-	audit  func(now float64)
+	//sns:derived New
+	audit func(now float64)
+	//lint:statefield round-local scratch; the next ScheduleRound rebuilds it from zero
 	placed []*Job // ScheduleRound result scratch
 }
 
@@ -222,6 +237,9 @@ func (c *Cluster) buildReq(spec *JobSpec) placement.Request {
 		req.Profile = spec.Profile
 	case placement.TwoSlot:
 		req.Intensive = spec.Intensive
+	case placement.CE, placement.CS:
+		// Footprint-only policies: the base request already carries
+		// everything they read.
 	}
 	return req
 }
@@ -238,6 +256,11 @@ func (c *Cluster) ScheduleRound(now float64, model RuntimeModel) []*Job {
 	c.placed = c.placed[:0]
 	c.pending.Schedule(now, func(id int) bool {
 		j := c.jobs[id]
+		if j.State != Queued {
+			// The pending queue only holds queued jobs; defend the
+			// invariant instead of assuming it.
+			return false
+		}
 		pl := c.search.Place(c.cfg.Policy, j.req)
 		if pl == nil {
 			return false
@@ -249,7 +272,10 @@ func (c *Cluster) ScheduleRound(now float64, model RuntimeModel) []*Job {
 	return c.placed
 }
 
-// launch reserves a plan's resources and transitions the job to Running.
+// launch reserves a plan's resources and transitions the job to
+// Running; callers must already have proven the job queued.
+//
+//sns:transition Queued
 func (c *Cluster) launch(j *Job, pl *placement.Plan, now float64, model RuntimeModel) {
 	j.uniform = !pl.Exclusive
 	for i := 1; i < len(pl.Cores) && j.uniform; i++ {
@@ -285,7 +311,7 @@ func (c *Cluster) launch(j *Job, pl *placement.Plan, now float64, model RuntimeM
 	j.Scale = pl.K
 	j.NodesUsed = len(pl.Nodes)
 	j.Nodes = pl.Nodes
-	c.setState(j, Running)
+	c.toRunning(j)
 }
 
 // Complete releases a running job's resources and marks it Done. The
@@ -302,7 +328,7 @@ func (c *Cluster) Complete(id int, now float64) error {
 	}
 	c.release(j)
 	j.FinishSec = now
-	c.setState(j, Done)
+	c.toDone(j)
 	return nil
 }
 
@@ -319,10 +345,14 @@ func (c *Cluster) Cancel(id int, now float64) error {
 	case Running:
 		c.release(j)
 		j.FinishSec = now
-	default:
+	case Done, Cancelled:
+		// Naming the terminal states (instead of a blanket default)
+		// keeps this switch exhaustive over the lifecycle.
 		return fmt.Errorf("svc: cancel: job %d already %s", id, j.State)
+	default:
+		return fmt.Errorf("svc: cancel: job %d in invalid state %d", id, int(j.State))
 	}
-	c.setState(j, Cancelled)
+	c.toCancelled(j)
 	return nil
 }
 
@@ -337,9 +367,35 @@ func (c *Cluster) release(j *Job) {
 	}
 }
 
-// setState moves a job between lifecycle states, keeping the counts.
-func (c *Cluster) setState(j *Job, s JobState) {
+// toRunning, toDone, and toCancelled are the only writers of Job.State
+// after admission. Each names its legal predecessors, so the transition
+// lint pass checks the proof at every call site instead of inside the
+// shared body a generic setState would have hidden it in.
+
+// toRunning places a queued job, keeping the per-state counts.
+//
+//sns:transition Queued
+func (c *Cluster) toRunning(j *Job) {
 	c.counts[j.State]--
-	c.counts[s]++
-	j.State = s
+	c.counts[Running]++
+	j.State = Running
+}
+
+// toDone completes a running job, keeping the per-state counts.
+//
+//sns:transition Running
+func (c *Cluster) toDone(j *Job) {
+	c.counts[j.State]--
+	c.counts[Done]++
+	j.State = Done
+}
+
+// toCancelled withdraws a queued job or kills a running one, keeping
+// the per-state counts.
+//
+//sns:transition Queued Running
+func (c *Cluster) toCancelled(j *Job) {
+	c.counts[j.State]--
+	c.counts[Cancelled]++
+	j.State = Cancelled
 }

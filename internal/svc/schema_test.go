@@ -1,0 +1,105 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// schemaField is one field of a persisted struct as it appears on the
+// wire: the Go name, the json tag (empty when the Go name is used
+// verbatim), and the Go type. A change to any of these changes what
+// Snapshot writes and what Restore will accept.
+type schemaField struct {
+	Name string `json:"name"`
+	JSON string `json:"json,omitempty"`
+	Type string `json:"type"`
+}
+
+// snapshotSchema is the golden fingerprint of the snapshot wire format:
+// the version constant plus the reflected shape of every struct that
+// crosses the Snapshot/Restore boundary. json.Marshal sorts the Types
+// map keys and fields stay in declaration order, so the encoding is
+// canonical.
+type snapshotSchema struct {
+	SnapshotVersion int                      `json:"snapshot_version"`
+	Types           map[string][]schemaField `json:"types"`
+}
+
+func structSchema(t reflect.Type) []schemaField {
+	fields := make([]schemaField, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag := f.Tag.Get("json")
+		fields = append(fields, schemaField{Name: f.Name, JSON: tag, Type: f.Type.String()})
+	}
+	return fields
+}
+
+func currentSnapshotSchema() snapshotSchema {
+	return snapshotSchema{
+		SnapshotVersion: snapshotVersion,
+		Types: map[string][]schemaField{
+			"snapshot":  structSchema(reflect.TypeOf(snapshot{})),
+			"jobRecord": structSchema(reflect.TypeOf(jobRecord{})),
+			"queueItem": structSchema(reflect.TypeOf(queueItem{})),
+		},
+	}
+}
+
+// TestSnapshotSchema pins the snapshot wire format against the golden
+// file testdata/snapshot.schema.json. Renaming, retyping, adding, or
+// removing a persisted field fails this test until the change is made
+// deliberate: bump snapshotVersion (old files must be rejected, not
+// misread) and regenerate the golden with
+//
+//	UPDATE_SNAPSHOT_SCHEMA=1 go test ./internal/svc -run TestSnapshotSchema
+//
+// Regeneration refuses to rewrite the golden when the field set changed
+// but snapshotVersion did not — the version bump is the point of the
+// gate, not a formality. Purely compatible additions (a new omitempty
+// field that old readers ignore and Restore defaults) may keep the
+// version, but that exception must be claimed explicitly by deleting
+// the golden before regenerating.
+func TestSnapshotSchema(t *testing.T) {
+	golden := filepath.Join("testdata", "snapshot.schema.json")
+	cur := currentSnapshotSchema()
+	got, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	old, readErr := os.ReadFile(golden)
+	if os.Getenv("UPDATE_SNAPSHOT_SCHEMA") == "1" {
+		if readErr == nil {
+			var prev snapshotSchema
+			if err := json.Unmarshal(old, &prev); err != nil {
+				t.Fatalf("existing golden %s is not valid JSON: %v", golden, err)
+			}
+			if !reflect.DeepEqual(prev.Types, cur.Types) && prev.SnapshotVersion == cur.SnapshotVersion {
+				t.Fatalf("snapshot field set changed but snapshotVersion is still %d; "+
+					"bump snapshotVersion in snapshot.go before regenerating %s "+
+					"(or delete the golden first if the change is provably compatible)",
+					cur.SnapshotVersion, golden)
+			}
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	if readErr != nil {
+		t.Fatalf("missing golden %s (%v); generate it with UPDATE_SNAPSHOT_SCHEMA=1", golden, readErr)
+	}
+	if !bytes.Equal(old, got) {
+		t.Fatalf("snapshot wire schema drifted from %s.\n"+
+			"If the change is intentional, bump snapshotVersion and regenerate with\n"+
+			"  UPDATE_SNAPSHOT_SCHEMA=1 go test ./internal/svc -run TestSnapshotSchema\n"+
+			"-- golden --\n%s\n-- current --\n%s", golden, old, got)
+	}
+}

@@ -128,6 +128,11 @@ func Restore(r io.Reader, db *profiler.DB) (*Cluster, error) {
 		if rec.ID != i {
 			return nil, fmt.Errorf("svc: snapshot job %d carries id %d (records must be dense and ordered)", i, rec.ID)
 		}
+		if rec.State < Queued || rec.State > Cancelled {
+			// A corrupt record would otherwise index the counts array
+			// out of range below.
+			return nil, fmt.Errorf("svc: snapshot job %d carries invalid state %d", rec.ID, int(rec.State))
+		}
 		spec := rec.Spec
 		if spec.Program != "" && db != nil {
 			if p, ok := db.Get(spec.Program, spec.CoresPerNode); ok {
@@ -138,8 +143,9 @@ func Restore(r io.Reader, db *profiler.DB) (*Cluster, error) {
 			}
 		}
 		j := &Job{
-			ID:        rec.ID,
-			Spec:      spec,
+			ID:   rec.ID,
+			Spec: spec,
+			//lint:transition a record's state was reached through checked transitions before the snapshot
 			State:     rec.State,
 			SubmitSec: rec.SubmitSec,
 			StartSec:  rec.StartSec,

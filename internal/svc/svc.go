@@ -27,6 +27,8 @@
 package svc
 
 import (
+	"fmt"
+
 	"spreadnshare/internal/hw"
 	"spreadnshare/internal/placement"
 	"spreadnshare/internal/profiler"
@@ -59,7 +61,10 @@ type Config struct {
 	AuditLabel string
 }
 
-// JobState is a job's position in the core lifecycle.
+// JobState is a job's position in the core lifecycle. The exhaustive
+// lint pass keeps every switch over it covering all four states.
+//
+//sns:enum
 type JobState int32
 
 const (
@@ -84,8 +89,11 @@ func (s JobState) String() string {
 		return "done"
 	case Cancelled:
 		return "cancelled"
+	default:
+		// Out-of-range defense only — every declared state has an arm
+		// above. Naming the raw value beats a bare "invalid" in logs.
+		return fmt.Sprintf("JobState(%d)", int(s))
 	}
-	return "invalid"
 }
 
 // JobSpec describes one job to admit, independent of which layer
@@ -123,12 +131,20 @@ type JobSpec struct {
 }
 
 // Job is one admitted job's live record. Fields are written only by the
-// core; callers treat placed node lists as read-only.
+// core; callers treat placed node lists as read-only. The statefield
+// lint pass proves every field round-trips through jobRecord (or is
+// rebuilt on restore).
+//
+//sns:persist jobRecord
 type Job struct {
 	// ID is the core-assigned handle: dense, ascending in admission
 	// order, and the queue's deterministic tie-break.
-	ID    int      `json:"id"`
-	Spec  JobSpec  `json:"spec"`
+	ID   int     `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// State moves only along the lifecycle edges below; the transition
+	// lint pass checks every write site.
+	//
+	//sns:statemachine Queued>Running,Running>Done,Running>Cancelled,Queued>Cancelled
 	State JobState `json:"state"`
 	// SubmitSec/StartSec/FinishSec are core timestamps (simulated or
 	// virtual seconds). StartSec/FinishSec are zero until placed;
@@ -144,6 +160,8 @@ type Job struct {
 	Nodes []int `json:"nodes,omitempty"`
 
 	// req is the kernel request, rebuilt from Spec on restore.
+	//
+	//sns:derived buildReq
 	req placement.Request
 	// res/res0/uniform hold the effective reservations to return on
 	// completion. The common footprint plan reserves the same amount on
