@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-pr5 bench-pr6 bench-pr7 smoke figures
+.PHONY: build test vet lint race check bench bench-pr5 bench-pr6 bench-pr7 bench-pr10 smoke figures
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,8 @@ check: build vet lint race
 # bench reruns every performance PR's benchmark set and rewrites the
 # BENCH_PR<n>.json files; bench-pr5 reruns only the score-cache /
 # parallel-runner set, bench-pr6 only the sharded-kernel set, bench-pr7
-# only the service admission / daemon-latency set.
+# only the service admission / daemon-latency set, bench-pr10 only the
+# parallel-mutation-pipeline set.
 bench:
 	scripts/bench.sh
 
@@ -42,6 +43,9 @@ bench-pr6:
 
 bench-pr7:
 	scripts/bench.sh pr7
+
+bench-pr10:
+	scripts/bench.sh pr10
 
 # smoke runs the end-to-end scheduler-as-a-service test: daemon up, load
 # through the REST API, SIGTERM with snapshot, restore, dedup replay.

@@ -470,6 +470,61 @@ func BenchmarkUnshardedReplay256K(b *testing.B) { benchShardReplay(b, 262144, 0)
 func BenchmarkShardedReplay1M(b *testing.B)     { benchShardReplay(b, 1048576, 64) }
 func BenchmarkUnshardedReplay1M(b *testing.B)   { benchShardReplay(b, 1048576, 0) }
 
+// benchMutationReplay replays the mutation-bound PR 10 gate workload
+// (500 jobs of <=16,384 nodes; see mutationGateTrace) under SNS on a
+// 256K-node, 64-shard cluster at a given mutation worker width.
+// MutWorkers=0 is the serial reserve/release loop — the parallel rows
+// must report the bit-identical avg-turn-s, gated by
+// TestParallelMutationEquivalence and TestParallelMutationSpeedup.
+func benchMutationReplay(b *testing.B, workers int) {
+	env := benchEnv(b)
+	jobs := mutationGateTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := trace.DefaultSimConfig(262144, trace.SNS)
+		cfg.Shards = 64
+		cfg.MutWorkers = workers
+		r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgTurn, "avg-turn-s")
+	}
+}
+
+func BenchmarkSerialMutationReplay256K(b *testing.B) { benchMutationReplay(b, 0) }
+func BenchmarkParallelMutationReplay256K(b *testing.B) {
+	benchMutationReplay(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkMutationPipeline measures the parallel mutation pipeline's
+// wall-clock ratio on the 256K-node wide-job gate replay: serial
+// reserve/release loops versus full-width striped application, reported
+// as mut-speedup-x. On a single-core machine the ratio is ~1.0 (narrow
+// spans stay serial and a one-worker pool is refused by SetMutWorkers);
+// TestParallelMutationSpeedup gates >=2x where >=4 CPUs exist.
+func BenchmarkMutationPipeline(b *testing.B) {
+	env := benchEnv(b)
+	jobs := mutationGateTrace(b)
+	run := func(workers int) time.Duration {
+		cfg := trace.DefaultSimConfig(262144, trace.SNS)
+		cfg.Shards = 64
+		cfg.MutWorkers = workers
+		start := time.Now()
+		if _, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial := run(0)
+		parallel := run(runtime.GOMAXPROCS(0))
+		b.ReportMetric(float64(serial)/float64(parallel), "mut-speedup-x")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	}
+}
+
 // BenchmarkShardedKernel measures the sharded kernel's wall-clock ratio
 // on the 256K-node gate replay: the flat cached kernel versus 64 shards
 // at full pool width, reported as shard-speedup-x. On a single-core

@@ -276,19 +276,32 @@ func Analyzers() []*Analyzer {
 // caches are warmed on the calling goroutine first; after that the
 // per-package work only reads immutable type information and replays
 // cached findings, so the fan-out is race-free.
+//
+// At effective width 1 the fan-out is pure overhead — the serial loop
+// below visits packages in index order, which already emits diagnostics
+// in the merged sort order package by package — so the single-CPU path
+// skips the pool, the per-package result slices, and (when the
+// concatenation happens to come out ordered, which index-order
+// emission makes the common case) the final sort.
 func RunParallel(prog *Program, analyze func(*Package) []Diagnostic) []Diagnostic {
 	prog.Warm()
-	results := make([][]Diagnostic, len(prog.Packages))
-	pool := par.NewPool(0)
-	defer pool.Close()
-	pool.Run(len(prog.Packages), func(i int) {
-		results[i] = analyze(prog.Packages[i])
-	})
 	var out []Diagnostic
-	for _, r := range results {
-		out = append(out, r...)
+	if par.Workers() == 1 {
+		for _, pkg := range prog.Packages {
+			out = append(out, analyze(pkg)...)
+		}
+	} else {
+		results := make([][]Diagnostic, len(prog.Packages))
+		pool := par.NewPool(0)
+		defer pool.Close()
+		pool.Run(len(prog.Packages), func(i int) {
+			results[i] = analyze(prog.Packages[i])
+		})
+		for _, r := range results {
+			out = append(out, r...)
+		}
 	}
-	sort.Slice(out, func(i, k int) bool {
+	less := func(i, k int) bool {
 		a, b := out[i].Pos, out[k].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
@@ -300,7 +313,10 @@ func RunParallel(prog *Program, analyze func(*Package) []Diagnostic) []Diagnosti
 			return a.Column < b.Column
 		}
 		return out[i].Analyzer < out[k].Analyzer
-	})
+	}
+	if !sort.SliceIsSorted(out, less) {
+		sort.Slice(out, less)
+	}
 	return out
 }
 

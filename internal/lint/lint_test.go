@@ -210,10 +210,15 @@ func TestConcurrencyAnnotationCoverage(t *testing.T) {
 		}
 	}
 	wantOwnedFields := map[string]string{
-		"spreadnshare/internal/svc/api.Server.fin":     "scheduler",
-		"spreadnshare/internal/svc/api.Server.stopErr": "scheduler",
-		"spreadnshare/internal/par.Pool.fn":            "poolbatch",
-		"spreadnshare/internal/par.Pool.n":             "poolbatch",
+		"spreadnshare/internal/svc/api.Server.fin":            "scheduler",
+		"spreadnshare/internal/svc/api.Server.stopErr":        "scheduler",
+		"spreadnshare/internal/svc/api.Server.due":            "scheduler",
+		"spreadnshare/internal/par.Pool.fn":                   "poolbatch",
+		"spreadnshare/internal/par.Pool.n":                    "poolbatch",
+		"spreadnshare/internal/placement.SimState.mutIDs":     "mutbatch",
+		"spreadnshare/internal/placement.SimState.mutRes":     "mutbatch",
+		"spreadnshare/internal/placement.SimState.mutRelease": "mutbatch",
+		"spreadnshare/internal/placement.SimState.mutDeltas":  "mutbatch",
 	}
 	for key, owner := range wantOwnedFields {
 		if got := ownedFields[key]; got != owner {
@@ -233,6 +238,8 @@ func TestConcurrencyAnnotationCoverage(t *testing.T) {
 			"(*spreadnshare/internal/par.Pool).Run",
 			"(*spreadnshare/internal/par.Pool).loop",
 			"spreadnshare/internal/trace.simulate",
+			"(*spreadnshare/internal/placement.SimState).applySpan",
+			"(*spreadnshare/internal/placement.SimState).mutTask",
 		},
 		"sns:dispatch": {
 			"(*spreadnshare/internal/svc/api.Server).exec",
@@ -243,6 +250,7 @@ func TestConcurrencyAnnotationCoverage(t *testing.T) {
 			"spreadnshare/internal/svc.Restore",
 			"spreadnshare/internal/svc/api.New",
 			"spreadnshare/internal/svc/api.Load",
+			"(*spreadnshare/internal/placement.SimState).SetMutWorkers",
 		},
 	}
 	for marker, names := range wantMarked {
@@ -291,6 +299,7 @@ func TestHotpathCoverage(t *testing.T) {
 		"(*spreadnshare/internal/placement.Search).score",
 		"(*spreadnshare/internal/placement.Search).fits",
 		"(*spreadnshare/internal/placement.ScoreCache).Invalidate",
+		"(*spreadnshare/internal/placement.ScoreCache).InvalidateSpan",
 		"(*spreadnshare/internal/placement.ScoreCache).flush",
 		"(*spreadnshare/internal/placement.ScoreCache).prepare",
 		"(*spreadnshare/internal/placement.ScoreCache).fold",
@@ -304,6 +313,11 @@ func TestHotpathCoverage(t *testing.T) {
 		"(*spreadnshare/internal/placement.shardRun).deepen",
 		"(*spreadnshare/internal/placement.ShardSet).update",
 		"(*spreadnshare/internal/placement.ShardSet).shardOf",
+		"(*spreadnshare/internal/placement.CoreIndex).shiftTo",
+		"(*spreadnshare/internal/placement.CoreIndex).applyCounts",
+		"(*spreadnshare/internal/placement.SimState).applySpan",
+		"(*spreadnshare/internal/placement.SimState).mutTask",
+		"(*spreadnshare/internal/sim.Queue).PopBatch",
 		"(*spreadnshare/internal/par.Pool).Run",
 		"spreadnshare/internal/par.Merge",
 		"spreadnshare/internal/par.mergeTree",

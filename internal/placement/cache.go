@@ -105,6 +105,24 @@ func (c *ScoreCache) Invalidate(id int) {
 	c.dirty = append(c.dirty, int32(id))
 }
 
+// InvalidateSpan marks every node in ids stale in one call — the
+// round-coalesced form of Invalidate that SimState's span mutations
+// feed: the change hook fires once per placement round instead of once
+// per node. The dirty stack and dedup bits land exactly as the
+// per-node Invalidate loop would leave them.
+//
+//sns:hotpath
+func (c *ScoreCache) InvalidateSpan(ids []int) {
+	for _, id := range ids {
+		if c.isDirty[id] {
+			continue
+		}
+		c.isDirty[id] = true
+		//lint:allocfree dirty stack reuses its len(nodes)-cap backing; each node appears at most once
+		c.dirty = append(c.dirty, int32(id))
+	}
+}
+
 // entryLess orders entries by the (score, id) key — the selectIdlest
 // total order, which is what makes bucket walks emit candidates in the
 // exact sequence the from-scratch selection would.
@@ -142,6 +160,13 @@ func (c *ScoreCache) flush(idx *CoreIndex, score func(id int) float64) {
 	if len(c.dirty) == 0 {
 		return
 	}
+	// Drain the round's whole batch in ascending node-id order: the
+	// rescore sequence becomes a canonical function of the dirty SET,
+	// independent of the arrival order the round's mutations (serial
+	// loops or parallel span tasks) pushed it in, and the backend reads
+	// walk the capacity arrays sequentially instead of in plan order.
+	//lint:allocfree slices.Sort is an in-place pdqsort over the dirty stack's own backing
+	slices.Sort(c.dirty)
 	for _, id := range c.dirty {
 		//lint:allocfree score is the caller's stack closure over Search.score; the runtime alloc gate verifies the cached search allocates only its results
 		s := score(int(id))

@@ -1,0 +1,201 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"spreadnshare/internal/core"
+	"spreadnshare/internal/hw"
+	"spreadnshare/internal/units"
+)
+
+// mutHarness extends the cache harness with uniform span mutations
+// routed through the parallel pipeline: the cached (flat) and sharded
+// clusters run SetMutWorkers with the span threshold lowered so every
+// test span fans out, while the plain cluster stays on the serial loops
+// as ground truth. Every query still triangulates all three and runs
+// the cache and shard audits.
+type mutHarness struct {
+	*cacheHarness
+	spans []heldSpan
+}
+
+type heldSpan struct {
+	ids []int
+	r   Reservation
+}
+
+func newMutHarness(nodes, shards, width int, noGrouping bool) *mutHarness {
+	h := newCacheHarness(nodes, noGrouping).withShards(shards)
+	h.cached.SetOnSpanChange(h.cs.Cache.InvalidateSpan)
+	h.cached.SetMutWorkers(width)
+	h.cached.mutMin = 2
+	h.sharded.SetMutWorkers(width)
+	h.sharded.mutMin = 2
+	return &mutHarness{cacheHarness: h}
+}
+
+func (m *mutHarness) close() {
+	m.cached.CloseMut()
+	m.sharded.CloseMut()
+	m.cacheHarness.close()
+}
+
+// spanReserve applies one uniform reservation across a strided span of
+// distinct nodes on all three clusters, clamped to the span's tightest
+// free capacities so the serial reference can never underflow.
+func (m *mutHarness) spanReserve(i int, op byte) {
+	width := 2 + int(op>>3)%15
+	if width > m.nodes {
+		width = m.nodes
+	}
+	start := (i*29 + int(op)*13) % m.nodes
+	stride := 1 + i%5
+	ids := make([]int, width)
+	for k := range ids {
+		ids[k] = (start + k*stride) % m.nodes
+	}
+	cores := 1 + int(op>>5)
+	ways := int(op>>2) & 3
+	bw := int(op>>4) % 20
+	for _, id := range ids {
+		if f := m.cached.Index().Free(id); cores > f {
+			cores = f
+		}
+		if w := int(m.cached.FreeWays(id)); ways > w {
+			ways = w
+		}
+		if b := int(m.cached.FreeBW(id)); bw > b {
+			bw = b
+		}
+	}
+	if cores <= 0 {
+		return
+	}
+	if ways < 0 {
+		ways = 0
+	}
+	if bw < 0 {
+		bw = 0
+	}
+	r := Reservation{Cores: cores, Ways: units.Ways(ways), BW: units.GBps(bw), Intensive: op&0x80 != 0}
+	m.cached.ReserveSpan(ids, r)
+	m.plain.ReserveSpan(ids, r)
+	m.sharded.ReserveSpan(ids, r)
+	m.spans = append(m.spans, heldSpan{ids, r})
+}
+
+// spanRelease undoes the most recent live span, if any.
+func (m *mutHarness) spanRelease() {
+	n := len(m.spans)
+	if n == 0 {
+		return
+	}
+	sp := m.spans[n-1]
+	m.spans = m.spans[:n-1]
+	m.cached.ReleaseSpan(sp.ids, sp.r)
+	m.plain.ReleaseSpan(sp.ids, sp.r)
+	m.sharded.ReleaseSpan(sp.ids, sp.r)
+}
+
+// step mixes span mutations into the cache harness's op stream: half the
+// even opcodes become span reserves, one slot a span release, the rest
+// fall through to the per-node mutations and triangulating queries.
+func (m *mutHarness) step(t *testing.T, i int, op byte) {
+	t.Helper()
+	switch op & 7 {
+	case 0, 1:
+		m.spanReserve(i, op)
+	case 2:
+		m.spanRelease()
+	default:
+		m.cacheHarness.step(t, i, op)
+	}
+}
+
+// TestParallelSpanEquivalence drives seeded span/node mutation schedules
+// through the pipeline at several worker widths and shard counts — the
+// in-package bit-identical contract behind trace-level replay
+// equivalence. 192 nodes spread the bitset over three words so the
+// word-striped task ownership is genuinely exercised.
+func TestParallelSpanEquivalence(t *testing.T) {
+	for _, width := range []int{2, 4, 7} {
+		for _, shards := range []int{1, 4, 7} {
+			m := newMutHarness(192, shards, width, false)
+			rng := rand.New(rand.NewSource(int64(width*10 + shards)))
+			ops := make([]byte, 1200)
+			rng.Read(ops)
+			for i, op := range ops {
+				m.step(t, i, op)
+			}
+			// Drain every span and reservation so release-side striping on
+			// the way back to an idle cluster is covered too.
+			for len(m.spans) > 0 {
+				m.spanRelease()
+			}
+			for id := range m.held {
+				for len(m.held[id]) > 0 {
+					m.release(id)
+				}
+			}
+			m.query(t, 3, core.Demand{Cores: 4})
+			m.close()
+		}
+	}
+}
+
+// FuzzParallelMutation lets the fuzzer hunt for span schedules, worker
+// widths, and shard counts that make the parallel pipeline diverge from
+// the serial loops or fail the cache/shard audits.
+func FuzzParallelMutation(f *testing.F) {
+	f.Add([]byte{0x00, 0x42, 0x81, 0x07, 0xfe, 0x13, 0x02, 0xff}, byte(3), byte(2), false)
+	f.Add([]byte{0x10, 0x08, 0x12, 0x13, 0xa2, 0xb3, 0x00, 0x01}, byte(6), byte(5), true)
+	f.Add([]byte{0xf8, 0xf9, 0x02, 0x03, 0x03, 0x00, 0x01, 0x02}, byte(0), byte(0), false)
+	f.Fuzz(func(t *testing.T, ops []byte, widthByte, shardByte byte, noGrouping bool) {
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+		m := newMutHarness(192, 1+int(shardByte)%8, 2+int(widthByte)%6, noGrouping)
+		defer m.close()
+		for i, op := range ops {
+			m.step(t, i, op)
+		}
+		m.query(t, 2, core.Demand{Cores: 2})
+	})
+}
+
+// TestSpanPipelineSteadyStateAllocs is the runtime side of the parallel
+// apply path's allocfree pins: once the pool, the per-task delta
+// arrays, and the dirty stack are warm, a span reserve + search +
+// release cycle must allocate nothing beyond the result slice — the
+// batch fields are published by assignment and the bucket merges reuse
+// the same delta arrays every round.
+func TestSpanPipelineSteadyStateAllocs(t *testing.T) {
+	state := NewSimState(hw.DefaultNodeSpec(), 512)
+	cache := NewScoreCache(512, state.Spec().Cores.Int())
+	s := &Search{View: state, Idx: state.Index(), Spec: state.Spec(), Nodes: 512, Cache: cache}
+	state.SetOnChange(cache.Invalidate)
+	state.SetOnSpanChange(cache.InvalidateSpan)
+	state.SetMutWorkers(4)
+	defer state.CloseMut()
+	ids := make([]int, 0, 256)
+	for id := 0; id < 512; id += 2 {
+		ids = append(ids, id)
+	}
+	r := Reservation{Cores: 2, Ways: 1, BW: 5}
+	d := core.Demand{Cores: 4}
+	cycle := func() {
+		state.ReserveSpan(ids, r)
+		if s.FindDemand(4, d) == nil {
+			t.Fatal("no placement")
+		}
+		state.ReleaseSpan(ids, r)
+	}
+	for i := 0; i < 300; i++ { // warm the pool, deltas, and dirty stack
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(200, cycle)
+	if allocs > 1.5 {
+		t.Errorf("steady-state span reserve+search+release allocates %.1f objects/run, want <= 1 (result slice)", allocs)
+	}
+}

@@ -91,6 +91,11 @@ type Server struct {
 	//
 	//sns:owner scheduler
 	fin finishHeap
+	// due is completeDue's batch scratch: the ids of one same-horizon
+	// completion clump, handed to ReleaseRound as a unit.
+	//
+	//sns:owner scheduler
+	due []int
 	// stopErr is written by the scheduler goroutine during drainAndStop;
 	// Shutdown reads it only after <-done orders the write before it.
 	//
@@ -320,17 +325,28 @@ func (s *Server) run() {
 // completeDue fires every completion at or before the virtual now. Jobs
 // complete at their predicted horizon (not the wall-derived now), so the
 // recorded finish times match what a simulation of the same stream
-// produces.
+// produces. Heads sharing one predicted horizon drain into a single
+// batched release round: the heap pops them in (finish, id) order
+// either way and the caller runs the one admission round afterwards, so
+// the batch is exactly the per-entry loop with fewer calls — and each
+// job's span still releases through the parallel mutation pipeline when
+// the core has one.
 func (s *Server) completeDue(now float64) {
+	s.due = s.due[:0]
 	for len(s.fin) > 0 && s.fin[0].finish <= now {
-		e := heap.Pop(&s.fin).(finishEntry)
-		j, ok := s.cfg.Core.Job(e.id)
-		if !ok || j.State != svc.Running {
-			continue // cancelled while running: already released
+		finish := s.fin[0].finish
+		for len(s.fin) > 0 && s.fin[0].finish == finish { //lint:floateq exact tie = one release round
+			e := heap.Pop(&s.fin).(finishEntry)
+			j, ok := s.cfg.Core.Job(e.id)
+			if !ok || j.State != svc.Running {
+				continue // cancelled while running: already released
+			}
+			s.due = append(s.due, e.id)
 		}
-		if err := s.cfg.Core.Complete(e.id, e.finish); err != nil {
+		if err := s.cfg.Core.ReleaseRound(s.due, finish); err != nil {
 			panic(err) // the heap only holds running jobs
 		}
+		s.due = s.due[:0]
 	}
 }
 

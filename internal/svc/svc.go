@@ -56,6 +56,11 @@ type Config struct {
 	// shards scanned concurrently. Takes precedence over the flat score
 	// cache.
 	Shards int
+	// MutWorkers, when > 1, applies wide reservation spans through the
+	// parallel mutation pipeline at that worker width (0 or 1 = serial).
+	// State is bit-identical at any width; only the cost of wide
+	// placements and releases changes.
+	MutWorkers int
 	// AuditLabel names the runtime invariant auditor attached when
 	// auditing is active ("" = "svc").
 	AuditLabel string

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// wideTrace synthesizes a trace biased toward wide jobs — many-node
+// reservation spans are what the parallel mutation pipeline fans out, so
+// the equivalence gate needs placements that actually cross the span
+// threshold. Runtimes are also quantized so finish times collide, giving
+// the coalesced-finish path real tied clumps to drain.
+func wideTrace(seed int64, jobs int) []Job {
+	t := Synthesize(seed, GenConfig{Jobs: jobs, SpanHours: 24, MaxNodes: 96})
+	MapPrograms(seed, t, []string{"MG", "BW"}, []string{"HC", "EP"}, 0.8)
+	for i := range t {
+		t[i].SubmitSec = math.Floor(t[i].SubmitSec/1800) * 1800
+		if t[i].Nodes < 8 {
+			t[i].Nodes = 8
+		}
+	}
+	return t
+}
+
+// TestParallelMutationEquivalence is the acceptance gate for the
+// parallel mutation pipeline: every worker width x shard count must
+// replay bit-identically to the flat serial simulator. Word-striped
+// bitset ownership, per-task population deltas, and shard-local mirrors
+// are all exercised; any ordering or float divergence fails here.
+func TestParallelMutationEquivalence(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := wideTrace(43, 250)
+	for _, pol := range []Policy{CE, CS, SNS, TwoSlot} {
+		base := DefaultSimConfig(192, pol)
+		want, err := Simulate(jobs, db, node, base)
+		if err != nil {
+			t.Fatalf("%v serial: %v", pol, err)
+		}
+		for _, workers := range []int{1, 4, 7} {
+			for _, shards := range []int{1, 4, 7} {
+				cfg := base
+				cfg.MutWorkers = workers
+				cfg.Shards = shards
+				got, err := Simulate(jobs, db, node, cfg)
+				if err != nil {
+					t.Fatalf("%v w=%d s=%d: %v", pol, workers, shards, err)
+				}
+				for i := range want.Jobs {
+					a, b := want.Jobs[i], got.Jobs[i]
+					if a.Start != b.Start || a.Finish != b.Finish || a.Scale != b.Scale || a.NodesUsed != b.NodesUsed { //lint:floateq bit-identity is the contract under test
+						t.Fatalf("%v w=%d s=%d job %d diverges: serial {%g %g %d %d}, parallel {%g %g %d %d}",
+							pol, workers, shards, i, a.Start, a.Finish, a.Scale, a.NodesUsed,
+							b.Start, b.Finish, b.Scale, b.NodesUsed)
+					}
+					for k := range a.Nodes {
+						if a.Nodes[k] != b.Nodes[k] {
+							t.Fatalf("%v w=%d s=%d job %d node sets diverge: %v vs %v",
+								pol, workers, shards, i, a.Nodes, b.Nodes)
+						}
+					}
+				}
+				if want.Makespan != got.Makespan || want.AvgTurn != got.AvgTurn { //lint:floateq bit-identity is the contract under test
+					t.Fatalf("%v w=%d s=%d summaries diverge", pol, workers, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestCoalescedFinishEquivalence pins the coalesced-finish event loop
+// against itself across mutation widths: CoalesceFinish changes WHICH
+// schedule is computed (one release round per tied finish clump, the
+// daemon's completeDue semantic) but that schedule must still be
+// bit-identical at every worker width and shard count.
+func TestCoalescedFinishEquivalence(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := wideTrace(47, 250)
+	for _, pol := range []Policy{CE, SNS, TwoSlot} {
+		base := DefaultSimConfig(192, pol)
+		base.CoalesceFinish = true
+		want, err := Simulate(jobs, db, node, base)
+		if err != nil {
+			t.Fatalf("%v coalesced serial: %v", pol, err)
+		}
+		for _, workers := range []int{4, 7} {
+			cfg := base
+			cfg.MutWorkers = workers
+			cfg.Shards = 4
+			got, err := Simulate(jobs, db, node, cfg)
+			if err != nil {
+				t.Fatalf("%v coalesced w=%d: %v", pol, workers, err)
+			}
+			for i := range want.Jobs {
+				a, b := want.Jobs[i], got.Jobs[i]
+				if a.Start != b.Start || a.Finish != b.Finish || a.Scale != b.Scale || a.NodesUsed != b.NodesUsed { //lint:floateq bit-identity is the contract under test
+					t.Fatalf("%v coalesced w=%d job %d diverges: serial {%g %g %d %d}, parallel {%g %g %d %d}",
+						pol, workers, i, a.Start, a.Finish, a.Scale, a.NodesUsed,
+						b.Start, b.Finish, b.Scale, b.NodesUsed)
+				}
+			}
+			if want.Makespan != got.Makespan || want.AvgTurn != got.AvgTurn { //lint:floateq bit-identity is the contract under test
+				t.Fatalf("%v coalesced w=%d summaries diverge", pol, workers)
+			}
+		}
+	}
+}
+
+func TestSimConfigRejectsNegativeMutWorkers(t *testing.T) {
+	db, node := traceDB(t)
+	jobs := wideTrace(7, 10)
+	cfg := DefaultSimConfig(64, CE)
+	cfg.MutWorkers = -2
+	if _, err := Simulate(jobs, db, node, cfg); err == nil {
+		t.Error("negative MutWorkers accepted")
+	}
+}

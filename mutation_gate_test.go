@@ -1,0 +1,81 @@
+// The PR 10 performance gates. The parallel mutation pipeline certifies
+// on the regime it exists for — mutation-bound replays of wide jobs,
+// where each placement reserves (and each completion releases) thousands
+// of nodes and the per-node state writes are what the clock measures.
+// State must stay bit-identical to the serial loops at any worker width
+// and shard count (gated everywhere by TestParallelMutationEquivalence
+// and the placement package's span equivalence suite); the speedup gate
+// additionally requires real parallel hardware.
+package spreadnshare
+
+import (
+	"runtime"
+	"testing"
+
+	"spreadnshare/internal/experiments"
+	"spreadnshare/internal/invariant"
+	"spreadnshare/internal/trace"
+)
+
+// mutationGateTrace is the mutation-bound workload at 256K-node scale:
+// 500 jobs of up to 16,384 nodes each, so every admission round applies
+// reservation spans of thousands of nodes and reserve/release dominates
+// the replay. Both gate configs shard the search identically, isolating
+// the mutation pipeline itself.
+func mutationGateTrace(tb testing.TB) []trace.Job {
+	tb.Helper()
+	jobs := trace.Synthesize(53, trace.GenConfig{Jobs: 500, SpanHours: 300, MaxNodes: 16384})
+	trace.MapPrograms(53, jobs,
+		experiments.TraceScalingPrograms, experiments.TraceOtherPrograms, 0.9)
+	return jobs
+}
+
+// TestParallelMutationSpeedup enforces the >=2x gate on multi-core
+// machines: the full-width parallel-mutation SNS replay of the wide-job
+// 256K-node workload must beat the serial-mutation replay by at least
+// 2x while producing the bit-identical average turnaround. Machines
+// without at least 4 CPUs skip — a mutation fan-out cannot overlap
+// anything there — but the bit-identical-state half of the contract
+// still runs everywhere via the equivalence tests.
+func TestParallelMutationSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup gate needs benchmark runs")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("mutation speedup needs >=4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	t.Cleanup(invariant.Pause())
+	env, err := experiments.SharedEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := mutationGateTrace(t)
+	turns := map[int]float64{}
+	run := func(workers int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := trace.DefaultSimConfig(262144, trace.SNS)
+				cfg.Shards = 64
+				cfg.MutWorkers = workers
+				r, err := trace.Simulate(jobs, env.DB, env.Spec.Node, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				turns[workers] = r.AvgTurn
+			}
+		})
+	}
+	width := runtime.GOMAXPROCS(0)
+	parallel := run(width)
+	serial := run(0)
+	if turns[width] != turns[0] {
+		t.Fatalf("parallel replay avg turnaround %v != serial %v — the pipeline changed placements",
+			turns[width], turns[0])
+	}
+	speedup := float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+	t.Logf("parallel %v/op, serial %v/op, speedup %.1fx (avg turnaround %.6f both)",
+		parallel.NsPerOp(), serial.NsPerOp(), speedup, turns[0])
+	if speedup < 2 {
+		t.Errorf("parallel mutation replay only %.2fx faster than serial, gate is 2x", speedup)
+	}
+}

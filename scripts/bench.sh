@@ -10,8 +10,12 @@
 # the cached-vs-uncached gate replay pair, and the parallel-speedup-x
 # metric (BENCH_PR5.json); PR 6 covers the sharded placement kernel:
 # the 256K/1M-node gate replays sharded versus flat plus the
-# shard-speedup-x metric (BENCH_PR6.json). Pass "pr1", "pr2", "pr5" or
-# "pr6" to run one set; default is all.
+# shard-speedup-x metric (BENCH_PR6.json); PR 7 covers the service
+# admission and daemon-latency set (BENCH_PR7.json); PR 10 covers the
+# parallel mutation pipeline: the 256K-node wide-job gate replay serial
+# versus parallel plus the mut-speedup-x metric (BENCH_PR10.json). Pass
+# "pr1", "pr2", "pr5", "pr6", "pr7" or "pr10" to run one set; default
+# is all.
 #
 # The figure-level and trace-replay targets run with -benchtime=1x: the
 # figure studies are cached across b.N iterations (see bench_test.go),
@@ -179,4 +183,29 @@ EOF2
 EOF2
 	} >BENCH_PR7.json
 	echo "wrote BENCH_PR7.json"
+fi
+
+if [[ "$which" == "all" || "$which" == "pr10" ]]; then
+	: >"$tmp"
+	go test -run '^$' -bench 'SerialMutationReplay256K|ParallelMutationReplay256K' -benchmem -benchtime=1x . | tee -a "$tmp"
+	go test -run '^$' -bench 'MutationPipeline' -benchtime=1x . | tee -a "$tmp"
+
+	{
+		cat <<'EOF3'
+{
+  "issue": "PR 10: deterministic parallel mutation pipeline — shard-parallel reserve/release + same-timestamp event coalescing",
+  "note": "baseline is the serial reserve/release loop on the same tree (the SerialMutationReplay256K row, frozen from this recording): both rows replay the wide-job 256K-node gate workload (500 jobs of <=16,384 nodes, 64-shard search) under SNS, so the pair isolates the mutation pipeline itself. avg-turn-s must be bit-identical between the serial and parallel rows — that is the determinism contract, gated everywhere by TestParallelMutationEquivalence and the placement span-equivalence suite. mut-speedup-x is serial-vs-full-width wall clock; on a single-CPU machine (this recording) it is ~1.0 — MutWorkers inherits GOMAXPROCS=1, which SetMutWorkers refuses, so both runs take the serial loops — and TestParallelMutationSpeedup gates >=2x where >=4 CPUs exist.",
+  "baseline": [
+    {"name": "BenchmarkSerialMutationReplay256K", "iterations": 1, "metrics": {"ns/op": 1217691873, "avg-turn-s": 1765, "B/op": 271728856, "allocs/op": 20377}},
+    {"name": "BenchmarkMutationPipeline", "iterations": 1, "metrics": {"mut-speedup-x": 1.0, "workers": 1}}
+  ],
+  "current": [
+EOF3
+		emit_current
+		cat <<'EOF3'
+  ]
+}
+EOF3
+	} >BENCH_PR10.json
+	echo "wrote BENCH_PR10.json"
 fi
